@@ -1,0 +1,35 @@
+// Ablation: MK / MMI pipeline blocking.
+//
+// The paper fixes MK x MMI per deck ("MK must factor KT", "MMI angles
+// (1 or 3)"). Blocking does not change the physics (tests prove bit
+// equality) but reshapes the wavefront diagonals: wider diagonals keep
+// more SPEs busy, narrower ones pipeline sooner to MPI neighbors.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace cellsweep;
+  bench::print_header("Ablation: MK/MMI blocking (50^3, final config)");
+
+  util::TextTable table({"MK", "MMI", "max lines/diag", "run time [s]",
+                         "compute busy [s]"});
+  for (int mk : {1, 2, 5, 10, 25, 50}) {
+    for (int mmi : {1, 2, 3, 6}) {
+      const sweep::Problem problem = sweep::Problem::benchmark_cube(50);
+      core::CellSweepConfig cfg = core::CellSweepConfig::from_stage(
+          core::OptimizationStage::kSpeLsPoke);
+      cfg.sweep.mk = mk;
+      cfg.sweep.mmi = mmi;
+      core::CellSweep3D runner(problem, cfg);
+      const core::RunReport r = runner.run(core::RunMode::kTraceDriven);
+      table.add_row({bench::fmt("%.0f", mk), bench::fmt("%.0f", mmi),
+                     bench::fmt("%.0f", mk * mmi),
+                     bench::fmt("%.3f", r.seconds),
+                     bench::fmt("%.3f", r.compute_busy_s)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nNarrow diagonals (MK*MMI < 32 lines) starve the eight\n"
+               "SPEs; the single-chip sweet spot is the widest block that\n"
+               "still fits the local store.\n";
+  return 0;
+}

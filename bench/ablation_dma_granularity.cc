@@ -1,0 +1,35 @@
+// Ablation: DMA transfer granularity.
+//
+// The paper ships 512-byte DMA-list elements and projects a win from
+// larger transfers ("increasing the communication granularity of the
+// DMA operations", Section 6). This sweep quantifies the whole curve:
+// element size vs run time, on the final configuration.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace cellsweep;
+  bench::print_header("Ablation: DMA granularity sweep (50^3, final config)");
+
+  util::TextTable table({"element size [B]", "run time [s]", "MIC busy [s]",
+                         "DMA transfers", "note"});
+  for (std::size_t elem : {512u, 1024u, 2048u, 4096u, 8192u, 16384u}) {
+    const sweep::Problem problem = sweep::Problem::benchmark_cube(50);
+    core::CellSweepConfig cfg =
+        core::CellSweepConfig::from_stage(core::OptimizationStage::kSpeLsPoke);
+    cfg.dma_granularity = elem;
+    core::CellSweep3D runner(problem, cfg);
+    const core::RunReport r = runner.run(core::RunMode::kTraceDriven);
+    const char* note = elem == 512    ? "shipped implementation"
+                       : elem == 4096 ? "Fig. 10 projection"
+                                      : "";
+    table.add_row({bench::fmt("%.0f", static_cast<double>(elem)),
+                   bench::fmt("%.3f", r.seconds),
+                   bench::fmt("%.3f", r.mic_busy_s),
+                   bench::fmt("%.0f", static_cast<double>(r.dma_transfers)),
+                   note});
+  }
+  table.print(std::cout);
+  std::cout << "\nDiminishing returns above ~4 KB: the DRAM burst gap is\n"
+               "amortized and the run becomes bound elsewhere.\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Shared helpers for the bench harness. Every binary in bench/
+// regenerates one of the paper's tables or figures: it runs the
+// simulated experiment and prints paper-reported vs measured rows.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/orchestrator.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace cellsweep::bench {
+
+/// Runs one optimization stage on an n-cubed benchmark problem with the
+/// paper's deck (12 iterations, fixups in the last two) and returns the
+/// report. Trace-driven: full 50-cubed scale in well under a second.
+inline core::RunReport run_stage(core::OptimizationStage stage, int cube = 50,
+                                 int iterations = 12) {
+  const sweep::Problem problem = sweep::Problem::benchmark_cube(cube);
+  core::CellSweepConfig cfg = core::CellSweepConfig::from_stage(stage);
+  cfg.sweep.max_iterations = iterations;
+  cfg.sweep.fixup_from_iteration = iterations - 2;
+  // MK must factor KT: pick the largest divisor <= the default.
+  int mk = 1;
+  for (int d = 1; d <= cfg.sweep.mk; ++d)
+    if (cube % d == 0) mk = d;
+  cfg.sweep.mk = mk;
+  core::CellSweep3D runner(problem, cfg);
+  return runner.run(core::RunMode::kTraceDriven);
+}
+
+inline std::string fmt(const char* f, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, f, v);
+  return buf;
+}
+
+inline void print_header(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n\n";
+}
+
+}  // namespace cellsweep::bench

@@ -1,0 +1,52 @@
+// Figure 5: "Performance impact of various optimizations."
+//
+// Regenerates the paper's optimization ladder on the 50-cubed deck:
+// each row is one cumulative optimization stage, paper-measured seconds
+// next to our simulated seconds.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace cellsweep;
+  using core::OptimizationStage;
+
+  bench::print_header(
+      "Figure 5: performance impact of the optimization ladder (50^3)");
+
+  const struct {
+    OptimizationStage stage;
+    double paper_s;
+  } rows[] = {
+      {OptimizationStage::kPpeGcc, 22.3},
+      {OptimizationStage::kPpeXlc, 19.9},
+      {OptimizationStage::kSpeInitial, 3.55},
+      {OptimizationStage::kSpeAligned, 3.03},
+      {OptimizationStage::kSpeBuffered, 2.88},
+      {OptimizationStage::kSpeSimd, 1.68},
+      {OptimizationStage::kSpeDmaLists, 1.48},
+      {OptimizationStage::kSpeLsPoke, 1.33},
+  };
+
+  util::TextTable table({"stage", "paper [s]", "measured [s]", "ratio",
+                         "compute busy [s]", "MIC busy [s]"});
+  double final_measured = 0;
+  for (const auto& row : rows) {
+    const core::RunReport r = bench::run_stage(row.stage);
+    final_measured = r.seconds;
+    table.add_row({core::stage_name(row.stage),
+                   bench::fmt("%.2f", row.paper_s),
+                   bench::fmt("%.2f", r.seconds),
+                   bench::fmt("%.2f", r.seconds / row.paper_s),
+                   bench::fmt("%.2f", r.compute_busy_s),
+                   bench::fmt("%.2f", r.mic_busy_s)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPPE(GCC) -> final speedup: paper "
+            << util::format_speedup(22.3 / 1.33) << ", measured "
+            << util::format_speedup(bench::run_stage(
+                                        OptimizationStage::kPpeGcc)
+                                        .seconds /
+                                    final_measured)
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 9: "Grind time as a function of the cube size."
+//
+// Paper: "For a cube size larger than 25 cells, the grind time is
+// almost constant ... optimal load balancing can be achieved when the
+// total number of iterations is an integer multiple of 4 x 8, as
+// witnessed by the minor dents."
+//
+// Regenerates the series on the fully optimized configuration.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace cellsweep;
+  bench::print_header("Figure 9: grind time vs cube size (final config)");
+
+  util::TextTable table({"cube", "run time [s]", "grind [ns/cell-solve]",
+                         "lines/diag mult of 32", "traffic [GB]"});
+
+  for (int n : {8, 10, 12, 16, 20, 24, 25, 28, 32, 36, 40, 44, 48, 50, 56,
+                60, 64, 70, 80, 90, 96, 100}) {
+    const core::RunReport r =
+        bench::run_stage(core::OptimizationStage::kSpeLsPoke, n);
+    // The widest diagonal holds mk*mmi lines; perfect balance when that
+    // is a multiple of 4 lines x 8 SPEs (the "dents").
+    int mk = 1;
+    for (int d = 1; d <= 10; ++d)
+      if (n % d == 0) mk = d;
+    const int width = mk * 3;  // mmi = 3 in the shipped deck
+    table.add_row({bench::fmt("%.0f", n),
+                   bench::fmt("%.3f", r.seconds),
+                   bench::fmt("%.1f", r.grind_seconds * 1e9),
+                   width % 32 == 0 ? "yes" : "no",
+                   bench::fmt("%.2f", r.traffic_bytes / 1e9)});
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: grind flattens above ~25-40 cells; small\n"
+               "cubes pay wavefront fill and dispatch overheads.\n";
+  return 0;
+}

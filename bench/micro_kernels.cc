@@ -1,0 +1,153 @@
+// google-benchmark microbenchmarks of the host-side components: the
+// functional Sn kernels (scalar vs emulated-SIMD), the SPU pipeline
+// scheduler and the discrete resource models. These measure *this
+// library's* throughput on the host, complementing the simulated-time
+// benches that regenerate the paper's figures.
+#include <benchmark/benchmark.h>
+
+#include "cellsim/spu_pipeline.h"
+#include "core/kernel_timing.h"
+#include "core/orchestrator.h"
+#include "sweep/kernel.h"
+#include "sweep/kernel_simd.h"
+#include "sweep/problem.h"
+#include "sweep/sweeper.h"
+#include "util/aligned.h"
+
+namespace {
+
+using namespace cellsweep;
+
+template <typename Real>
+struct BenchLines {
+  explicit BenchLines(int it, int nm) : it_(it), nm_(nm) {
+    const std::size_t pad = util::padded_extent<Real>(it);
+    src.assign(static_cast<std::size_t>(nm) * pad, Real(1));
+    sigt.assign(pad, Real(1));
+    pn_src.assign(nm, Real(0.5));
+    pn_acc.assign(nm, Real(0.05));
+    for (int l = 0; l < sweep::kBundleLines; ++l) {
+      flux[l].assign(static_cast<std::size_t>(nm) * pad, Real(0));
+      phi_j[l].assign(pad, Real(0.1));
+      phi_k[l].assign(pad, Real(0.1));
+      phi_i[l] = Real(0.1);
+    }
+  }
+  sweep::LineArgs<Real> args(int l) {
+    sweep::LineArgs<Real> a;
+    a.it = it_;
+    a.dir = +1;
+    a.sigt = sigt.data();
+    a.src = src.data();
+    a.flux = flux[l].data();
+    a.mstride = static_cast<std::int64_t>(util::padded_extent<Real>(it_));
+    a.pn_src = pn_src.data();
+    a.pn_acc = pn_acc.data();
+    a.nm = nm_;
+    a.ci = a.cj = a.ck = Real(10);
+    a.phi_j = phi_j[l].data();
+    a.phi_k = phi_k[l].data();
+    a.phi_i = &phi_i[l];
+    return a;
+  }
+  int it_, nm_;
+  util::AlignedVector<Real> src, sigt;
+  std::vector<Real> pn_src, pn_acc;
+  util::AlignedVector<Real> flux[sweep::kBundleLines],
+      phi_j[sweep::kBundleLines], phi_k[sweep::kBundleLines];
+  Real phi_i[sweep::kBundleLines];
+};
+
+void BM_ScalarKernelLine(benchmark::State& state) {
+  BenchLines<double> data(static_cast<int>(state.range(0)),
+                          sweep::kBenchmarkMoments);
+  for (auto _ : state) {
+    sweep::LineArgs<double> a = data.args(0);
+    sweep::sweep_line_scalar(a, false, nullptr);
+    benchmark::DoNotOptimize(data.phi_i[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ScalarKernelLine)->Arg(50)->Arg(100);
+
+void BM_SimdBundleKernel(benchmark::State& state) {
+  const int it = static_cast<int>(state.range(0));
+  BenchLines<double> data(it, sweep::kBenchmarkMoments);
+  sweep::BundleScratch<double> scratch(it);
+  for (auto _ : state) {
+    sweep::LineArgs<double> bundle[4] = {data.args(0), data.args(1),
+                                         data.args(2), data.args(3)};
+    sweep::sweep_bundle_simd(bundle, 4, false, scratch, nullptr);
+    benchmark::DoNotOptimize(data.phi_i[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * it);
+}
+BENCHMARK(BM_SimdBundleKernel)->Arg(50)->Arg(100);
+
+void BM_SimdBundleKernelWithFixups(benchmark::State& state) {
+  const int it = static_cast<int>(state.range(0));
+  BenchLines<double> data(it, sweep::kBenchmarkMoments);
+  sweep::BundleScratch<double> scratch(it);
+  for (auto _ : state) {
+    sweep::LineArgs<double> bundle[4] = {data.args(0), data.args(1),
+                                         data.args(2), data.args(3)};
+    sweep::sweep_bundle_simd(bundle, 4, true, scratch, nullptr);
+    benchmark::DoNotOptimize(data.phi_i[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * it);
+}
+BENCHMARK(BM_SimdBundleKernelWithFixups)->Arg(50);
+
+void BM_FullSweepIteration(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const sweep::Problem p = sweep::Problem::benchmark_cube(n);
+  sweep::SnQuadrature quad(6);
+  sweep::SweepState<double> sweeper(p, quad, 2, sweep::kBenchmarkMoments);
+  sweep::SweepConfig cfg;
+  cfg.mk = n >= 10 ? 5 : 2;
+  while (n % cfg.mk != 0) --cfg.mk;
+  cfg.mmi = 3;
+  for (auto _ : state) {
+    sweeper.build_source();
+    sweeper.sweep(cfg, false);
+    benchmark::DoNotOptimize(sweeper.flux().moment_sum(0));
+  }
+  state.SetItemsProcessed(state.iterations() * p.grid().cells() * 48);
+}
+BENCHMARK(BM_FullSweepIteration)->Arg(10)->Arg(20);
+
+void BM_PipelineScheduler(benchmark::State& state) {
+  const spu::Trace trace = core::record_simd_chunk_trace(
+      core::Precision::kDouble, 4, 50, sweep::kBenchmarkMoments, false);
+  cell::SpuPipeline pipe{cell::CellSpec{}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipe.schedule(trace).cycles);
+  }
+  state.SetItemsProcessed(state.iterations() * trace.size());
+}
+BENCHMARK(BM_PipelineScheduler);
+
+void BM_TraceRecording(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::record_simd_chunk_trace(core::Precision::kDouble, 4, 50,
+                                      sweep::kBenchmarkMoments, false)
+            .size());
+  }
+}
+BENCHMARK(BM_TraceRecording);
+
+void BM_TimedRun50Cubed(benchmark::State& state) {
+  const sweep::Problem p = sweep::Problem::benchmark_cube(50);
+  const core::CellSweepConfig cfg =
+      core::CellSweepConfig::from_stage(core::OptimizationStage::kSpeLsPoke);
+  for (auto _ : state) {
+    core::CellSweep3D runner(p, cfg);
+    benchmark::DoNotOptimize(runner.run(core::RunMode::kTraceDriven).seconds);
+  }
+}
+BENCHMARK(BM_TimedRun50Cubed)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

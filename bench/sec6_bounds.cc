@@ -1,0 +1,44 @@
+// Section 6: the traffic / compute lower-bound audit.
+//
+// Paper: "With a 50-cubed input size, the SPEs transfer 17.6 Gbytes of
+// data. Considering that the peak memory bandwidth is 25.6
+// Gbytes/second, this sets a lower bound of 0.7 seconds ... By
+// profiling the amount of computation performed by the SPUs we obtain a
+// similar lower bound, 0.68 seconds. The gap between this bound and the
+// actual run-time of 1.3 seconds is mostly caused by the communication
+// and synchronization protocols."
+#include "bench/bench_common.h"
+
+#include "perfmodel/bounds.h"
+
+int main() {
+  using namespace cellsweep;
+  bench::print_header("Section 6: roofline bounds vs actual run time (50^3)");
+
+  const core::RunReport r =
+      bench::run_stage(core::OptimizationStage::kSpeLsPoke);
+
+  util::TextTable table({"quantity", "paper", "measured"});
+  table.add_row({"DMA traffic", "17.6 GB",
+                 util::format_bytes(r.traffic_bytes)});
+  table.add_row({"memory-bandwidth bound", "0.70 s",
+                 bench::fmt("%.2f s", r.memory_bound_s)});
+  table.add_row({"SPU-compute bound", "0.68 s",
+                 bench::fmt("%.2f s", r.compute_bound_s)});
+  table.add_row({"actual run time", "1.33 s",
+                 bench::fmt("%.2f s", r.seconds)});
+  table.add_row({"gap over bound", "~0.6 s",
+                 bench::fmt("%.2f s",
+                            r.seconds - std::max(r.memory_bound_s,
+                                                 r.compute_bound_s))});
+  table.print(std::cout);
+
+  std::cout << "\nBreakdown of the gap (simulated): mean SPE compute busy "
+            << bench::fmt("%.2f s", r.compute_busy_s) << ", MIC busy "
+            << bench::fmt("%.2f s", r.mic_busy_s) << ", "
+            << bench::fmt("%.0f", r.dispatch_busy_grants)
+            << " dispatch grants through the PPE.\n"
+            << "DMA commands: " << r.dma_commands << " ("
+            << r.dma_transfers << " transfers)\n";
+  return 0;
+}

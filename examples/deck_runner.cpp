@@ -1,0 +1,77 @@
+// Deck runner: the classic Sweep3D workflow -- point the binary at an
+// input deck, get the solve and the simulated Cell performance report.
+//
+//   $ ./deck_runner examples/decks/benchmark50.deck
+//   $ ./deck_runner examples/decks/shield_reflected.deck --stage=simd
+#include <iostream>
+
+#include "core/orchestrator.h"
+#include "sweep/deck.h"
+#include "util/cli.h"
+#include "util/units.h"
+
+using namespace cellsweep;
+
+int main(int argc, char** argv) {
+  util::CliParser cli("Run a CellSweep input deck");
+  cli.add_flag("stage", "final",
+               "optimization stage: ppe | initial | simd | final");
+  cli.add_flag("functional", "true",
+               "solve the physics (false: timing only)");
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << "\n" << cli.usage(argv[0]);
+    return 1;
+  }
+  if (cli.help_requested() || cli.positional().empty()) {
+    std::cout << cli.usage(argv[0]) << "\nUsage: " << argv[0]
+              << " <deck file> [flags]\n";
+    return cli.help_requested() ? 0 : 1;
+  }
+
+  sweep::Deck deck = [&] {
+    try {
+      return sweep::load_deck(cli.positional()[0]);
+    } catch (const sweep::DeckError& e) {
+      std::cerr << e.what() << "\n";
+      std::exit(1);
+    }
+  }();
+
+  const std::string stage_name = cli.get_string("stage");
+  core::OptimizationStage stage = core::OptimizationStage::kSpeLsPoke;
+  if (stage_name == "ppe") stage = core::OptimizationStage::kPpeXlc;
+  else if (stage_name == "initial") stage = core::OptimizationStage::kSpeInitial;
+  else if (stage_name == "simd") stage = core::OptimizationStage::kSpeSimd;
+
+  const auto& g = deck.problem.grid();
+  std::cout << "Deck: " << g.it << "x" << g.jt << "x" << g.kt << ", "
+            << deck.problem.materials().size() << " material(s), S"
+            << deck.sn_order << ", " << deck.nm_cap << " moments, MK="
+            << deck.sweep.mk << " MMI=" << deck.sweep.mmi << "\n";
+
+  if (deck.problem.any_reflective() || cli.get_bool("functional")) {
+    // Reflective decks need the functional (serial) solver for physics.
+    sweep::SnQuadrature quad(deck.sn_order);
+    sweep::SweepState<double> state(deck.problem, quad, 2, deck.nm_cap);
+    const sweep::SolveResult r =
+        sweep::solve_source_iteration(state, deck.sweep);
+    std::cout << "Solve: " << r.iterations << " iterations, change "
+              << r.final_change << (r.converged ? " (converged)" : "")
+              << "; absorption " << state.absorption_rate() << ", leakage "
+              << state.leakage().total() << ", fixup cells "
+              << r.totals.fixup_cells << "\n";
+  }
+
+  core::CellSweepConfig cfg = core::CellSweepConfig::from_stage(stage);
+  cfg.sweep = deck.sweep;
+  cfg.sweep.kernel = cfg.kernel;
+  cfg.sweep.epsilon = 0.0;  // the timing model replays a fixed count
+  core::CellSweep3D runner(deck.problem, cfg, deck.sn_order, 2, deck.nm_cap);
+  const core::RunReport rep = runner.run(core::RunMode::kTraceDriven);
+  std::cout << "Cell (" << core::stage_name(stage)
+            << "): " << util::format_seconds(rep.seconds) << ", "
+            << util::format_bytes(rep.traffic_bytes) << " traffic, grind "
+            << util::format_seconds(rep.grind_seconds) << "/solve, "
+            << util::format_flops(rep.achieved_flops_per_s) << "\n";
+  return 0;
+}

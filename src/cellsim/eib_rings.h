@@ -1,0 +1,95 @@
+// Detailed Element Interconnect Bus model.
+//
+// The EIB (paper Section 2 and its reference [9], "Cell Processor
+// Interconnection Network: Built for Speed") is four unidirectional
+// rings -- two clockwise, two counterclockwise -- connecting twelve
+// elements: the PPE, eight SPEs, the MIC and two I/O interfaces. Each
+// ring moves 16 bytes per bus cycle (half the CPU clock); a transfer
+// occupies only the ring *segments* between source and destination, so
+// transfers whose paths do not overlap proceed concurrently on the same
+// ring. The arbiter assigns each transfer the ring+direction with the
+// shorter path (never more than half way around).
+//
+// The aggregate-bandwidth Eib in memory.h is sufficient for the
+// memory-bound Sweep3D runs; this model exists for the LS-to-LS
+// communication patterns (the distributed variant's face forwarding)
+// and is validated against the published EIB behaviours: neighboring
+// transfers overlap, path-crossing transfers serialize, and the
+// aggregate peak is 204.8 GB/s.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "cellsim/spec.h"
+#include "sim/time.h"
+
+namespace cellsweep::cell {
+
+/// Bus element ids in physical ring order (the floorplan order of
+/// reference [9]): interleaving SPEs with the controllers.
+enum class BusElement : std::uint8_t {
+  kPpe = 0,
+  kSpe1 = 1,
+  kSpe3 = 2,
+  kSpe5 = 3,
+  kSpe7 = 4,
+  kIoif1 = 5,
+  kIoif0 = 6,
+  kSpe6 = 7,
+  kSpe4 = 8,
+  kSpe2 = 9,
+  kSpe0 = 10,
+  kMic = 11,
+};
+
+inline constexpr int kBusElements = 12;
+
+/// Maps an SPE index (0..7) to its ring position.
+BusElement spe_element(int spe_index);
+
+/// One completed reservation, for diagnostics.
+struct RingGrant {
+  int ring;            ///< 0..3
+  bool clockwise;
+  int hops;            ///< segments traversed
+  sim::Tick start;
+  sim::Tick done;
+};
+
+/// Segment-granular four-ring interconnect.
+class EibRings {
+ public:
+  explicit EibRings(const CellSpec& spec);
+
+  /// Reserves a path from @p src to @p dst for @p bytes starting no
+  /// earlier than @p now. Picks the earliest-finishing (ring,
+  /// direction) among all four rings and both directions (shorter path
+  /// preferred); occupies each traversed segment for the transfer
+  /// duration. Returns the grant.
+  RingGrant transfer(sim::Tick now, BusElement src, BusElement dst,
+                     double bytes);
+
+  /// Per-ring data rate (bytes/second): 16 bytes per bus cycle, bus at
+  /// half the CPU clock.
+  double ring_rate() const noexcept { return ring_rate_; }
+
+  /// Total payload moved.
+  double bytes_moved() const noexcept { return bytes_; }
+
+  std::uint64_t transfers() const noexcept { return transfers_; }
+
+  void reset();
+
+ private:
+  /// free_at_[ring][direction][segment]: segment s is the hop from
+  /// element s to element s+1 (mod 12) in clockwise orientation.
+  using SegmentClocks = std::array<sim::Tick, kBusElements>;
+  std::array<std::array<SegmentClocks, 2>, 4> free_at_{};
+  double ring_rate_;
+  double bytes_ = 0;
+  std::uint64_t transfers_ = 0;
+};
+
+}  // namespace cellsweep::cell

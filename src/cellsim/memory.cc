@@ -1,0 +1,41 @@
+#include "cellsim/memory.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cellsweep::cell {
+
+Mic::Mic(const CellSpec& spec)
+    : spec_(spec), port_("MIC", spec.mic_bytes_per_s) {}
+
+double Mic::bank_efficiency(int banks_touched) const {
+  if (banks_touched < 1) banks_touched = 1;
+  const int banks = spec_.memory_banks;
+  if (banks_touched >= banks) return 1.0;
+  // A request striped over k of n banks can use at most k/n of the
+  // aggregate DRAM bandwidth, but command interleaving recovers part of
+  // the loss; empirically the penalty is roughly the square root of the
+  // naive ratio. Floor at the spec's minimum efficiency.
+  const double naive =
+      static_cast<double>(banks_touched) / static_cast<double>(banks);
+  const double eff = std::sqrt(naive);
+  return std::max(eff, spec_.dma_min_efficiency);
+}
+
+sim::Tick Mic::submit(sim::Tick now, double bytes, sim::Tick overhead,
+                      double efficiency, int elements) {
+  if (efficiency <= 0.0 || efficiency > 1.0)
+    throw std::invalid_argument("Mic::submit: efficiency out of (0,1]");
+  if (elements < 1) elements = 1;
+  // Reduced efficiency means the payload occupies the port longer, as
+  // if it carried bytes/efficiency of traffic, and each element pays
+  // one burst-turnaround gap; the logical byte count is still recorded
+  // for the Section 6 traffic audit.
+  const double inflated =
+      bytes / efficiency + static_cast<double>(elements) * spec_.dram_gap_bytes;
+  logical_bytes_ += bytes;
+  return port_.submit(now, inflated, overhead);
+}
+
+}  // namespace cellsweep::cell

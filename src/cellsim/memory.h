@@ -1,0 +1,78 @@
+// Main-memory (MIC) and interconnect (EIB) models.
+//
+// The MIC provides 25.6 GB/s of peak bandwidth shared by all eight
+// SPEs, the PPE and I/O -- the paper shows this is Sweep3D's ultimate
+// bound (Section 6: 17.6 GB moved => >= 0.7 s). Main memory is spread
+// over 16 interleaved banks; transfers that concentrate on few banks
+// lose burst efficiency, which is why the port "adds offsets to the
+// array allocation to more fairly spread the memory accesses across the
+// 16 main memory banks" (Section 5). The EIB moves 204.8 GB/s
+// aggregate; it only binds for LS-to-LS traffic patterns.
+#pragma once
+
+#include <cstdint>
+
+#include "cellsim/spec.h"
+#include "sim/resource.h"
+#include "sim/time.h"
+
+namespace cellsweep::cell {
+
+/// Memory Interface Controller: FIFO bandwidth server plus the bank
+/// interleaving efficiency model.
+class Mic {
+ public:
+  explicit Mic(const CellSpec& spec);
+
+  /// Effective streaming efficiency for a request whose addresses fall
+  /// on @p banks_touched of the @p memory_banks banks with roughly even
+  /// load. Touching all banks streams at peak; hammering one bank is
+  /// limited by per-bank bandwidth.
+  double bank_efficiency(int banks_touched) const;
+
+  /// Submits a transfer of @p bytes that starts no earlier than @p now,
+  /// pays @p overhead of fixed startup, and streams with
+  /// @p efficiency in (0,1]. @p elements transfer elements each charge
+  /// one DRAM burst-turnaround gap of port occupancy. Returns the
+  /// completion time.
+  sim::Tick submit(sim::Tick now, double bytes, sim::Tick overhead,
+                   double efficiency, int elements = 1);
+
+  /// Logical payload bytes (the Section 6 "17.6 Gbytes" audit counts
+  /// these, not the efficiency-inflated port occupancy).
+  double bytes_moved() const noexcept { return logical_bytes_; }
+  std::uint64_t requests() const noexcept { return port_.requests(); }
+  sim::Tick busy_ticks() const noexcept { return port_.busy_ticks(); }
+  double peak_rate() const noexcept { return port_.rate(); }
+  void reset() noexcept {
+    port_.reset();
+    logical_bytes_ = 0.0;
+  }
+
+ private:
+  CellSpec spec_;
+  sim::BandwidthResource port_;
+  double logical_bytes_ = 0.0;
+};
+
+/// Element Interconnect Bus: aggregate bandwidth server. Every DMA
+/// payload crosses it; completion of a main-memory DMA is the later of
+/// the EIB and MIC finish times.
+class Eib {
+ public:
+  explicit Eib(const CellSpec& spec)
+      : ring_("EIB", spec.eib_bytes_per_s) {}
+
+  sim::Tick submit(sim::Tick now, double bytes) {
+    return ring_.submit(now, bytes);
+  }
+
+  double bytes_moved() const noexcept { return ring_.bytes_moved(); }
+  sim::Tick busy_ticks() const noexcept { return ring_.busy_ticks(); }
+  void reset() noexcept { ring_.reset(); }
+
+ private:
+  sim::BandwidthResource ring_;
+};
+
+}  // namespace cellsweep::cell

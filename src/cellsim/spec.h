@@ -1,0 +1,107 @@
+// Architectural constants of the Cell Broadband Engine machine model.
+//
+// The "hard" numbers (clock, bandwidths, local-store size, DMA command
+// rules, DP issue restrictions) are the ones the paper itself quotes in
+// Section 2 from the CBEA specification; they are never tuned per
+// experiment. The "soft" numbers (per-command overheads, sync-protocol
+// latencies, PPE scalar cost) are microarchitectural details the paper
+// only describes qualitatively; DESIGN.md section 4 documents how they
+// were calibrated once, globally, against the Section 5 measurements.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace cellsweep::cell {
+
+/// Full parameter set for one simulated Cell BE chip.
+struct CellSpec {
+  // --- Hard constants from the CBEA / paper Section 2 ---------------------
+  double clock_hz = 3.2e9;             ///< SPU & PPE clock
+  int num_spes = 8;                    ///< SPEs per chip
+  std::size_t local_store_bytes = 256 * 1024;  ///< LS per SPE
+  double eib_bytes_per_s = 204.8e9;    ///< EIB aggregate peak
+  double mic_bytes_per_s = 25.6e9;     ///< main-memory peak bandwidth
+  int memory_banks = 16;               ///< interleaved main-memory banks
+  int mfc_queue_depth = 16;            ///< outstanding DMA commands per MFC
+  std::size_t dma_max_bytes = 16 * 1024;  ///< max single DMA transfer
+  int dma_list_max_elements = 2048;    ///< max elements per DMA-list command
+  std::size_t dma_align_sweet_spot = 128;  ///< alignment for peak DMA rate
+
+  /// Double precision is only partially pipelined: one 2-way DP vector
+  /// op may issue every 7 cycles (paper Section 5.1). Peak DP rate is
+  /// therefore 8 SPEs x 4 flops / 7 cycles = 14.63 Gflops/s.
+  int dp_issue_block_cycles = 7;
+
+  // --- Soft constants (global calibration, see DESIGN.md) -----------------
+  /// SPU-side cost to construct & enqueue one DMA command (channel
+  /// writes, tag management). Individual per-row DMAs pay this per row;
+  /// a DMA list pays it once per command.
+  double dma_issue_cycles = 48;
+  /// SPU-side cost per DMA-list element (building the LS-resident list
+  /// of address/length pairs).
+  double dma_list_build_cycles = 4;
+  /// Memory-side startup cost per DMA command (command scheduling, DRAM
+  /// row activation) before the payload streams.
+  sim::Tick dma_cmd_overhead = sim::ticks_from_seconds(4e-9);
+  /// DRAM burst-turnaround gap charged per transfer element, expressed
+  /// as equivalent bytes of port occupancy. This is why raising the
+  /// communication granularity from 512-byte rows helps (Fig. 10's
+  /// first projection): 512 B elements waste gap/(512+gap) of the port.
+  double dram_gap_bytes = 96.0;
+  /// Memory-side processing cost per DMA-list element beyond the first;
+  /// far cheaper than a full command, which is why converting 512-byte
+  /// individual DMAs into lists helps (Fig. 5, 1.68 -> 1.48 s step).
+  sim::Tick dma_list_element_overhead = sim::ticks_from_seconds(2e-9);
+  /// PPE-side work per dispatched chunk beyond the raw message: the
+  /// PPE polls eight completion words, recomputes the four I-line
+  /// descriptors (dozens of flattened-array addresses each) and writes
+  /// them out. Occupies the centralized dispatcher; this is the PPE
+  /// bottleneck the paper identifies and Fig. 10 removes with
+  /// distributed self-scheduling.
+  sim::Tick ppe_dispatch_overhead = sim::ticks_from_seconds(1100e-9);
+  /// PPE->SPE mailbox message latency (MMIO write through the EIB).
+  sim::Tick mailbox_latency = sim::ticks_from_seconds(700e-9);
+  /// Direct PPE poke into an SPE local store (the optimized sync
+  /// protocol in Section 5: "DMAs and direct local store memory
+  /// poking"). Cheaper than the mailbox MMIO round trip.
+  sim::Tick ls_poke_latency = sim::ticks_from_seconds(300e-9);
+  /// SPE-side atomic-unit operation (getllar/putllc pair), used by the
+  /// distributed task-distribution variant of Fig. 10.
+  sim::Tick atomic_op_latency = sim::ticks_from_seconds(110e-9);
+  /// Under-128-byte or misaligned transfers waste DRAM burst capacity;
+  /// this floor is the worst-case efficiency for tiny transfers.
+  double dma_min_efficiency = 0.30;
+  /// Banks a chunk's row stream touches when arrays are allocated
+  /// without staggering offsets: every 512-byte row starts at the same
+  /// line offset, so concurrent SPEs hammer the same bank group. The
+  /// "offsets to the array allocation" optimization spreads them over
+  /// all 16 banks.
+  int banks_without_offsets = 11;
+
+  // --- Derived helpers -----------------------------------------------------
+  sim::Tick cycle() const { return sim::ticks_per_cycle(clock_hz); }
+  sim::Tick cycles(double n) const {
+    return static_cast<sim::Tick>(n * static_cast<double>(cycle()) + 0.5);
+  }
+  /// Theoretical DP peak for the whole chip (flops/s).
+  double dp_peak_flops() const {
+    return clock_hz * 4.0 / static_cast<double>(dp_issue_block_cycles) *
+           num_spes;
+  }
+  /// Theoretical SP peak for the whole chip (flops/s).
+  double sp_peak_flops() const { return clock_hz * 8.0 * num_spes; }
+};
+
+/// A Cell revision with a fully pipelined double-precision unit -- the
+/// architectural improvement the paper's Section 6 evaluates
+/// prospectively (and which later shipped as the PowerXCell 8i).
+inline CellSpec fully_pipelined_dp_spec() {
+  CellSpec s;
+  s.dp_issue_block_cycles = 1;
+  return s;
+}
+
+}  // namespace cellsweep::cell

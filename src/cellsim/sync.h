@@ -1,0 +1,70 @@
+// PPE <-> SPE synchronization protocols.
+//
+// The paper walks through three ways of handing work to SPEs and
+// learning when it finishes, and two of its optimization steps hinge on
+// the difference:
+//   * kMailbox -- the baseline: the PPE writes each SPE's inbound
+//     mailbox over MMIO and polls outbound mailboxes. Every message is
+//     a serialized uncached bus round trip through the PPE.
+//   * kLsPoke -- the Section 5 optimization ("a combination of DMAs and
+//     direct local store memory poking"): the PPE writes a control word
+//     straight into the SPE's memory-mapped local store and SPEs post
+//     completions by DMA into main memory. Cheaper per message, still
+//     centralized on the PPE (Fig. 5, 1.48 -> 1.33 s).
+//   * kAtomicDistributed -- the Fig. 10 projection: SPEs self-schedule
+//     by atomic fetch-and-add on a shared work counter using the MFC
+//     atomic unit; the PPE leaves the critical path entirely.
+//
+// Centralized protocols share one server (the PPE); the distributed
+// protocol shares the reservation line of the work counter, which
+// bounces between SPE atomic units but costs far less per grant.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cellsim/spec.h"
+#include "sim/resource.h"
+#include "sim/time.h"
+
+namespace cellsweep::cell {
+
+/// Work-dispatch protocol selector (see file comment).
+enum class SyncProtocol : std::uint8_t {
+  kMailbox,
+  kLsPoke,
+  kAtomicDistributed,
+};
+
+/// Returns a printable protocol name.
+const char* sync_protocol_name(SyncProtocol p);
+
+/// Models the cost of granting one work item to an SPE and of the SPE
+/// reporting back, under each protocol.
+class DispatchFabric {
+ public:
+  explicit DispatchFabric(const CellSpec& spec);
+
+  /// An SPE asks for (or is handed) the next work item at @p now.
+  /// Returns the time at which the SPE holds the item's descriptor.
+  sim::Tick acquire_work(sim::Tick now, SyncProtocol protocol);
+
+  /// The SPE signals completion of an item at @p now; returns when the
+  /// scheduler (PPE or the shared counter) has absorbed it.
+  sim::Tick report_done(sim::Tick now, SyncProtocol protocol);
+
+  std::uint64_t grants() const noexcept { return grants_; }
+  std::uint64_t reports() const noexcept { return reports_; }
+
+  void reset() noexcept;
+
+ private:
+  CellSpec spec_;
+  sim::LatencyServer ppe_mailbox_;
+  sim::LatencyServer ppe_poke_;
+  sim::LatencyServer atomic_unit_;
+  std::uint64_t grants_ = 0;
+  std::uint64_t reports_ = 0;
+};
+
+}  // namespace cellsweep::cell

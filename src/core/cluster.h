@@ -1,0 +1,48 @@
+// Simulated execution of a cluster of Cell chips.
+//
+// The paper's level-1 parallelism keeps Sweep3D's MPI wavefront over a
+// 2-D process grid; perfmodel/wavefront.h models its scaling
+// analytically (refs [3,5]). This module *simulates* it instead: every
+// rank owns a full per-chip TimingEngine, ranks process their blocks in
+// sweep order, and each block is gated on the timed arrival of the
+// upstream I/J boundary messages (the RECV of Figure 2) -- so the
+// pipeline fill, the MK/MMI granularity trade-off and the link costs
+// all emerge from the same machine model that produces the single-chip
+// Figure 5 results. A test cross-checks the simulation against the
+// analytic model.
+#pragma once
+
+#include <vector>
+
+#include "core/config.h"
+#include "core/orchestrator.h"
+
+namespace cellsweep::core {
+
+/// Cluster description.
+struct ClusterConfig {
+  int px = 2;                 ///< process-grid width
+  int py = 2;                 ///< process-grid height
+  CellSweepConfig chip;       ///< per-chip configuration
+  double link_bandwidth = 2e9;    ///< node-to-node bytes/s
+  double link_latency_s = 8e-6;   ///< per-message latency
+  int nm = sweep::kBenchmarkMoments;  ///< flux moments (working set)
+};
+
+/// Result of a simulated cluster run.
+struct ClusterReport {
+  double seconds = 0;          ///< completion of the slowest rank
+  double tile_seconds = 0;     ///< the same tile run in isolation
+  double wavefront_efficiency = 0;  ///< tile / cluster time
+  double speedup_vs_one_chip = 0;   ///< single chip on the global cube
+  std::vector<double> rank_seconds;  ///< per-rank completion times
+  std::uint64_t messages = 0;
+  double message_bytes = 0;
+};
+
+/// Simulates @p cluster on the global grid (materials do not affect
+/// timing, so only the grid shape matters). px | it and py | jt.
+ClusterReport simulate_cluster(const sweep::Grid& global,
+                               const ClusterConfig& cluster);
+
+}  // namespace cellsweep::core

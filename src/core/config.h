@@ -1,0 +1,73 @@
+// Configuration of the Cell port: one switch per mechanism the paper's
+// optimization ladder (Figure 5) flips, plus the prospective Figure 10
+// variants. Each OptimizationStage maps to a concrete CellSweepConfig;
+// the simulated execution times of the ladder *emerge* from these
+// mechanism switches, they are never looked up.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "cellsim/spec.h"
+#include "cellsim/sync.h"
+#include "sweep/sweeper.h"
+
+namespace cellsweep::core {
+
+/// Numeric precision of the kernels and DMA payloads.
+enum class Precision : std::uint8_t { kDouble, kSingle };
+
+/// The cumulative optimization stages of Figure 5 (paper Section 5),
+/// plus the Figure 10 projections.
+enum class OptimizationStage : std::uint8_t {
+  kPpeGcc,        ///< unmodified port on the PPE, GCC (22.3 s)
+  kPpeXlc,        ///< PPE only, IBM XLC (19.9 s)
+  kSpeInitial,    ///< 8 SPE threads, scalar kernel (3.55 s)
+  kSpeAligned,    ///< + goto elimination, 128-B row alignment (3.03 s)
+  kSpeBuffered,   ///< + double buffering (2.88 s)
+  kSpeSimd,       ///< + SIMD intrinsics (1.68 s)
+  kSpeDmaLists,   ///< + DMA lists, memory-bank offsets (1.48 s)
+  kSpeLsPoke,     ///< + direct-LS-poke sync protocol (1.33 s)
+  // --- Figure 10 projections on top of kSpeLsPoke -----------------------
+  kFutureBigDma,      ///< larger DMA granularity (1.2 s)
+  kFutureDistributed, ///< distributed task dispatch across SPEs (0.9 s)
+  kFuturePipelinedDp, ///< fully pipelined DP unit (0.85 s)
+  kFutureSingle,      ///< single-precision arithmetic (0.45 s)
+};
+
+const char* stage_name(OptimizationStage s);
+
+/// Mechanism switches of one configuration.
+struct CellSweepConfig {
+  bool use_spes = true;  ///< false: the computation stays on the PPE
+  bool xlc = true;       ///< PPE compiler quality (stage 0 vs 1)
+  sweep::KernelKind kernel = sweep::KernelKind::kSimd;
+  /// 128-byte alignment of every DMA'd row (Section 5 step 3 plus the
+  /// "rows of the multi-dimensional arrays are 128-byte aligned" fix).
+  bool aligned_rows = true;
+  /// Inner-loop gotos eliminated (unhinted branches removed).
+  bool gotos_eliminated = true;
+  /// 1 = synchronous staging, 2 = double buffering.
+  int buffers = 2;
+  /// Batch each chunk's transfers into MFC DMA-list commands instead of
+  /// individual per-row DMAs.
+  bool dma_lists = true;
+  /// Offset array allocations to spread rows over all 16 memory banks.
+  bool bank_offsets = true;
+  cell::SyncProtocol sync = cell::SyncProtocol::kLsPoke;
+  Precision precision = Precision::kDouble;
+  /// Bytes per DMA(-list element); the shipped implementation moved
+  /// 512-byte rows, Figure 10's first projection raises this.
+  std::size_t dma_granularity = 512;
+  /// Cell revision (fully pipelined DP for kFuturePipelinedDp).
+  cell::CellSpec chip{};
+
+  /// Blocking parameters forwarded to the sweep driver.
+  sweep::SweepConfig sweep;
+
+  /// The Figure 5 / Figure 10 ladder.
+  static CellSweepConfig from_stage(OptimizationStage s);
+};
+
+}  // namespace cellsweep::core

@@ -1,0 +1,367 @@
+#include "core/orchestrator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "perfmodel/processors.h"
+#include "util/aligned.h"
+
+namespace cellsweep::core {
+namespace {
+
+std::size_t real_bytes_of(Precision p) {
+  return p == Precision::kDouble ? 8 : 4;
+}
+
+}  // namespace
+
+TimingEngine::TimingEngine(const CellSweepConfig& cfg,
+                           const sweep::Grid& grid, int nm)
+    : cfg_(cfg),
+      grid_(grid),
+      nm_(nm),
+      machine_(cfg.chip),
+      kernels_(cfg.chip),
+      spes_(cfg.chip.num_spes) {
+  // Validate the local-store budget: the largest chunk's working set
+  // times the buffer count (plus resident constants) must fit in every
+  // SPE's 256 KB. Throws cell::LocalStoreOverflow otherwise.
+  const TransferPlan plan = plan_chunk(ChunkShape{
+      sweep::kBundleLines, grid.it, nm_, real_bytes_of(cfg.precision),
+      cfg.aligned_rows});
+  for (int s = 0; s < machine_.num_spes(); ++s) {
+    cell::LocalStore& ls = machine_.spe(s).local_store();
+    ls.reset();
+    ls.allocate("angle-constants", 4 * 1024);
+    for (int b = 0; b < cfg.buffers; ++b)
+      ls.allocate("chunk-buffer-" + std::to_string(b), plan.ls_buffer_bytes);
+  }
+  ls_high_water_ = machine_.spe(0).local_store().high_water();
+}
+
+void TimingEngine::iteration_boundary() {
+  // Source-moment rebuild: one streaming pass over flux + source + the
+  // external source field. Bandwidth-bound; the madds are fully
+  // pipelined underneath.
+  const double bytes = (2.0 * nm_ + 1.0) *
+                       static_cast<double>(grid_.cells()) *
+                       static_cast<double>(real_bytes_of(cfg_.precision));
+  next_barrier_ = machine_.mic().submit(next_barrier_, bytes, 0, 1.0);
+}
+
+void TimingEngine::on_diagonal(const sweep::DiagonalWork& w) {
+  const bool iteration_start =
+      w.octant == 0 && w.ablock == 0 && w.kblock == 0 && w.diagonal == 0;
+  if (iteration_start) iteration_boundary();
+  saw_first_diagonal_ = true;
+
+  // Wavefront dependency. Within one (octant, angle-block, K-block)
+  // block the dependency is per-line: a chunk of this diagonal needs
+  // only its neighboring chunks of the previous diagonal, so execution
+  // pipelines across diagonals. Blocks are sequential (the paper's
+  // sweep() processes them in order), so a new block starts behind
+  // everything outstanding.
+  const long long block_key =
+      (static_cast<long long>(w.octant) * 64 + w.ablock) * 1024 + w.kblock;
+  if (block_key != current_block_key_) {
+    current_block_key_ = block_key;
+    barrier_ = next_barrier_;
+    prev_diag_completion_.clear();
+    prev_diag_compute_end_.clear();
+  }
+
+  // Dispatch release: with centralized scheduling the PPE must observe
+  // every completion report of the previous diagonal before it can hand
+  // out the next one -- the serialization the paper's Fig. 10 removes
+  // with distributed self-scheduling (SPEs then simply bump the shared
+  // counter from the atomic unit and chase per-line dependencies).
+  const bool centralized =
+      cfg_.sync != cell::SyncProtocol::kAtomicDistributed;
+  const sim::Tick release =
+      centralized ? std::max(barrier_, reports_horizon_)
+                  : barrier_ + machine_.spec().atomic_op_latency;
+
+  // Upstream readiness for chunk index c: the lines of chunk c sit one
+  // diagonal step from lines covered by the previous diagonal's chunks
+  // c-1..c+1; the diagonal tail is gated by the upstream tail. Under
+  // centralized dispatch faces travel through main memory, so the
+  // upstream chunk must have *completed* (writeback drained); the
+  // distributed variant forwards faces SPE-to-SPE from the upstream
+  // local store, so its compute end (plus an atomic hop) suffices.
+  auto dependency_ready = [&](int c) -> sim::Tick {
+    if (prev_diag_completion_.empty()) return barrier_;
+    const auto& upstream =
+        centralized ? prev_diag_completion_ : prev_diag_compute_end_;
+    const int n = static_cast<int>(upstream.size());
+    sim::Tick t = barrier_;
+    for (int p = std::max(0, c - 1); p <= std::min(n - 1, c + 1); ++p)
+      t = std::max(t, upstream[p]);
+    if (c + 1 >= n) t = std::max(t, upstream[n - 1]);
+    return centralized ? t : t + machine_.spec().atomic_op_latency;
+  };
+
+  // Chunk list of this diagonal, assigned to SPEs in the paper's
+  // cyclic manner.
+  struct Chunk {
+    int nlines;
+    int spe;
+    int index;
+    sim::Tick get_done = 0;
+    sim::Tick get_issue_done = 0;
+    sim::Tick compute_end = 0;
+    sim::Tick completion = 0;
+  };
+  std::vector<Chunk> chunks;
+  for (int remaining = w.nlines; remaining > 0;) {
+    const int n = std::min(remaining, sweep::kBundleLines);
+    remaining -= n;
+    chunks.push_back(Chunk{n, rr_spe_, static_cast<int>(chunks.size())});
+    rr_spe_ = (rr_spe_ + 1) % static_cast<int>(spes_.size());
+  }
+
+  const std::size_t rb = real_bytes_of(cfg_.precision);
+  const cell::CellSpec& spec = machine_.spec();
+  const int banks =
+      cfg_.bank_offsets ? spec.memory_banks : spec.banks_without_offsets;
+  const std::size_t align = cfg_.aligned_rows ? 128 : 16;
+
+  auto make_request = [&](const TransferPlan& plan, cell::DmaDir dir,
+                          std::size_t bytes_total) {
+    cell::DmaRequest req;
+    req.dir = dir;
+    req.alignment = align;
+    req.banks_touched = banks;
+    req.total_bytes = util::round_up(std::max<std::size_t>(bytes_total, 16),
+                                     16);
+    if (!cfg_.dma_lists) {
+      // One MFC command per row (the pre-"DMA lists" implementation).
+      req.as_list = false;
+      req.element_bytes = plan.row_bytes;
+    } else {
+      // One DMA-list command; element size is the configured
+      // granularity (512-byte rows shipped; Fig. 10 raises it).
+      req.as_list = true;
+      req.element_bytes = util::round_up(
+          std::clamp<std::size_t>(cfg_.dma_granularity, plan.row_bytes,
+                                  spec.dma_max_bytes),
+          16);
+    }
+    return req;
+  };
+
+  // Phase A: grants + working-set gets, in grant order. Shared
+  // resources (dispatch fabric, MIC) see near-monotone request times,
+  // which the FIFO contention model requires.
+  //
+  // With double buffering the *bulk* working set (source/flux/sigma
+  // rows -- no wavefront dependency; chunk assignment is cyclic, so the
+  // SPE knows its next chunk) prefetches as soon as the SPE has a free
+  // buffer, overlapping the previous diagonal entirely. The *face* rows
+  // were written by the previous diagonal and can only stream after the
+  // dispatch release.
+  for (Chunk& c : chunks) {
+    SpeClock& spe = spes_[c.spe];
+    const TransferPlan plan =
+        plan_chunk(ChunkShape{c.nlines, w.it, nm_, rb, cfg_.aligned_rows});
+    cell::Mfc& mfc = machine_.spe(c.spe).mfc();
+
+    const sim::Tick grant = machine_.dispatch().acquire_work(
+        std::max(spe.request_at, release), cfg_.sync);
+
+    const sim::Tick dep = dependency_ready(c.index);
+    if (cfg_.buffers >= 2) {
+      const cell::DmaCompletion bulk = mfc.submit(
+          spe.request_at,
+          make_request(plan, cell::DmaDir::kGet, plan.bulk_get_bytes()));
+      cell::DmaRequest face_req =
+          make_request(plan, cell::DmaDir::kGet, plan.face_get_bytes());
+      face_req.ls_to_ls = !centralized;  // SPE-to-SPE face forwarding
+      const cell::DmaCompletion face =
+          mfc.submit(std::max(grant, dep), face_req);
+      c.get_done = std::max(bulk.done, face.done);
+      c.get_issue_done = std::max(bulk.issue_done, face.issue_done);
+    } else {
+      // Synchronous staging: the single buffer is only free after the
+      // previous put, and everything waits for the go signal.
+      const cell::DmaCompletion get = mfc.submit(
+          std::max(grant, dep),
+          make_request(plan, cell::DmaDir::kGet, plan.get_bytes()));
+      c.get_done = get.done;
+      c.get_issue_done = get.issue_done;
+    }
+    spe.request_at = std::max(spe.request_at, c.get_issue_done);
+  }
+
+  // Phase B: kernels. Per-SPE in-order execution; the wavefront
+  // barrier gates the start.
+  for (Chunk& c : chunks) {
+    SpeClock& spe = spes_[c.spe];
+    sim::Tick ready =
+        std::max({spe.compute_free, c.get_done, dependency_ready(c.index)});
+    if (cfg_.buffers < 2) ready = std::max(ready, spe.put_done);
+    const ChunkCost& cost =
+        kernels_.chunk_cost(w.kernel, cfg_.precision, c.nlines, w.it, nm_,
+                            w.fixup, cfg_.gotos_eliminated);
+    c.compute_end = machine_.spe(c.spe).compute(ready, cost.cycles);
+    spe.compute_free = c.compute_end;
+    if (cfg_.buffers >= 2)
+      spe.request_at = std::max(spe.request_at, ready);
+
+    flops_ += cost.flops;
+    total_compute_cycles_ += cost.cycles;
+    cell_solves_ += static_cast<std::uint64_t>(c.nlines) * w.it;
+    ++chunks_;
+    machine_.spe(c.spe).count_work_item();
+  }
+
+  // Phase C: writebacks + completion reports, in compute-end order.
+  for (Chunk& c : chunks) {
+    SpeClock& spe = spes_[c.spe];
+    const TransferPlan plan =
+        plan_chunk(ChunkShape{c.nlines, w.it, nm_, rb, cfg_.aligned_rows});
+    const cell::DmaCompletion put = machine_.spe(c.spe).mfc().submit(
+        c.compute_end,
+        make_request(plan, cell::DmaDir::kPut, plan.put_bytes()));
+    // The SPE signals completion only after its writeback DMA has
+    // drained (tag-group wait), so the PPE sees the report after
+    // put.done -- which serializes the next diagonal's grants behind
+    // this diagonal's memory traffic under centralized dispatch.
+    const sim::Tick report =
+        machine_.dispatch().report_done(put.done, cfg_.sync);
+    const sim::Tick completion = std::max(put.done, report);
+    c.completion = completion;
+    next_barrier_ = std::max(next_barrier_, completion);
+    reports_horizon_ = std::max(reports_horizon_, report);
+    spe.put_done = put.done;
+    spe.compute_free = std::max(spe.compute_free, put.issue_done);
+    if (cfg_.buffers < 2)
+      spe.request_at = std::max(spe.request_at, completion);
+  }
+
+  // Publish this diagonal's chunk completions for the next diagonal's
+  // per-line dependency checks.
+  prev_diag_completion_.resize(chunks.size());
+  prev_diag_compute_end_.resize(chunks.size());
+  for (const Chunk& c : chunks) {
+    prev_diag_completion_[c.index] = c.completion;
+    prev_diag_compute_end_[c.index] = c.compute_end;
+  }
+}
+
+RunReport TimingEngine::finish() {
+  RunReport r;
+  const sim::Tick end = next_barrier_;
+  r.seconds = sim::seconds_from_ticks(end);
+  r.traffic_bytes = machine_.mic().bytes_moved();
+  r.flops = flops_;
+  r.cell_solves = cell_solves_;
+  r.chunks = chunks_;
+  r.dispatch_busy_grants =
+      static_cast<double>(machine_.dispatch().grants());
+  r.ls_high_water = ls_high_water_;
+
+  double busy = 0;
+  std::uint64_t cmds = 0, xfers = 0;
+  for (int s = 0; s < machine_.num_spes(); ++s) {
+    busy += sim::seconds_from_ticks(machine_.spe(s).busy_ticks());
+    cmds += machine_.spe(s).mfc().commands();
+    xfers += machine_.spe(s).mfc().transfers();
+  }
+  r.compute_busy_s = busy / machine_.num_spes();
+  r.dma_commands = cmds;
+  r.dma_transfers = xfers;
+  r.mic_busy_s = sim::seconds_from_ticks(machine_.mic().busy_ticks());
+
+  const cell::CellSpec& spec = machine_.spec();
+  r.memory_bound_s = r.traffic_bytes / spec.mic_bytes_per_s;
+  r.compute_bound_s =
+      total_compute_cycles_ / (spec.clock_hz * spec.num_spes);
+  if (r.seconds > 0) {
+    r.achieved_flops_per_s = static_cast<double>(r.flops) / r.seconds;
+    if (r.cell_solves > 0)
+      r.grind_seconds = r.seconds / static_cast<double>(r.cell_solves);
+  }
+  return r;
+}
+
+CellSweep3D::CellSweep3D(const sweep::Problem& problem,
+                         const CellSweepConfig& cfg, int sn_order, int l_max,
+                         int nm_cap)
+    : problem_(&problem), cfg_(cfg), sn_order_(sn_order), l_max_(l_max) {
+  cfg_.sweep.kernel = cfg_.kernel;
+  const sweep::SnQuadrature quad(sn_order_);
+  cfg_.sweep.validate(problem.grid().kt, quad.angles_per_octant());
+  nm_ = sweep::MomentTable(quad, l_max_, nm_cap).nm();
+  nm_cap_ = nm_cap;
+}
+
+RunReport CellSweep3D::run(RunMode mode) {
+  return cfg_.use_spes ? run_on_spes(mode) : run_on_ppe(mode);
+}
+
+template <typename Real>
+void CellSweep3D::run_functional(RunReport& report,
+                                 const sweep::DiagonalObserver& obs) {
+  const sweep::SnQuadrature quad(sn_order_);
+  sweep::SweepState<Real> state(*problem_, quad, l_max_, nm_cap_);
+  report.solve = sweep::solve_source_iteration(state, cfg_.sweep, obs);
+  report.absorption = state.absorption_rate();
+  report.leakage = state.leakage();
+}
+
+RunReport CellSweep3D::run_on_ppe(RunMode mode) {
+  const sweep::SnQuadrature quad(sn_order_);
+  const int nm = nm_;
+  const WorkloadTotals totals =
+      audit_workload(problem_->grid(), quad.angles_per_octant(), cfg_, nm);
+
+  const perf::ProcessorModel ppe =
+      cfg_.xlc ? perf::ppe_xlc() : perf::ppe_gcc();
+  RunReport r;
+  r.seconds = ppe.seconds(totals.cell_solves, totals.flops);
+  r.flops = totals.flops;
+  r.cell_solves = totals.cell_solves;
+  r.chunks = totals.chunks;
+  r.traffic_bytes =
+      static_cast<double>(totals.cell_solves) * ppe.bytes_per_solve;
+  r.achieved_flops_per_s = static_cast<double>(r.flops) / r.seconds;
+  r.grind_seconds = r.seconds / static_cast<double>(r.cell_solves);
+
+  if (mode == RunMode::kFunctional) {
+    // The PPE stages always compute in double precision (the original
+    // unported code).
+    run_functional<double>(r, {});
+  }
+  return r;
+}
+
+RunReport CellSweep3D::run_on_spes(RunMode mode) {
+  const sweep::SnQuadrature quad(sn_order_);
+  const int nm = nm_;
+  TimingEngine engine(cfg_, problem_->grid(), nm);
+  const sweep::DiagonalObserver obs = [&](const sweep::DiagonalWork& w) {
+    engine.on_diagonal(w);
+  };
+
+  RunReport functional_part;
+  if (mode == RunMode::kFunctional) {
+    if (cfg_.precision == Precision::kDouble)
+      run_functional<double>(functional_part, obs);
+    else
+      run_functional<float>(functional_part, obs);
+  } else {
+    for (int iter = 0; iter < cfg_.sweep.max_iterations; ++iter) {
+      const bool fixup = iter >= cfg_.sweep.fixup_from_iteration;
+      enumerate_sweep(problem_->grid(), quad.angles_per_octant(), cfg_.sweep,
+                      fixup, obs);
+    }
+  }
+
+  RunReport r = engine.finish();
+  r.solve = functional_part.solve;
+  r.absorption = functional_part.absorption;
+  r.leakage = functional_part.leakage;
+  return r;
+}
+
+}  // namespace cellsweep::core

@@ -1,0 +1,159 @@
+// CellSweep3D: the paper's five-level parallelization, orchestrated
+// over the machine model.
+//
+// Level 1 (process) stays with src/sweep/mpi_sweeper. Levels 2-5 live
+// here: the jkm-diagonal I-lines are farmed to the eight SPEs in
+// chunks of four (thread level); each chunk's working set streams
+// through the local store with single or double buffering (data
+// streaming); the chunk kernel is the scalar or the four-logical-thread
+// SIMD one (vector + pipeline levels). The TimingEngine walks the same
+// DiagonalWork stream the functional sweeper emits and advances the
+// machine model's clocks: dispatch-fabric grants, MFC DMA gets/puts
+// (individual commands or DMA lists), SPU compute from the trace-
+// scheduled kernel cycles, per-diagonal wavefront barriers, and the
+// per-iteration source rebuild pass.
+//
+// Two run modes produce identical timing (a test asserts it):
+//   * kFunctional  -- the physics really runs; the observer feeds the
+//     engine (execution-driven). Use for correctness and examples.
+//   * kTraceDriven -- only the loop structure is replayed (fast; the
+//     benches use it for big sweeps).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "cellsim/cell_processor.h"
+#include "core/config.h"
+#include "core/kernel_timing.h"
+#include "core/workload.h"
+#include "sweep/sweeper.h"
+
+namespace cellsweep::core {
+
+/// How the workload stream is produced.
+enum class RunMode : std::uint8_t { kFunctional, kTraceDriven };
+
+/// Everything a run reports; the benches print from this.
+struct RunReport {
+  // --- timing ---------------------------------------------------------
+  double seconds = 0;           ///< simulated wall time of the run
+  double compute_busy_s = 0;    ///< mean per-SPE compute busy time
+  double mic_busy_s = 0;        ///< memory-port busy time
+  double dispatch_busy_grants = 0;  ///< dispatched work items
+  // --- workload -------------------------------------------------------
+  double traffic_bytes = 0;     ///< DMA payload moved (both directions)
+  std::uint64_t flops = 0;
+  std::uint64_t cell_solves = 0;
+  std::uint64_t chunks = 0;
+  std::uint64_t dma_commands = 0;
+  std::uint64_t dma_transfers = 0;
+  // --- derived --------------------------------------------------------
+  double achieved_flops_per_s = 0;
+  double grind_seconds = 0;     ///< seconds per cell-angle solve
+  double memory_bound_s = 0;    ///< Section 6 traffic bound
+  double compute_bound_s = 0;   ///< Section 6 compute bound
+  std::size_t ls_high_water = 0;  ///< LS bytes used per SPE
+  // --- functional results (kFunctional only) ---------------------------
+  std::optional<sweep::SolveResult> solve;
+  double absorption = 0;
+  sweep::LeakageTally leakage;
+};
+
+/// Timing engine: consumes DiagonalWork events in sweep order.
+class TimingEngine {
+ public:
+  TimingEngine(const CellSweepConfig& cfg, const sweep::Grid& grid, int nm);
+
+  /// Feed one diagonal of independent I-lines.
+  void on_diagonal(const sweep::DiagonalWork& w);
+
+  /// Drains outstanding work and the final iteration's source pass;
+  /// returns the completed report (timing fields only).
+  RunReport finish();
+
+  /// Current completion horizon (simulated seconds); monotone across
+  /// diagonals. Exposed for tests and pipeline diagnostics.
+  double horizon_seconds() const noexcept {
+    return sim::seconds_from_ticks(next_barrier_);
+  }
+  sim::Tick horizon() const noexcept { return next_barrier_; }
+
+  /// External gate: no work fed after this call may start before
+  /// @p at. Models a blocking boundary receive (the RECV of Figure 2)
+  /// when this chip is one rank of a process-level decomposition.
+  void gate(sim::Tick at) {
+    next_barrier_ = std::max(next_barrier_, at);
+    reports_horizon_ = std::max(reports_horizon_, at);
+  }
+
+  const cell::CellProcessor& machine() const noexcept { return machine_; }
+  KernelCostModel& kernels() noexcept { return kernels_; }
+
+ private:
+  struct SpeClock {
+    sim::Tick request_at = 0;   ///< ready to ask for the next chunk
+    sim::Tick compute_free = 0; ///< SPU free for the next kernel
+    sim::Tick put_done = 0;     ///< last writeback completed
+  };
+
+  void iteration_boundary();
+
+  CellSweepConfig cfg_;
+  sweep::Grid grid_;
+  int nm_;
+  cell::CellProcessor machine_;
+  KernelCostModel kernels_;
+
+  std::vector<SpeClock> spes_;
+  sim::Tick barrier_ = 0;       ///< hard barrier (block boundary)
+  sim::Tick next_barrier_ = 0;  ///< completion horizon of all work so far
+  sim::Tick reports_horizon_ = 0;  ///< when the PPE has seen all reports
+  int rr_spe_ = 0;              ///< cyclic SPE assignment cursor
+  bool saw_first_diagonal_ = false;
+  /// Completion time of each chunk of the previous diagonal in the
+  /// current block; a chunk of this diagonal depends only on its
+  /// neighbor chunks upstream (per-line wavefront dependency).
+  std::vector<sim::Tick> prev_diag_completion_;
+  std::vector<sim::Tick> prev_diag_compute_end_;
+  long long current_block_key_ = -1;
+  std::size_t ls_high_water_ = 0;
+
+  std::uint64_t flops_ = 0;
+  std::uint64_t cell_solves_ = 0;
+  std::uint64_t chunks_ = 0;
+  double total_compute_cycles_ = 0;
+};
+
+/// End-to-end runner for one problem + configuration.
+class CellSweep3D {
+ public:
+  /// Defaults reproduce the paper's deck: S6 quadrature, P2 scattering
+  /// truncated to sweep::kBenchmarkMoments flux moments.
+  CellSweep3D(const sweep::Problem& problem, const CellSweepConfig& cfg,
+              int sn_order = 6, int l_max = 2,
+              int nm_cap = sweep::kBenchmarkMoments);
+
+  /// Runs the configured stage and returns the report. kFunctional
+  /// additionally solves the physics and fills the solve fields.
+  RunReport run(RunMode mode = RunMode::kTraceDriven);
+
+  const CellSweepConfig& config() const noexcept { return cfg_; }
+
+ private:
+  RunReport run_on_ppe(RunMode mode);
+  RunReport run_on_spes(RunMode mode);
+
+  template <typename Real>
+  void run_functional(RunReport& report, const sweep::DiagonalObserver& obs);
+
+  const sweep::Problem* problem_;
+  CellSweepConfig cfg_;
+  int sn_order_;
+  int l_max_;
+  int nm_ = 0;
+  int nm_cap_ = 0;
+};
+
+}  // namespace cellsweep::core

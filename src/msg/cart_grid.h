@@ -1,0 +1,59 @@
+// 2-D Cartesian process topology, mirroring Sweep3D's decomposition:
+// grid cells are distributed over a logical (px x py) array of
+// processes; each process owns a 3-D tile that is complete in K
+// (paper, Section 3, Figure 1). Neighbors are addressed as the four
+// compass directions the sweep() subroutine exchanges with.
+#pragma once
+
+#include <stdexcept>
+
+namespace cellsweep::msg {
+
+/// Compass neighbor directions of a process in the 2-D grid. West/east
+/// carry I-inflows/outflows, north/south carry J-flows.
+enum class Direction { kWest, kEast, kNorth, kSouth };
+
+/// Maps ranks to (px, py) coordinates, row-major: rank = y * px + x.
+class CartGrid2D {
+ public:
+  CartGrid2D(int px, int py) : px_(px), py_(py) {
+    if (px < 1 || py < 1)
+      throw std::invalid_argument("CartGrid2D: dimensions must be >= 1");
+  }
+
+  int px() const noexcept { return px_; }
+  int py() const noexcept { return py_; }
+  int size() const noexcept { return px_ * py_; }
+
+  int x_of(int rank) const noexcept { return rank % px_; }
+  int y_of(int rank) const noexcept { return rank / px_; }
+  int rank_of(int x, int y) const noexcept { return y * px_ + x; }
+
+  /// Neighbor rank in @p dir, or -1 at the domain boundary.
+  int neighbor(int rank, Direction dir) const {
+    const int x = x_of(rank);
+    const int y = y_of(rank);
+    switch (dir) {
+      case Direction::kWest:  return x > 0 ? rank_of(x - 1, y) : -1;
+      case Direction::kEast:  return x + 1 < px_ ? rank_of(x + 1, y) : -1;
+      case Direction::kNorth: return y > 0 ? rank_of(x, y - 1) : -1;
+      case Direction::kSouth: return y + 1 < py_ ? rank_of(x, y + 1) : -1;
+    }
+    return -1;
+  }
+
+  /// Wavefront depth of a process for a sweep entering at corner
+  /// (corner_x, corner_y): number of diagonals before the wave reaches
+  /// it. Used by tests to verify pipelined-wave timing.
+  int wave_depth(int rank, int corner_x, int corner_y) const {
+    const int dx = corner_x == 0 ? x_of(rank) : px_ - 1 - x_of(rank);
+    const int dy = corner_y == 0 ? y_of(rank) : py_ - 1 - y_of(rank);
+    return dx + dy;
+  }
+
+ private:
+  int px_;
+  int py_;
+};
+
+}  // namespace cellsweep::msg

@@ -1,0 +1,118 @@
+#include "msg/communicator.h"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+namespace cellsweep::msg {
+
+int Communicator::size() const noexcept { return world_->size(); }
+
+void Communicator::send(int dst, int tag, std::span<const double> data) {
+  if (dst < 0 || dst >= world_->size())
+    throw MsgError("send: destination rank out of range");
+  world_->post(rank_, dst, tag, std::vector<double>(data.begin(), data.end()));
+}
+
+std::vector<double> Communicator::recv(int src, int tag) {
+  if (src < 0 || src >= world_->size())
+    throw MsgError("recv: source rank out of range");
+  return world_->take(rank_, src, tag);
+}
+
+void Communicator::recv_into(int src, int tag, std::span<double> out) {
+  std::vector<double> m = recv(src, tag);
+  if (m.size() != out.size())
+    throw MsgError("recv_into: message size mismatch");
+  std::copy(m.begin(), m.end(), out.begin());
+}
+
+void Communicator::barrier() { world_->barrier_wait(); }
+
+double Communicator::allreduce_sum(double value) {
+  return world_->reduce(value, rank_, /*maximum=*/false);
+}
+
+double Communicator::allreduce_max(double value) {
+  return world_->reduce(value, rank_, /*maximum=*/true);
+}
+
+World::World(int num_ranks) : num_ranks_(num_ranks) {
+  if (num_ranks < 1) throw MsgError("World: need at least one rank");
+  mailboxes_.reserve(num_ranks_);
+  for (int i = 0; i < num_ranks_; ++i)
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+void World::run(const std::function<void(Communicator&)>& program) {
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(num_ranks_);
+  threads.reserve(num_ranks_);
+  for (int r = 0; r < num_ranks_; ++r) {
+    threads.emplace_back([this, r, &program, &errors] {
+      Communicator comm(this, r);
+      try {
+        program(comm);
+      } catch (...) {
+        errors[r] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+void World::post(int src, int dst, int tag, std::vector<double> payload) {
+  Mailbox& box = *mailboxes_[dst];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.queues[{src, tag}].push_back(std::move(payload));
+  }
+  box.cv.notify_all();
+}
+
+std::vector<double> World::take(int dst, int src, int tag) {
+  Mailbox& box = *mailboxes_[dst];
+  std::unique_lock<std::mutex> lock(box.mu);
+  auto& queue = box.queues[{src, tag}];
+  box.cv.wait(lock, [&] { return !queue.empty(); });
+  std::vector<double> m = std::move(queue.front());
+  queue.pop_front();
+  return m;
+}
+
+void World::barrier_wait() {
+  std::unique_lock<std::mutex> lock(barrier_mu_);
+  const std::uint64_t gen = barrier_generation_;
+  if (++barrier_waiting_ == num_ranks_) {
+    barrier_waiting_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+    return;
+  }
+  barrier_cv_.wait(lock, [&] { return barrier_generation_ != gen; });
+}
+
+double World::reduce(double value, int rank, bool maximum) {
+  std::unique_lock<std::mutex> lock(reduce_mu_);
+  const std::uint64_t gen = reduce_generation_;
+  if (reduce_arrived_ == 0) reduce_slots_.assign(num_ranks_, 0.0);
+  reduce_slots_[rank] = value;
+  if (++reduce_arrived_ == num_ranks_) {
+    // Combine in rank order so floating-point sums are deterministic
+    // regardless of thread arrival order.
+    double acc = reduce_slots_[0];
+    for (int r = 1; r < num_ranks_; ++r)
+      acc = maximum ? std::max(acc, reduce_slots_[r]) : acc + reduce_slots_[r];
+    reduce_result_ = acc;
+    reduce_arrived_ = 0;
+    ++reduce_generation_;
+    reduce_cv_.notify_all();
+    return reduce_result_;
+  }
+  reduce_cv_.wait(lock, [&] { return reduce_generation_ != gen; });
+  return reduce_result_;
+}
+
+}  // namespace cellsweep::msg

@@ -1,0 +1,117 @@
+// In-process message-passing substrate.
+//
+// Sweep3D's top parallelization level is its existing MPI wavefront
+// decomposition over a 2-D logical process grid (paper, Sections 3-4:
+// "we maintain the wavefront parallelism already implemented in MPI
+// ... this guarantees portability of existing parallel software").
+// This library reproduces that layer without an MPI installation: a
+// World spawns one thread per rank, and Communicators exchange typed
+// messages through matched (source, tag) blocking send/recv -- the same
+// subset of MPI semantics Sweep3D uses. Programs that only use
+// blocking matched send/recv are deterministic regardless of host
+// scheduling, so results are bit-reproducible.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace cellsweep::msg {
+
+/// Thrown on invalid ranks/tags or communication misuse.
+class MsgError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class World;
+
+/// Per-rank endpoint; the only handle rank programs touch.
+class Communicator {
+ public:
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept;
+
+  /// Blocking send of a typed buffer to @p dst with @p tag. Copies the
+  /// payload (buffered send), so the caller may reuse the buffer
+  /// immediately -- matching Sweep3D's use of MPI_Send on face arrays.
+  void send(int dst, int tag, std::span<const double> data);
+
+  /// Blocking receive matched by (src, tag). Messages from the same
+  /// (src, tag) arrive in send order (non-overtaking).
+  std::vector<double> recv(int src, int tag);
+
+  /// Receives into an existing buffer; the message size must match.
+  void recv_into(int src, int tag, std::span<double> out);
+
+  /// Barrier across all ranks in the world.
+  void barrier();
+
+  /// Sum-reduction of one double across all ranks; every rank gets the
+  /// result (MPI_Allreduce(SUM) equivalent, used for convergence tests).
+  double allreduce_sum(double value);
+
+  /// Max-reduction across all ranks.
+  double allreduce_max(double value);
+
+ private:
+  friend class World;
+  Communicator(World* world, int rank) : world_(world), rank_(rank) {}
+
+  World* world_;
+  int rank_;
+};
+
+/// Owns the mailboxes and runs a rank program on every rank.
+class World {
+ public:
+  explicit World(int num_ranks);
+
+  int size() const noexcept { return num_ranks_; }
+
+  /// Runs @p program once per rank, each on its own thread, and joins.
+  /// Exceptions thrown by any rank are rethrown (first rank wins).
+  void run(const std::function<void(Communicator&)>& program);
+
+ private:
+  friend class Communicator;
+
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    // Keyed by (src, tag); each queue preserves send order.
+    std::map<std::pair<int, int>, std::deque<std::vector<double>>> queues;
+  };
+
+  void post(int src, int dst, int tag, std::vector<double> payload);
+  std::vector<double> take(int dst, int src, int tag);
+
+  void barrier_wait();
+  double reduce(double value, int rank, bool maximum);
+
+  int num_ranks_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  // Barrier state (generation-counted central barrier).
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_waiting_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+
+  // Reduction scratch (single in-flight reduction, barrier-bracketed).
+  std::mutex reduce_mu_;
+  std::condition_variable reduce_cv_;
+  std::vector<double> reduce_slots_;
+  int reduce_arrived_ = 0;
+  std::uint64_t reduce_generation_ = 0;
+  double reduce_result_ = 0.0;
+};
+
+}  // namespace cellsweep::msg

@@ -1,0 +1,38 @@
+// Roofline bounds for the Cell implementation (paper Section 6).
+//
+// "With a 50-cubed input size, the SPEs transfer 17.6 Gbytes of data.
+// Considering that the peak memory bandwidth is 25.6 Gbytes/second,
+// this sets a lower bound of 0.7 seconds ... By profiling the amount of
+// computation performed by the SPUs we obtain a similar lower bound,
+// 0.68 seconds." This header computes both bounds from the audited
+// workload so the sec6_bounds bench can print paper-vs-measured rows.
+#pragma once
+
+#include <cstdint>
+
+#include "cellsim/spec.h"
+
+namespace cellsweep::perf {
+
+struct CellBounds {
+  double traffic_bytes = 0;     ///< total DMA payload (both directions)
+  double memory_bound_s = 0;    ///< traffic / MIC peak
+  double compute_cycles = 0;    ///< total SPU compute cycles (all chunks)
+  double compute_bound_s = 0;   ///< cycles / (num_spes * clock)
+  double bound_s = 0;           ///< max of the two
+};
+
+inline CellBounds cell_bounds(const cell::CellSpec& spec, double traffic_bytes,
+                              double total_compute_cycles) {
+  CellBounds b;
+  b.traffic_bytes = traffic_bytes;
+  b.memory_bound_s = traffic_bytes / spec.mic_bytes_per_s;
+  b.compute_cycles = total_compute_cycles;
+  b.compute_bound_s =
+      total_compute_cycles / (spec.clock_hz * spec.num_spes);
+  b.bound_s = b.memory_bound_s > b.compute_bound_s ? b.memory_bound_s
+                                                   : b.compute_bound_s;
+  return b;
+}
+
+}  // namespace cellsweep::perf

@@ -1,0 +1,53 @@
+// Analytic cost models for the comparator processors of Figure 11 and
+// for the PPE-only stages of Figure 5.
+//
+// The paper compares the Cell BE against contemporary processors
+// (IBM Power5, AMD Opteron, and "conventional" processors ~20x slower).
+// Those machines are not reproducible; per the substitution rule we
+// model each as a roofline: the per-cell-solve time is the larger of a
+// compute leg (kernel flops over the achievable flop rate) and a memory
+// leg (streamed working-set bytes over sustained bandwidth). Peak rates
+// and bandwidths are the published hardware numbers; the achievable
+// fractions are the single calibrated parameter per machine, chosen to
+// be microarchitecturally plausible for this branchy, divide-heavy,
+// recursion-limited kernel (documented in EXPERIMENTS.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cellsweep::perf {
+
+/// Roofline description of one scalar processor running Sweep3D.
+struct ProcessorModel {
+  std::string name;
+  double clock_hz = 0;
+  double peak_flops_per_cycle = 0;   ///< per core, FMA counted as 2
+  double achievable_fraction = 0;    ///< fraction of peak on this kernel
+  double mem_bytes_per_s = 0;        ///< sustained stream bandwidth
+  double bytes_per_solve = 0;        ///< cache-filtered traffic per solve
+
+  double peak_flops() const { return clock_hz * peak_flops_per_cycle; }
+
+  /// Seconds to perform @p cell_solves solves of @p flops total.
+  double seconds(std::uint64_t cell_solves, std::uint64_t flops) const;
+};
+
+/// The PPE running the unmodified scalar port compiled with GCC
+/// (Figure 5's 22.3 s starting point).
+ProcessorModel ppe_gcc();
+/// The PPE with IBM XLC's optimizer (19.9 s).
+ProcessorModel ppe_xlc();
+
+/// Figure 11 comparators.
+ProcessorModel power5();
+ProcessorModel opteron();
+ProcessorModel itanium2();
+ProcessorModel xeon();
+ProcessorModel ppc970();
+
+/// All Figure 11 comparators in display order.
+std::vector<ProcessorModel> figure11_lineup();
+
+}  // namespace cellsweep::perf

@@ -1,0 +1,59 @@
+#include "perfmodel/wavefront.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cellsweep::perf {
+
+WavefrontEstimate estimate_wavefront(const WavefrontParams& p) {
+  if (p.px < 1 || p.py < 1)
+    throw std::invalid_argument("estimate_wavefront: grid must be >= 1x1");
+  if (p.blocks_per_octant < 1)
+    throw std::invalid_argument("estimate_wavefront: need >= 1 block");
+  if (p.tile_time_s < 0 || p.link_bandwidth <= 0)
+    throw std::invalid_argument("estimate_wavefront: bad timing inputs");
+
+  WavefrontEstimate e;
+  const int B = p.blocks_per_octant;
+  // Worst-corner pipeline depth: each octant enters at one corner; the
+  // opposite corner waits px-1 + py-1 block-steps.
+  e.pipeline_depth = (p.px - 1) + (p.py - 1);
+  // One octant's tile work is 1/8 of the total; one block is 1/B of it.
+  e.block_time_s = p.tile_time_s / 8.0 / B;
+  // Two messages leave each block boundary (east + south I/J faces).
+  e.block_comm_s =
+      p.px * p.py == 1
+          ? 0.0
+          : 2.0 * (p.link_latency_s + p.block_comm_bytes / p.link_bandwidth);
+
+  // Per octant: B + D block-steps, each paced by compute plus the
+  // non-overlapped message injection (blocking sends downstream).
+  const double step = e.block_time_s + e.block_comm_s;
+  const double per_octant = (B + e.pipeline_depth) * step;
+  e.total_s = 8.0 * per_octant;
+  e.fill_efficiency = static_cast<double>(B) / (B + e.pipeline_depth);
+
+  // Efficiency vs the ideal: one chip doing the whole problem would
+  // take tile_time * px * py (tiles are 1/(px*py) of the domain).
+  const double serial = p.tile_time_s * p.px * p.py;
+  e.parallel_efficiency = serial / (e.total_s * p.px * p.py);
+  return e;
+}
+
+WavefrontEstimate best_blocking(WavefrontParams p, int max_blocks) {
+  if (max_blocks < 1)
+    throw std::invalid_argument("best_blocking: need >= 1 block");
+  WavefrontEstimate best;
+  bool have = false;
+  for (int b = 1; b <= max_blocks; ++b) {
+    p.blocks_per_octant = b;
+    const WavefrontEstimate e = estimate_wavefront(p);
+    if (!have || e.total_s < best.total_s) {
+      best = e;
+      have = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace cellsweep::perf

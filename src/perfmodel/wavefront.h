@@ -1,0 +1,52 @@
+// Multi-chip wavefront scaling model.
+//
+// The paper's process-level parallelization (level 1) is the classic
+// Sweep3D 2-D decomposition, whose scaling behaviour its references
+// [3,5] (Hoisie, Lubeck, Wasserman et al.) model analytically: sweeps
+// pipeline blocks of MK K-planes x MMI angles through the px x py
+// process grid, so a processor at pipeline depth d starts working d
+// block-steps after the corner, and each block boundary costs one
+// east + south message. This header implements that model so the
+// per-chip Cell simulation composes into cluster estimates -- the
+// regime where the paper says small MMI (1 or 3) matters.
+#pragma once
+
+#include <cstddef>
+
+namespace cellsweep::perf {
+
+/// Inputs of one cluster estimate.
+struct WavefrontParams {
+  int px = 1;               ///< process-grid width
+  int py = 1;               ///< process-grid height
+  int blocks_per_octant = 1;  ///< (kt/mk) * (mm/mmi) pipeline stages
+  double tile_time_s = 0;   ///< one chip's compute time for its tile
+                            ///< (all 8 octant sweeps, all iterations)
+  double block_comm_bytes = 0;  ///< bytes sent downstream per block (E+S)
+  double link_bandwidth = 1e9;  ///< node-to-node bytes/s
+  double link_latency_s = 10e-6;  ///< per-message latency
+};
+
+/// Outputs.
+struct WavefrontEstimate {
+  int pipeline_depth = 0;      ///< diagonals before the far corner starts
+  double block_time_s = 0;     ///< per-block compute time on one chip
+  double block_comm_s = 0;     ///< per-block communication time
+  double fill_efficiency = 0;  ///< B / (B + D) pipeline utilization
+  double total_s = 0;          ///< estimated cluster sweep time
+  double parallel_efficiency = 0;  ///< vs px*py ideal
+};
+
+/// Evaluates the pipelined-wavefront model. The per-octant time is
+/// (B + D) block-steps of max(compute, comm) overlap plus the
+/// non-overlapped remainder; octants are processed sequentially, as in
+/// sweep().
+WavefrontEstimate estimate_wavefront(const WavefrontParams& p);
+
+/// Searches blocks_per_octant over the divisor-feasible range
+/// [1, max_blocks] for the fastest configuration -- the MK/MMI
+/// granularity trade-off (finer blocks fill the pipeline sooner but pay
+/// more per-message overhead).
+WavefrontEstimate best_blocking(WavefrontParams p, int max_blocks);
+
+}  // namespace cellsweep::perf

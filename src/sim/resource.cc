@@ -1,0 +1,53 @@
+#include "sim/resource.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace cellsweep::sim {
+
+BandwidthResource::BandwidthResource(std::string name, double bytes_per_second)
+    : name_(std::move(name)), rate_(bytes_per_second) {
+  if (rate_ <= 0.0)
+    throw std::invalid_argument("BandwidthResource: rate must be positive");
+}
+
+Tick BandwidthResource::submit(Tick now, double bytes, Tick overhead) {
+  if (bytes < 0.0)
+    throw std::invalid_argument("BandwidthResource: negative byte count");
+  const Tick start = std::max(now, free_at_);
+  const Tick service = overhead + ticks_for_bytes(bytes, rate_);
+  free_at_ = start + service;
+  busy_ += service;
+  bytes_ += bytes;
+  ++requests_;
+  return free_at_;
+}
+
+void BandwidthResource::reset() noexcept {
+  free_at_ = 0;
+  busy_ = 0;
+  bytes_ = 0.0;
+  requests_ = 0;
+}
+
+LatencyServer::LatencyServer(std::string name, Tick latency, Tick occupancy)
+    : name_(std::move(name)), latency_(latency), occupancy_(occupancy) {}
+
+Tick LatencyServer::submit(Tick now) {
+  return submit_with(now, latency_, occupancy_);
+}
+
+Tick LatencyServer::submit_with(Tick now, Tick latency, Tick occupancy) {
+  const Tick start = std::max(now, free_at_);
+  free_at_ = start + occupancy;
+  ++requests_;
+  return start + latency;
+}
+
+void LatencyServer::reset() noexcept {
+  free_at_ = 0;
+  requests_ = 0;
+}
+
+}  // namespace cellsweep::sim

@@ -1,0 +1,44 @@
+#include "sim/simulator.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace cellsweep::sim {
+
+void Simulator::schedule(Tick delay, Callback fn) {
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::schedule_at(Tick at, Callback fn) {
+  if (at < now_)
+    throw std::logic_error("Simulator::schedule_at: time travels backwards");
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+Tick Simulator::run() {
+  while (!queue_.empty()) {
+    // Moving out of a priority_queue top requires a copy; events are
+    // small (one std::function), executed once, then popped.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    ++executed_;
+    ev.fn();
+  }
+  return now_;
+}
+
+Tick Simulator::run_until(Tick deadline) {
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    ++executed_;
+    ev.fn();
+  }
+  if (now_ < deadline && queue_.empty()) return now_;
+  now_ = deadline > now_ ? deadline : now_;
+  return now_;
+}
+
+}  // namespace cellsweep::sim

@@ -1,0 +1,65 @@
+// Generic discrete-event simulation core.
+//
+// The Cell machine model (src/cellsim) is built on this: DMA issue and
+// completion, mailbox deliveries, work-unit dispatch and SPE compute
+// phases are all events. Event ordering is fully deterministic:
+// simultaneous events fire in scheduling order (a monotone sequence
+// number breaks ties), so a given workload always produces the same
+// simulated cycle counts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace cellsweep::sim {
+
+/// Event-driven simulator with a deterministic event queue.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time.
+  Tick now() const noexcept { return now_; }
+
+  /// Schedules @p fn to run @p delay ticks from now.
+  void schedule(Tick delay, Callback fn);
+
+  /// Schedules @p fn at absolute time @p at (must be >= now()).
+  void schedule_at(Tick at, Callback fn);
+
+  /// Runs until the event queue drains. Returns the final time.
+  Tick run();
+
+  /// Runs until the queue drains or simulated time would exceed
+  /// @p deadline; events at exactly @p deadline still fire.
+  Tick run_until(Tick deadline);
+
+  /// Number of events executed so far (for tests / diagnostics).
+  std::uint64_t events_executed() const noexcept { return executed_; }
+
+  bool empty() const noexcept { return queue_.empty(); }
+
+ private:
+  struct Event {
+    Tick at;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;  // FIFO among simultaneous events
+    }
+  };
+
+  Tick now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace cellsweep::sim

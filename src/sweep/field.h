@@ -1,0 +1,136 @@
+// Flattened, alignment-padded field storage.
+//
+// The Cell port's preparation steps (paper, Section 5) are: zero-based
+// arrays, flattened multi-dimensional arrays with explicit index
+// computation, and 128-byte alignment of every row that is DMA'd into
+// an SPE. MomentField implements exactly that layout: moments x planes
+// x rows x cells, with the I-row padded to a whole number of 128-byte
+// lines so each (n,k,j) row is a legal peak-rate DMA source/target.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sweep/grid.h"
+#include "util/aligned.h"
+
+namespace cellsweep::sweep {
+
+/// Moment-indexed scalar field over the grid: values[n][k][j][i].
+template <typename Real>
+class MomentField {
+ public:
+  MomentField(const Grid& grid, int nm)
+      : it_(grid.it),
+        jt_(grid.jt),
+        kt_(grid.kt),
+        nm_(nm),
+        it_pad_(static_cast<int>(util::padded_extent<Real>(grid.it))),
+        data_(static_cast<std::size_t>(nm) * kt_ * jt_ * it_pad_, Real(0)) {}
+
+  int nm() const noexcept { return nm_; }
+  int it() const noexcept { return it_; }
+  int it_padded() const noexcept { return it_pad_; }
+
+  /// Stride between consecutive moments at fixed (k,j,i).
+  std::int64_t moment_stride() const noexcept {
+    return static_cast<std::int64_t>(kt_) * jt_ * it_pad_;
+  }
+
+  /// Pointer to the contiguous I-row of moment @p n at plane/row (k,j).
+  Real* line(int n, int k, int j) noexcept {
+    return data_.data() + offset(n, k, j);
+  }
+  const Real* line(int n, int k, int j) const noexcept {
+    return data_.data() + offset(n, k, j);
+  }
+
+  Real& at(int n, int k, int j, int i) noexcept {
+    return data_[offset(n, k, j) + i];
+  }
+  Real at(int n, int k, int j, int i) const noexcept {
+    return data_[offset(n, k, j) + i];
+  }
+
+  void fill(Real v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Bytes of one padded I-row (the DMA transfer unit for this field).
+  std::size_t row_bytes() const noexcept { return sizeof(Real) * it_pad_; }
+
+  /// Sum of moment @p n over all cells (diagnostics / convergence).
+  double moment_sum(int n) const noexcept {
+    double s = 0.0;
+    for (int k = 0; k < kt_; ++k)
+      for (int j = 0; j < jt_; ++j) {
+        const Real* row = line(n, k, j);
+        for (int i = 0; i < it_; ++i) s += static_cast<double>(row[i]);
+      }
+    return s;
+  }
+
+  /// In-place error-mode extrapolation: x += factor * (x - prev), over
+  /// every moment. Used by the accelerated source iteration.
+  void extrapolate_from(const MomentField& prev, Real factor) {
+    for (std::size_t idx = 0; idx < data_.size(); ++idx)
+      data_[idx] += factor * (data_[idx] - prev.data_[idx]);
+  }
+
+  /// Max |a - b| over moment 0 (iteration convergence metric).
+  static double max_abs_diff_moment0(const MomentField& a,
+                                     const MomentField& b) noexcept {
+    double d = 0.0;
+    for (int k = 0; k < a.kt_; ++k)
+      for (int j = 0; j < a.jt_; ++j) {
+        const Real* ra = a.line(0, k, j);
+        const Real* rb = b.line(0, k, j);
+        for (int i = 0; i < a.it_; ++i)
+          d = std::max(d, std::abs(static_cast<double>(ra[i] - rb[i])));
+      }
+    return d;
+  }
+
+ private:
+  std::size_t offset(int n, int k, int j) const noexcept {
+    return ((static_cast<std::size_t>(n) * kt_ + k) * jt_ + j) * it_pad_;
+  }
+
+  int it_, jt_, kt_, nm_, it_pad_;
+  util::AlignedVector<Real> data_;
+};
+
+/// Plain per-cell field (cross sections, external source) with the
+/// same padded-row layout.
+template <typename Real>
+class CellField {
+ public:
+  explicit CellField(const Grid& grid)
+      : it_(grid.it),
+        jt_(grid.jt),
+        kt_(grid.kt),
+        it_pad_(static_cast<int>(util::padded_extent<Real>(grid.it))),
+        data_(static_cast<std::size_t>(kt_) * jt_ * it_pad_, Real(0)) {}
+
+  Real* line(int k, int j) noexcept {
+    return data_.data() + offset(k, j);
+  }
+  const Real* line(int k, int j) const noexcept {
+    return data_.data() + offset(k, j);
+  }
+  Real& at(int k, int j, int i) noexcept { return data_[offset(k, j) + i]; }
+  Real at(int k, int j, int i) const noexcept {
+    return data_[offset(k, j) + i];
+  }
+
+  int it_padded() const noexcept { return it_pad_; }
+  std::size_t row_bytes() const noexcept { return sizeof(Real) * it_pad_; }
+
+ private:
+  std::size_t offset(int k, int j) const noexcept {
+    return (static_cast<std::size_t>(k) * jt_ + j) * it_pad_;
+  }
+
+  int it_, jt_, kt_, it_pad_;
+  util::AlignedVector<Real> data_;
+};
+
+}  // namespace cellsweep::sweep

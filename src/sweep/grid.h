@@ -1,0 +1,45 @@
+// Spatial grid for the Sn transport problem.
+//
+// Sweep3D discretizes a rectangular box into a logically rectangular
+// IJK grid of cells (paper, Section 3). The grid here is uniform per
+// axis; the classic benchmark input is the 50x50x50 cube ("50-cubed")
+// the whole optimization study runs on.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace cellsweep::sweep {
+
+/// Uniform rectangular grid of it x jt x kt cells.
+struct Grid {
+  int it = 50;  ///< cells along I (the innermost, recursive dimension)
+  int jt = 50;  ///< cells along J
+  int kt = 50;  ///< cells along K
+  double dx = 0.04;  ///< cell width along I (cm)
+  double dy = 0.04;  ///< cell width along J
+  double dz = 0.04;  ///< cell width along K
+
+  static Grid cube(int n, double edge_length = 2.0) {
+    if (n < 1) throw std::invalid_argument("Grid::cube: size must be >= 1");
+    const double h = edge_length / n;
+    return Grid{n, n, n, h, h, h};
+  }
+
+  std::int64_t cells() const noexcept {
+    return static_cast<std::int64_t>(it) * jt * kt;
+  }
+  double cell_volume() const noexcept { return dx * dy * dz; }
+  std::int64_t index(int i, int j, int k) const noexcept {
+    return (static_cast<std::int64_t>(k) * jt + j) * it + i;
+  }
+
+  void validate() const {
+    if (it < 1 || jt < 1 || kt < 1)
+      throw std::invalid_argument("Grid: cell counts must be >= 1");
+    if (dx <= 0 || dy <= 0 || dz <= 0)
+      throw std::invalid_argument("Grid: cell sizes must be positive");
+  }
+};
+
+}  // namespace cellsweep::sweep

@@ -1,0 +1,306 @@
+#include "sweep/kernel_simd.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace cellsweep::sweep {
+namespace {
+
+using spu::mark_branch;
+using spu::mark_fixed;
+using spu::mark_store;
+
+/// Per-chain lane -> bundle line mapping; inactive lanes get benign
+/// dummies (sigt=1, everything else 0) and are never written back.
+template <typename Real>
+struct LaneRef {
+  const LineArgs<Real>* line = nullptr;  // nullptr: inactive lane
+  Real dummy_face = Real(0);
+};
+
+/// Phase 1: q[i] = sum_n pn_src[n] * src_n[i], vectorized along i.
+/// All four logical threads (lines) advance together so four
+/// independent accumulator chains hide the DP latency, and the partial
+/// sums stay in registers -- the scheduling XLC applies to Figure 7
+/// style code. Splatted pn coefficients are hoisted out of the i loop.
+template <typename Real>
+void assemble_source(const LineArgs<Real>* lines, int nlines, Real* const* q) {
+  using Vec = typename SimdTraits<Real>::Vec;
+  constexpr int kLanes = SimdTraits<Real>::kLanes;
+  const int it = lines[0].it;
+  const int nm = lines[0].nm;
+  const int steps = (it + kLanes - 1) / kLanes;
+
+  // Hoisted splats: pn_src per (line, moment).
+  std::array<std::array<Vec, 16>, kBundleLines> pn;
+  for (int l = 0; l < nlines; ++l)
+    for (int n = 0; n < nm; ++n)
+      pn[l][n] = spu::spu_splats(lines[l].pn_src[n]);
+
+  // Software-scheduled body: all source loads first, then the madd
+  // block, then the stores -- by the time a store needs its madd the
+  // other threads' madds have filled the latency.
+  std::array<std::array<Vec, 16>, kBundleLines> s;
+  for (int v = 0; v < steps; ++v) {
+    for (int n = 0; n < nm; ++n)
+      for (int l = 0; l < nlines; ++l) {
+        // Strided address computation (even pipe) pairs with the load
+        // (odd pipe) -- the main source of dual issue in this kernel.
+        spu::mark_fixed(1);
+        s[l][n] = spu::vec_load(
+            lines[l].src + static_cast<std::int64_t>(n) * lines[l].mstride +
+            v * kLanes);
+      }
+    Vec acc[kBundleLines];
+    for (int l = 0; l < nlines; ++l) acc[l] = spu::spu_mul(pn[l][0], s[l][0]);
+    for (int n = 1; n < nm; ++n)
+      for (int l = 0; l < nlines; ++l)
+        acc[l] = spu::spu_madd(pn[l][n], s[l][n], acc[l]);
+    for (int l = 0; l < nlines; ++l)
+      spu::vec_store(q[l] + v * kLanes, acc[l]);
+    mark_fixed(2);
+    mark_branch();
+  }
+}
+
+/// Phase 3: Flux[n][i] += pn_acc[n] * Phi[i] -- Figure 7 verbatim: the
+/// moment loop outer, the four logical threads (A..D) unrolled inside
+/// the halved i loop.
+template <typename Real>
+void accumulate_flux(const LineArgs<Real>* lines, int nlines,
+                     const Real* const* phi) {
+  using Vec = typename SimdTraits<Real>::Vec;
+  constexpr int kLanes = SimdTraits<Real>::kLanes;
+  const int it = lines[0].it;
+  const int nm = lines[0].nm;
+  const int steps = (it + kLanes - 1) / kLanes;
+
+  std::array<std::array<Vec, 16>, kBundleLines> pn;
+  for (int l = 0; l < nlines; ++l)
+    for (int n = 0; n < nm; ++n)
+      pn[l][n] = spu::spu_splats(lines[l].pn_acc[n]);
+
+  for (int n = 0; n < nm; ++n) {
+    for (int v = 0; v < steps; ++v) {
+      // Loads batched ahead of the madd/store block (scheduled code).
+      Vec phiv[kBundleLines], fv[kBundleLines], acc[kBundleLines];
+      Real* flux_n[kBundleLines];
+      for (int l = 0; l < nlines; ++l) {
+        flux_n[l] = lines[l].flux +
+                    static_cast<std::int64_t>(n) * lines[l].mstride;
+        spu::mark_fixed(1);  // moment-stride address arithmetic
+        phiv[l] = spu::vec_load(phi[l] + v * kLanes);
+        fv[l] = spu::vec_load(flux_n[l] + v * kLanes);
+      }
+      for (int l = 0; l < nlines; ++l)
+        acc[l] = spu::spu_madd(pn[l][n], phiv[l], fv[l]);
+      for (int l = 0; l < nlines; ++l)
+        spu::vec_store(flux_n[l] + v * kLanes, acc[l]);
+      if ((v & 3) == 3) {
+        mark_fixed(2);
+        mark_branch();
+      }
+    }
+  }
+}
+
+template <typename Real>
+typename SimdTraits<Real>::Vec splat_const(Real x) {
+  return spu::spu_splats(x);
+}
+
+/// Packs one scalar per lane into a vector, honoring inactive lanes.
+template <typename Real, typename GetLane>
+typename SimdTraits<Real>::Vec pack_lanes(GetLane&& get) {
+  if constexpr (SimdTraits<Real>::kLanes == 2) {
+    return spu::vec_pack(get(0), get(1));
+  } else {
+    return spu::vec_pack(get(0), get(1), get(2), get(3));
+  }
+}
+
+}  // namespace
+
+template <typename Real>
+void sweep_bundle_simd(const LineArgs<Real>* lines, int nlines, bool fixup,
+                       BundleScratch<Real>& scratch, KernelStats* stats) {
+  using Traits = SimdTraits<Real>;
+  using Vec = typename Traits::Vec;
+  constexpr int kLanes = Traits::kLanes;
+  constexpr int kChains = Traits::kChains;
+
+  if (nlines < 1 || nlines > kBundleLines)
+    throw std::invalid_argument("sweep_bundle_simd: 1..4 lines per bundle");
+  const int it = lines[0].it;
+  const int dir = lines[0].dir;
+  if (lines[0].nm > 16)
+    throw std::invalid_argument(
+        "sweep_bundle_simd: at most 16 moments (register budget)");
+  for (int l = 1; l < nlines; ++l)
+    if (lines[l].it != it || lines[l].dir != dir || lines[l].nm != lines[0].nm)
+      throw std::invalid_argument(
+          "sweep_bundle_simd: bundle lines must share shape");
+
+  // ---- Phase 1: source assembly, vector-over-i, 4 logical threads ----
+  {
+    Real* qptr[kBundleLines] = {};
+    for (int l = 0; l < nlines; ++l) qptr[l] = scratch.q[l].data();
+    assemble_source(lines, nlines, qptr);
+  }
+
+  // ---- Phase 2: packed recursion across lines ----
+  // Lane -> line mapping per chain.
+  LaneRef<Real> lane[kChains][kLanes];
+  for (int c = 0; c < kChains; ++c)
+    for (int l = 0; l < kLanes; ++l) {
+      const int line_idx = c * kLanes + l;
+      if (line_idx < nlines) lane[c][l].line = &lines[line_idx];
+    }
+
+  // Per-chain constants: angles differ between lines, so the paper's
+  // "ci" etc. become packed vectors (loaded once per chunk, resident).
+  Vec civ[kChains], cjv[kChains], ckv[kChains], ini[kChains];
+  for (int c = 0; c < kChains; ++c) {
+    civ[c] = pack_lanes<Real>([&](int l) {
+      return lane[c][l].line ? lane[c][l].line->ci : Real(0);
+    });
+    cjv[c] = pack_lanes<Real>([&](int l) {
+      return lane[c][l].line ? lane[c][l].line->cj : Real(0);
+    });
+    ckv[c] = pack_lanes<Real>([&](int l) {
+      return lane[c][l].line ? lane[c][l].line->ck : Real(0);
+    });
+    ini[c] = pack_lanes<Real>([&](int l) {
+      return lane[c][l].line ? *lane[c][l].line->phi_i : Real(0);
+    });
+  }
+  const Vec zero = splat_const(Real(0));
+
+  for (int s = 0; s < it; ++s) {
+    const int i = dir > 0 ? s : it - 1 - s;
+    // Quadword loads feeding the transposed packs: 4 operand arrays
+    // (sigt, q, phi_j, phi_k) per line; one quadword covers kLanes
+    // i-steps, so the batch amortizes.
+    if (s % kLanes == 0) spu::mark_pack_loads(4 * nlines);
+    for (int c = 0; c < kChains; ++c) {
+      auto lane_scalar = [&](int l, auto&& field, Real dflt) -> Real {
+        return lane[c][l].line ? field(*lane[c][l].line) : dflt;
+      };
+      const Vec sigtv = pack_lanes<Real>([&](int l) {
+        return lane_scalar(
+            l, [&](const LineArgs<Real>& a) { return a.sigt[i]; }, Real(1));
+      });
+      const Vec qv = pack_lanes<Real>([&](int l) {
+        const int line_idx = c * kLanes + l;
+        return line_idx < nlines ? scratch.q[line_idx][i] : Real(0);
+      });
+      const Vec inj = pack_lanes<Real>([&](int l) {
+        return lane_scalar(
+            l, [&](const LineArgs<Real>& a) { return a.phi_j[i]; }, Real(0));
+      });
+      const Vec ink = pack_lanes<Real>([&](int l) {
+        return lane_scalar(
+            l, [&](const LineArgs<Real>& a) { return a.phi_k[i]; }, Real(0));
+      });
+
+      // num = ((q + ci*in_i) + cj*in_j) + ck*in_k  -- scalar order.
+      Vec num = spu::spu_madd(civ[c], ini[c], qv);
+      num = spu::spu_madd(cjv[c], inj, num);
+      num = spu::spu_madd(ckv[c], ink, num);
+      // den = ((sigt + ci) + cj) + ck
+      Vec den = spu::spu_add(sigtv, civ[c]);
+      den = spu::spu_add(den, cjv[c]);
+      den = spu::spu_add(den, ckv[c]);
+
+      Vec phiv = detail_simd::div_exact(num, den);
+      // 2*phi computed once per chain; phi+phi == 2*phi bit-exactly.
+      const Vec phi2 = spu::spu_add(phiv, phiv);
+      Vec oi = spu::spu_sub(phi2, ini[c]);
+      Vec oj = spu::spu_sub(phi2, inj);
+      Vec ok = spu::spu_sub(phi2, ink);
+
+      if (fixup) {
+        // Record the three compares the fixup test costs; lanes that
+        // actually went negative re-solve scalar (set-to-zero fixup),
+        // exactly matching sweep_line_scalar's solve_cell.
+        const auto mi = spu::spu_cmpgt(zero, oi);
+        const auto mj = spu::spu_cmpgt(zero, oj);
+        const auto mk_ = spu::spu_cmpgt(zero, ok);
+        mark_fixed(2);  // mask OR-combine
+        const bool any_neg = spu::any(mi) || spu::any(mj) || spu::any(mk_);
+        if (any_neg) {
+          mark_branch(/*hinted=*/false);  // rarely-taken path
+          // Lane gather/scatter around the scalar re-solve: alternating
+          // mask arithmetic (even pipe) and shuffles (odd pipe) -- this
+          // is where the fixup kernel picks up most of its dual issue.
+          for (int gs = 0; gs < 6; ++gs) {
+            mark_fixed(1);
+            spu::detail::record(spu::Op::kShuffle);
+          }
+          for (int l = 0; l < kLanes; ++l) {
+            if (!lane[c][l].line) continue;
+            if (oi.v[l] >= Real(0) && oj.v[l] >= Real(0) &&
+                ok.v[l] >= Real(0))
+              continue;
+            const LineArgs<Real>& a = *lane[c][l].line;
+            const CellSolve<Real> fix = solve_cell(
+                qv.v[l], a.sigt[i], a.ci, a.cj, a.ck, ini[c].v[l], a.phi_j[i],
+                a.phi_k[i], /*fixup=*/true);
+            phiv.v[l] = fix.phi;
+            oi.v[l] = fix.out_i;
+            oj.v[l] = fix.out_j;
+            ok.v[l] = fix.out_k;
+            // Scalar re-solve occupancy: up to three set-to-zero
+            // rounds of ~10 DP slots each (divide sequence dominates).
+            spu::mark_double_op(30);
+            if (stats) ++stats->fixups_applied;
+          }
+        }
+      }
+
+      // Write back: I-outflow stays packed for the next i-step; J/K
+      // faces and the cell flux unpack to their per-line arrays (one
+      // shuffle + merged quadword store per array on the real SPU).
+      ini[c] = oi;
+      spu::mark_fixed(1);   // lane select mask
+      spu::detail::record(spu::Op::kShuffle, oj.id);
+      spu::detail::record(spu::Op::kShuffle, ok.id);
+      spu::detail::record(spu::Op::kShuffle, phiv.id);
+      mark_store(3);
+      for (int l = 0; l < kLanes; ++l) {
+        const int line_idx = c * kLanes + l;
+        if (line_idx >= nlines) continue;
+        const LineArgs<Real>& a = *lane[c][l].line;
+        a.phi_j[i] = oj.v[l];
+        a.phi_k[i] = ok.v[l];
+        scratch.phi[line_idx][i] = phiv.v[l];
+      }
+    }
+    mark_fixed(3);  // i-loop address arithmetic
+    mark_branch();  // hinted recursion loop branch
+  }
+
+  // Final I-outflows back to the per-line scalars.
+  for (int c = 0; c < kChains; ++c)
+    for (int l = 0; l < kLanes; ++l) {
+      const int line_idx = c * kLanes + l;
+      if (line_idx >= nlines) continue;
+      *lane[c][l].line->phi_i = spu::vec_extract(ini[c], l);
+    }
+
+  // ---- Phase 3: flux-moment accumulation (Figure 7) ----
+  {
+    const Real* phiptr[kBundleLines] = {};
+    for (int l = 0; l < nlines; ++l) phiptr[l] = scratch.phi[l].data();
+    accumulate_flux(lines, nlines, phiptr);
+  }
+
+  if (stats) stats->cells += static_cast<std::uint64_t>(nlines) * it;
+}
+
+template void sweep_bundle_simd<double>(const LineArgs<double>*, int, bool,
+                                        BundleScratch<double>&, KernelStats*);
+template void sweep_bundle_simd<float>(const LineArgs<float>*, int, bool,
+                                       BundleScratch<float>&, KernelStats*);
+
+}  // namespace cellsweep::sweep

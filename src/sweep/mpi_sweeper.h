@@ -1,0 +1,44 @@
+// Process-level wavefront decomposition (the paper's parallelism
+// level 1, Figures 1-3).
+//
+// Grid cells are distributed over a 2-D (px x py) array of ranks; each
+// rank owns a 3-D tile complete in K. Sweeps propagate as wavefronts:
+// each block of MK K-planes and MMI angles triggers a RECV of I- and
+// J-inflows from the upstream neighbors and a SEND of outflows
+// downstream, exactly the structure of Figure 2's sweep() pseudo-code.
+// The per-rank computation reuses SweepState with an MpiBoundary
+// installed, so the physics code is byte-for-byte the same as the
+// serial path -- the migration-path argument of the paper.
+#pragma once
+
+#include <vector>
+
+#include "msg/cart_grid.h"
+#include "msg/communicator.h"
+#include "sweep/sweeper.h"
+
+namespace cellsweep::sweep {
+
+/// Extracts the sub-problem of the tile [i0, i0+ni) x [j0, j0+nj) x
+/// full K from @p global. Materials are shared; cell assignment is
+/// sliced.
+Problem extract_tile(const Problem& global, int i0, int ni, int j0, int nj);
+
+/// Result of a distributed solve, gathered on every rank.
+struct MpiSolveResult {
+  SolveResult solve;
+  LeakageTally leakage;               ///< global (reduced) leakage
+  std::vector<double> flux0;          ///< global scalar flux [k][j][i]
+  double absorption = 0.0;            ///< global absorption rate
+};
+
+/// Runs source iteration on @p world.size() ranks over a px x py
+/// decomposition of @p global. Every rank returns the same gathered
+/// result. @p px * py must equal the world size, and px / py must
+/// divide it / jt.
+MpiSolveResult solve_mpi(msg::World& world, const Problem& global,
+                         const SnQuadrature& quad, int l_max,
+                         const SweepConfig& cfg, int px, int py,
+                         int nm_cap = 0);
+
+}  // namespace cellsweep::sweep

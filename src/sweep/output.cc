@@ -1,0 +1,76 @@
+#include "sweep/output.h"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace cellsweep::sweep {
+
+template <typename Real>
+void write_vtk(std::ostream& os, const Problem& problem,
+               const MomentField<Real>& flux, const std::string& title) {
+  const Grid& g = problem.grid();
+  os << "# vtk DataFile Version 3.0\n"
+     << title << "\n"
+     << "ASCII\n"
+     << "DATASET STRUCTURED_POINTS\n"
+     // Cell data on an it x jt x kt grid needs it+1 x jt+1 x kt+1 points.
+     << "DIMENSIONS " << g.it + 1 << ' ' << g.jt + 1 << ' ' << g.kt + 1
+     << "\n"
+     << "ORIGIN 0 0 0\n"
+     << "SPACING " << g.dx << ' ' << g.dy << ' ' << g.dz << "\n"
+     << "CELL_DATA " << g.cells() << "\n";
+
+  os << "SCALARS scalar_flux double 1\nLOOKUP_TABLE default\n";
+  for (int k = 0; k < g.kt; ++k)
+    for (int j = 0; j < g.jt; ++j)
+      for (int i = 0; i < g.it; ++i)
+        os << static_cast<double>(flux.at(0, k, j, i)) << "\n";
+
+  os << "SCALARS material int 1\nLOOKUP_TABLE default\n";
+  for (int k = 0; k < g.kt; ++k)
+    for (int j = 0; j < g.jt; ++j)
+      for (int i = 0; i < g.it; ++i)
+        os << static_cast<int>(problem.material_index(i, j, k)) << "\n";
+}
+
+template <typename Real>
+void write_vtk_file(const std::string& path, const Problem& problem,
+                    const MomentField<Real>& flux, const std::string& title) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("write_vtk_file: cannot open " + path);
+  write_vtk(os, problem, flux, title);
+  if (!os) throw std::runtime_error("write_vtk_file: write failed: " + path);
+}
+
+template <typename Real>
+void write_line_csv(std::ostream& os, const Problem& problem,
+                    const MomentField<Real>& flux, int j, int k) {
+  const Grid& g = problem.grid();
+  if (j < 0 || j >= g.jt || k < 0 || k >= g.kt)
+    throw std::out_of_range("write_line_csv: (j,k) outside the grid");
+  os << "i,x,material,flux\n";
+  for (int i = 0; i < g.it; ++i)
+    os << i << ',' << (i + 0.5) * g.dx << ','
+       << problem.material_of(i, j, k).name << ','
+       << static_cast<double>(flux.at(0, k, j, i)) << "\n";
+}
+
+template void write_vtk<double>(std::ostream&, const Problem&,
+                                const MomentField<double>&,
+                                const std::string&);
+template void write_vtk<float>(std::ostream&, const Problem&,
+                               const MomentField<float>&,
+                               const std::string&);
+template void write_vtk_file<double>(const std::string&, const Problem&,
+                                     const MomentField<double>&,
+                                     const std::string&);
+template void write_vtk_file<float>(const std::string&, const Problem&,
+                                    const MomentField<float>&,
+                                    const std::string&);
+template void write_line_csv<double>(std::ostream&, const Problem&,
+                                     const MomentField<double>&, int, int);
+template void write_line_csv<float>(std::ostream&, const Problem&,
+                                    const MomentField<float>&, int, int);
+
+}  // namespace cellsweep::sweep

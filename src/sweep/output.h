@@ -1,0 +1,34 @@
+// Field output: legacy-VTK structured-points files (loadable in
+// ParaView/VisIt) and CSV line extractions, for the scalar flux and the
+// material map.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sweep/field.h"
+#include "sweep/problem.h"
+
+namespace cellsweep::sweep {
+
+/// Writes the scalar flux (moment 0) and the material index as cell
+/// data in legacy VTK STRUCTURED_POINTS format.
+template <typename Real>
+void write_vtk(std::ostream& os, const Problem& problem,
+               const MomentField<Real>& flux,
+               const std::string& title = "cellsweep flux");
+
+/// Convenience: writes to @p path; throws std::runtime_error on I/O
+/// failure.
+template <typename Real>
+void write_vtk_file(const std::string& path, const Problem& problem,
+                    const MomentField<Real>& flux,
+                    const std::string& title = "cellsweep flux");
+
+/// Writes a CSV of the scalar flux along the I axis at fixed (j, k):
+/// header "i,x,material,flux" then one row per cell.
+template <typename Real>
+void write_line_csv(std::ostream& os, const Problem& problem,
+                    const MomentField<Real>& flux, int j, int k);
+
+}  // namespace cellsweep::sweep

@@ -1,0 +1,117 @@
+#include "sweep/problem.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cellsweep::sweep {
+
+Problem::Problem(Grid grid, std::vector<Material> materials,
+                 std::vector<std::uint8_t> cell_material)
+    : grid_(grid),
+      materials_(std::move(materials)),
+      cell_material_(std::move(cell_material)) {
+  grid_.validate();
+  if (materials_.empty())
+    throw std::invalid_argument("Problem: need at least one material");
+  if (cell_material_.size() != static_cast<std::size_t>(grid_.cells()))
+    throw std::invalid_argument("Problem: cell_material size mismatch");
+  for (auto m : cell_material_)
+    if (m >= materials_.size())
+      throw std::invalid_argument("Problem: cell references unknown material");
+  l_max_ = 0;
+  for (const auto& mat : materials_) {
+    if (mat.sigma_t <= 0.0)
+      throw std::invalid_argument("Problem: sigma_t must be positive");
+    if (mat.sigma_s.empty())
+      throw std::invalid_argument("Problem: need at least sigma_s0");
+    l_max_ = std::max(l_max_, static_cast<int>(mat.sigma_s.size()) - 1);
+  }
+}
+
+double Problem::max_scattering_ratio() const noexcept {
+  double c = 0.0;
+  for (const auto& m : materials_) c = std::max(c, m.scattering_ratio());
+  return c;
+}
+
+double Problem::total_external_source() const noexcept {
+  double total = 0.0;
+  for (int k = 0; k < grid_.kt; ++k)
+    for (int j = 0; j < grid_.jt; ++j)
+      for (int i = 0; i < grid_.it; ++i)
+        total += material_of(i, j, k).q_ext;
+  return total * grid_.cell_volume();
+}
+
+Problem Problem::benchmark_cube(int n, int l_max) {
+  Grid grid = Grid::cube(n);
+  Material mat;
+  mat.name = "benchmark";
+  mat.sigma_t = 1.0;
+  // Anisotropic P2 scattering with ratio 0.5: representative of the
+  // ASCI Sweep3D deck and comfortably convergent.
+  mat.sigma_s.assign(static_cast<std::size_t>(l_max) + 1, 0.0);
+  mat.sigma_s[0] = 0.5;
+  if (l_max >= 1) mat.sigma_s[1] = 0.2;
+  if (l_max >= 2) mat.sigma_s[2] = 0.05;
+  mat.q_ext = 1.0;
+  return Problem(grid, {mat},
+                 std::vector<std::uint8_t>(grid.cells(), 0));
+}
+
+Problem Problem::shield(int n) {
+  Grid grid = Grid::cube(n, /*edge_length=*/4.0);
+  Material source{"source", 0.8, {0.3, 0.1}, 10.0};
+  Material air{"air", 0.05, {0.04, 0.01}, 0.0};
+  // Optically thick pure absorber: diamond difference produces negative
+  // fluxes here, so the fixup path really runs.
+  Material shield{"shield", 8.0, {0.4, 0.0}, 0.0};
+
+  std::vector<std::uint8_t> cells(grid.cells(), 1);
+  const int src_extent = std::max(1, n / 5);
+  const int slab_lo = 2 * n / 5;
+  const int slab_hi = 3 * n / 5;
+  for (int k = 0; k < grid.kt; ++k)
+    for (int j = 0; j < grid.jt; ++j)
+      for (int i = 0; i < grid.it; ++i) {
+        const auto idx = grid.index(i, j, k);
+        if (i < src_extent && j < src_extent && k < src_extent)
+          cells[idx] = 0;
+        else if (i >= slab_lo && i < slab_hi)
+          cells[idx] = 2;
+      }
+  return Problem(grid, {source, air, shield}, std::move(cells));
+}
+
+Problem Problem::infinite_medium(int n, double sigma_t, double sigma_s0,
+                                 double q) {
+  Grid grid = Grid::cube(n);
+  Material mat{"infinite", sigma_t, {sigma_s0}, q};
+  Problem p(grid, {mat}, std::vector<std::uint8_t>(grid.cells(), 0));
+  for (int f = 0; f < 6; ++f) p.set_boundary(f, FaceBc::kReflective);
+  return p;
+}
+
+Problem Problem::reactor(int n) {
+  Grid grid = Grid::cube(n, /*edge_length=*/3.0);
+  // Near-critical moderator: scattering ratio 0.96 makes source
+  // iteration converge slowly, which the transient example exploits.
+  Material moderator{"moderator", 2.0, {1.92, 0.5, 0.1}, 0.0};
+  Material pin{"fuel-pin", 1.5, {0.9, 0.2, 0.05}, 5.0};
+
+  std::vector<std::uint8_t> cells(grid.cells(), 0);
+  const int pin_half = std::max(1, n / 12);
+  const int centers[3] = {n / 4, n / 2, 3 * n / 4};
+  for (int k = 0; k < grid.kt; ++k)
+    for (int j = 0; j < grid.jt; ++j)
+      for (int i = 0; i < grid.it; ++i)
+        for (int cj : centers)
+          for (int ci : centers) {
+            if (std::abs(i - ci) <= pin_half && std::abs(j - cj) <= pin_half &&
+                k >= n / 6 && k < 5 * n / 6)
+              cells[grid.index(i, j, k)] = 1;
+          }
+  return Problem(grid, {moderator, pin}, std::move(cells));
+}
+
+}  // namespace cellsweep::sweep

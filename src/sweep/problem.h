@@ -1,0 +1,117 @@
+// Transport problem definition: geometry + materials + external source.
+//
+// Sweep3D solves a fixed-source neutron transport problem ("particle
+// transport analyzes the flux of photons and/or other particles through
+// a space ... fires, explosions and even nuclear reactions", Section 3)
+// on a rectangular grid. A Problem bundles the grid, per-cell material
+// assignment and per-material cross sections; factories build the
+// benchmark cube and the domain scenarios used by the examples.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sweep/grid.h"
+
+namespace cellsweep::sweep {
+
+/// One material's cross sections (macroscopic, 1/cm).
+struct Material {
+  std::string name;
+  double sigma_t = 1.0;              ///< total cross section
+  std::vector<double> sigma_s{0.5};  ///< scattering moments, l = 0..l_max
+  double q_ext = 0.0;                ///< isotropic external source density
+
+  /// Scattering ratio c = sigma_s0 / sigma_t (must be < 1 for source
+  /// iteration to converge).
+  double scattering_ratio() const {
+    return sigma_s.empty() ? 0.0 : sigma_s[0] / sigma_t;
+  }
+};
+
+/// Boundary condition of one domain face. Sweep3D supports vacuum
+/// (zero inflow) and specular reflection; reflection feeds each
+/// octant's inflow from the mirror octant's stored outflow.
+enum class FaceBc : std::uint8_t { kVacuum, kReflective };
+
+/// Domain face indices for boundary-condition arrays.
+enum Face : int {
+  kFaceWest = 0,   // -I
+  kFaceEast = 1,   // +I
+  kFaceNorth = 2,  // -J
+  kFaceSouth = 3,  // +J
+  kFaceBottom = 4, // -K
+  kFaceTop = 5,    // +K
+};
+
+/// Complete problem specification.
+class Problem {
+ public:
+  Problem(Grid grid, std::vector<Material> materials,
+          std::vector<std::uint8_t> cell_material);
+
+  const Grid& grid() const noexcept { return grid_; }
+  const std::vector<Material>& materials() const noexcept {
+    return materials_;
+  }
+  const Material& material_of(int i, int j, int k) const {
+    return materials_[cell_material_[grid_.index(i, j, k)]];
+  }
+  std::uint8_t material_index(int i, int j, int k) const {
+    return cell_material_[grid_.index(i, j, k)];
+  }
+
+  /// Highest scattering order any material carries.
+  int max_scattering_order() const noexcept { return l_max_; }
+
+  /// Largest scattering ratio across materials (controls the spectral
+  /// radius of source iteration).
+  double max_scattering_ratio() const noexcept;
+
+  /// Total external source (particles/s) integrated over the domain.
+  double total_external_source() const noexcept;
+
+  /// Boundary condition of @p face (default: vacuum on all six).
+  FaceBc boundary(int face) const { return boundaries_.at(face); }
+  void set_boundary(int face, FaceBc bc) { boundaries_.at(face) = bc; }
+  bool any_reflective() const noexcept {
+    for (FaceBc b : boundaries_)
+      if (b == FaceBc::kReflective) return true;
+    return false;
+  }
+
+  // --- Factories -----------------------------------------------------------
+
+  /// The paper's benchmark: a homogeneous cube with a uniform unit
+  /// source and moderate scattering (50-cubed by default).
+  static Problem benchmark_cube(int n = 50, int l_max = 2);
+
+  /// Shielding scenario: a small source region in one corner, a dense
+  /// absorbing shield slab across the middle, near-void elsewhere. The
+  /// optically thick shield triggers negative-flux fixups, exercising
+  /// the expensive kernel path.
+  static Problem shield(int n = 32);
+
+  /// Reactor-like scenario: strongly scattering moderator with several
+  /// embedded source pins. High scattering ratio -> many source
+  /// iterations, exercising convergence behaviour.
+  static Problem reactor(int n = 24);
+
+  /// Homogeneous medium with all six faces reflective: equivalent to an
+  /// infinite medium, whose converged scalar flux is exactly
+  /// q / sigma_a everywhere -- the analytic check the boundary tests
+  /// use.
+  static Problem infinite_medium(int n = 8, double sigma_t = 1.0,
+                                 double sigma_s0 = 0.5, double q = 1.0);
+
+ private:
+  Grid grid_;
+  std::vector<Material> materials_;
+  std::vector<std::uint8_t> cell_material_;
+  std::array<FaceBc, 6> boundaries_{};
+  int l_max_;
+};
+
+}  // namespace cellsweep::sweep

@@ -1,0 +1,84 @@
+#include "sweep/tally.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace cellsweep::sweep {
+
+void TallySet::add_box(const std::string& name, int i0, int i1, int j0,
+                       int j1, int k0, int k1) {
+  if (i0 >= i1 || j0 >= j1 || k0 >= k1)
+    throw std::invalid_argument("TallySet: empty box '" + name + "'");
+  Region r;
+  r.name = name;
+  r.i0 = i0; r.i1 = i1;
+  r.j0 = j0; r.j1 = j1;
+  r.k0 = k0; r.k1 = k1;
+  regions_.push_back(std::move(r));
+}
+
+void TallySet::add_material(const std::string& name, int material_index) {
+  Region r;
+  r.name = name;
+  r.by_material = true;
+  r.material = material_index;
+  regions_.push_back(std::move(r));
+}
+
+template <typename Real>
+std::vector<RegionTally> TallySet::compute(
+    const Problem& problem, const MomentField<Real>& flux) const {
+  const Grid& g = problem.grid();
+  const double dv = g.cell_volume();
+  std::vector<RegionTally> out;
+  out.reserve(regions_.size());
+
+  for (const Region& r : regions_) {
+    RegionTally t;
+    t.name = r.name;
+    t.peak_flux = -std::numeric_limits<double>::infinity();
+    t.min_flux = std::numeric_limits<double>::infinity();
+    const int i0 = r.by_material ? 0 : r.i0;
+    const int i1 = r.by_material ? g.it : r.i1;
+    const int j0 = r.by_material ? 0 : r.j0;
+    const int j1 = r.by_material ? g.jt : r.j1;
+    const int k0 = r.by_material ? 0 : r.k0;
+    const int k1 = r.by_material ? g.kt : r.k1;
+    if (!r.by_material &&
+        (i1 > g.it || j1 > g.jt || k1 > g.kt))
+      throw std::out_of_range("TallySet: box '" + r.name +
+                              "' outside the grid");
+
+    double flux_sum = 0;
+    for (int k = k0; k < k1; ++k)
+      for (int j = j0; j < j1; ++j)
+        for (int i = i0; i < i1; ++i) {
+          if (r.by_material && problem.material_index(i, j, k) != r.material)
+            continue;
+          const Material& mat = problem.material_of(i, j, k);
+          const double phi = static_cast<double>(flux.at(0, k, j, i));
+          ++t.cells;
+          flux_sum += phi;
+          t.peak_flux = std::max(t.peak_flux, phi);
+          t.min_flux = std::min(t.min_flux, phi);
+          t.absorption_rate += (mat.sigma_t - mat.sigma_s[0]) * phi * dv;
+          t.scattering_rate += mat.sigma_s[0] * phi * dv;
+          t.source_rate += mat.q_ext * dv;
+        }
+    t.volume = t.cells * dv;
+    t.mean_flux = t.cells ? flux_sum / t.cells : 0.0;
+    if (t.cells == 0) {
+      t.peak_flux = 0;
+      t.min_flux = 0;
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+template std::vector<RegionTally> TallySet::compute<double>(
+    const Problem&, const MomentField<double>&) const;
+template std::vector<RegionTally> TallySet::compute<float>(
+    const Problem&, const MomentField<float>&) const;
+
+}  // namespace cellsweep::sweep

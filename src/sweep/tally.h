@@ -1,0 +1,55 @@
+// Region tallies: the quantities a transport user actually reads out —
+// volume-averaged fluxes and reaction rates over boxes or material
+// regions (detector responses, shield transmission factors, power by
+// pin). Computed from the converged flux moments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sweep/field.h"
+#include "sweep/problem.h"
+
+namespace cellsweep::sweep {
+
+/// One region's integrated results.
+struct RegionTally {
+  std::string name;
+  std::int64_t cells = 0;
+  double volume = 0;            ///< cm^3
+  double mean_flux = 0;         ///< volume-averaged scalar flux
+  double peak_flux = 0;
+  double min_flux = 0;
+  double absorption_rate = 0;   ///< integral sigma_a * phi dV
+  double scattering_rate = 0;   ///< integral sigma_s0 * phi dV
+  double source_rate = 0;       ///< integral q dV
+};
+
+/// A set of named regions to tally.
+class TallySet {
+ public:
+  /// Tallies the box [i0,i1) x [j0,j1) x [k0,k1).
+  void add_box(const std::string& name, int i0, int i1, int j0, int j1,
+               int k0, int k1);
+
+  /// Tallies every cell assigned to material @p material_index.
+  void add_material(const std::string& name, int material_index);
+
+  /// Evaluates all regions against @p flux (moment 0) on @p problem.
+  template <typename Real>
+  std::vector<RegionTally> compute(const Problem& problem,
+                                   const MomentField<Real>& flux) const;
+
+  std::size_t size() const noexcept { return regions_.size(); }
+
+ private:
+  struct Region {
+    std::string name;
+    bool by_material = false;
+    int material = 0;
+    int i0 = 0, i1 = 0, j0 = 0, j1 = 0, k0 = 0, k1 = 0;
+  };
+  std::vector<Region> regions_;
+};
+
+}  // namespace cellsweep::sweep

@@ -1,0 +1,77 @@
+// Aligned memory utilities.
+//
+// The Cell BE's MFC reaches peak DMA bandwidth only when both the
+// effective address and the local-store address are 128-byte aligned
+// (one EIB cache line). Sweep3D's port therefore forces every array --
+// and every *row* of every flattened multi-dimensional array -- onto
+// 128-byte boundaries (paper, Section 5, steps 3 and the
+// "array allocation" optimization). This header provides the allocator
+// and the padding helpers that the whole code base uses for that.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace cellsweep::util {
+
+/// Cache-line / DMA-optimal alignment on the Cell BE (bytes).
+inline constexpr std::size_t kCacheLineBytes = 128;
+
+/// Rounds @p n up to the next multiple of @p align (align must be a
+/// power of two).
+constexpr std::size_t round_up(std::size_t n, std::size_t align) noexcept {
+  return (n + align - 1) & ~(align - 1);
+}
+
+/// True if @p n is a multiple of @p align (align must be a power of two).
+constexpr bool is_aligned(std::size_t n, std::size_t align) noexcept {
+  return (n & (align - 1)) == 0;
+}
+
+/// True if pointer @p p is aligned to @p align bytes.
+inline bool is_aligned(const void* p, std::size_t align) noexcept {
+  return is_aligned(reinterpret_cast<std::size_t>(p), align);
+}
+
+/// Minimal standard-conforming allocator that hands out storage aligned
+/// to kCacheLineBytes. Use through AlignedVector.
+template <typename T>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    const std::size_t bytes = round_up(n * sizeof(T), kCacheLineBytes);
+    void* p = std::aligned_alloc(kCacheLineBytes, bytes);
+    if (p == nullptr) throw std::bad_alloc{};
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+/// Vector whose data() is always 128-byte aligned.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+/// Number of elements of type T that fill a whole number of cache lines
+/// while holding at least @p n elements. Used to pad array *rows* so
+/// each row starts on a DMA-friendly boundary.
+template <typename T>
+constexpr std::size_t padded_extent(std::size_t n) noexcept {
+  return round_up(n * sizeof(T), kCacheLineBytes) / sizeof(T);
+}
+
+}  // namespace cellsweep::util

@@ -1,0 +1,90 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace cellsweep::util {
+
+CliParser::CliParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void CliParser::add_flag(const std::string& name,
+                         const std::string& default_value,
+                         const std::string& help) {
+  flags_[name] = Flag{default_value, default_value, help};
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      error_ = "unknown flag: --" + name;
+      return false;
+    }
+    if (!has_value) {
+      // Boolean flags may appear bare; typed flags consume the next arg.
+      const bool is_bool = it->second.default_value == "true" ||
+                           it->second.default_value == "false";
+      if (is_bool) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        error_ = "flag --" + name + " expects a value";
+        return false;
+      }
+    }
+    it->second.value = std::move(value);
+  }
+  return true;
+}
+
+std::string CliParser::get_string(const std::string& name) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end())
+    throw std::out_of_range("unregistered flag: " + name);
+  return it->second.value;
+}
+
+long CliParser::get_int(const std::string& name) const {
+  return std::strtol(get_string(name).c_str(), nullptr, 10);
+}
+
+double CliParser::get_double(const std::string& name) const {
+  return std::strtod(get_string(name).c_str(), nullptr);
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+  const std::string v = get_string(name);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::string CliParser::usage(const std::string& argv0) const {
+  std::ostringstream os;
+  os << description_ << "\n\nUsage: " << argv0 << " [flags]\n\nFlags:\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << " (default: " << flag.default_value << ")\n"
+       << "      " << flag.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace cellsweep::util

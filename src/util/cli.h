@@ -1,0 +1,58 @@
+// Minimal command-line flag parser for the example applications.
+// Supports "--name=value" and "--name value" forms plus boolean
+// switches ("--fixups"), with typed accessors and a generated usage
+// string. No external dependencies.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cellsweep::util {
+
+/// Declarative flag set: register flags with defaults and help text,
+/// then parse(argc, argv).
+class CliParser {
+ public:
+  explicit CliParser(std::string program_description);
+
+  /// Registers a flag; @p default_value doubles as the type hint.
+  void add_flag(const std::string& name, const std::string& default_value,
+                const std::string& help);
+
+  /// Parses argv. Returns false (and fills error()) on unknown flags or
+  /// missing values. "--help" sets help_requested().
+  bool parse(int argc, const char* const* argv);
+
+  std::string get_string(const std::string& name) const;
+  long get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  bool help_requested() const noexcept { return help_requested_; }
+  const std::string& error() const noexcept { return error_; }
+
+  /// Usage text listing all registered flags.
+  std::string usage(const std::string& argv0) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+  std::string error_;
+  bool help_requested_ = false;
+};
+
+}  // namespace cellsweep::util

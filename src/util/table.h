@@ -1,0 +1,30 @@
+// Plain-text table printer. Every bench binary regenerates one of the
+// paper's tables or figures as rows on stdout; this formatter keeps
+// them uniform and diff-friendly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cellsweep::util {
+
+/// Accumulates rows of strings and renders an aligned ASCII table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds one data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with column alignment and a separator under the header.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cellsweep::util

@@ -1,0 +1,52 @@
+#include "util/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace cellsweep::util {
+namespace {
+
+std::string printf_str(const char* fmt, double v, const char* unit) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, fmt, v, unit);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_seconds(double seconds) {
+  const double abs = std::fabs(seconds);
+  if (abs >= 1.0) return printf_str("%.3g %s", seconds, "s");
+  if (abs >= 1e-3) return printf_str("%.3g %s", seconds * 1e3, "ms");
+  if (abs >= 1e-6) return printf_str("%.3g %s", seconds * 1e6, "us");
+  return printf_str("%.3g %s", seconds * 1e9, "ns");
+}
+
+std::string format_bytes(double bytes) {
+  const double abs = std::fabs(bytes);
+  if (abs >= 1e9) return printf_str("%.3g %s", bytes / 1e9, "GB");
+  if (abs >= 1e6) return printf_str("%.3g %s", bytes / 1e6, "MB");
+  if (abs >= 1e3) return printf_str("%.3g %s", bytes / 1e3, "KB");
+  return printf_str("%.3g %s", bytes, "B");
+}
+
+std::string format_flops(double flops_per_second) {
+  const double abs = std::fabs(flops_per_second);
+  if (abs >= 1e9) return printf_str("%.3g %s", flops_per_second / 1e9, "Gflops/s");
+  if (abs >= 1e6) return printf_str("%.3g %s", flops_per_second / 1e6, "Mflops/s");
+  return printf_str("%.3g %s", flops_per_second, "flops/s");
+}
+
+std::string format_speedup(double ratio) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2fx", ratio);
+  return buf;
+}
+
+std::string format_percent(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+}  // namespace cellsweep::util

@@ -1,0 +1,35 @@
+// Unit helpers and human-readable formatting for times, byte volumes
+// and floating-point rates. The bench harness prints the same kinds of
+// rows the paper reports (seconds, Gbytes, Gflops/s, grind time), so a
+// single consistent formatter lives here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cellsweep::util {
+
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+
+inline constexpr std::uint64_t kKiB = 1024ULL;
+inline constexpr std::uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ULL * kMiB;
+
+/// Formats seconds with an adaptive unit ("1.33 s", "590 ns", ...).
+std::string format_seconds(double seconds);
+
+/// Formats a byte count ("17.6 GB"). Uses decimal GB like the paper.
+std::string format_bytes(double bytes);
+
+/// Formats a rate in flops/second ("9.3 Gflops/s").
+std::string format_flops(double flops_per_second);
+
+/// Formats a dimensionless ratio as "4.5x".
+std::string format_speedup(double ratio);
+
+/// Formats a percentage with one decimal ("64.0%").
+std::string format_percent(double fraction);
+
+}  // namespace cellsweep::util

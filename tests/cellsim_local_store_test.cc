@@ -1,0 +1,70 @@
+// Unit tests for the 256 KB local-store budget model.
+#include <gtest/gtest.h>
+
+#include "cellsim/local_store.h"
+
+namespace cellsweep::cell {
+namespace {
+
+TEST(LocalStore, CodeReservationUpFront) {
+  LocalStore ls(256 * 1024, 48 * 1024);
+  EXPECT_EQ(ls.used(), 48u * 1024u);
+  EXPECT_EQ(ls.available(), 208u * 1024u);
+  EXPECT_EQ(ls.regions().size(), 1u);
+}
+
+TEST(LocalStore, AllocationsAre128ByteAligned) {
+  LocalStore ls(256 * 1024);
+  const std::size_t a = ls.allocate("a", 100);
+  const std::size_t b = ls.allocate("b", 1);
+  EXPECT_EQ(a % 128, 0u);
+  EXPECT_EQ(b % 128, 0u);
+  EXPECT_EQ(b - a, 128u);  // 100 B padded to one line
+}
+
+TEST(LocalStore, OverflowThrowsWithContext) {
+  LocalStore ls(256 * 1024);
+  ls.allocate("big", 200 * 1024);
+  try {
+    ls.allocate("toobig", 64 * 1024);
+    FAIL() << "expected LocalStoreOverflow";
+  } catch (const LocalStoreOverflow& e) {
+    EXPECT_NE(std::string(e.what()).find("toobig"), std::string::npos);
+  }
+}
+
+TEST(LocalStore, ExactFitSucceeds) {
+  LocalStore ls(256 * 1024, 0);
+  EXPECT_NO_THROW(ls.allocate("all", 256 * 1024));
+  EXPECT_EQ(ls.available(), 0u);
+}
+
+TEST(LocalStore, ResetKeepsCodeReservation) {
+  LocalStore ls(256 * 1024, 48 * 1024);
+  ls.allocate("x", 1024);
+  ls.reset();
+  EXPECT_EQ(ls.used(), 48u * 1024u);
+  EXPECT_EQ(ls.regions().size(), 1u);
+}
+
+TEST(LocalStore, HighWaterSurvivesReset) {
+  LocalStore ls(256 * 1024, 0);
+  ls.allocate("x", 100 * 1024);
+  ls.reset();
+  EXPECT_EQ(ls.high_water(), 100u * 1024u);
+}
+
+TEST(LocalStore, CodeReservationMustFit) {
+  EXPECT_THROW(LocalStore(16 * 1024, 32 * 1024), LocalStoreOverflow);
+}
+
+TEST(LocalStore, DescribeListsRegions) {
+  LocalStore ls(256 * 1024);
+  ls.allocate("chunk-buffer", 32 * 1024);
+  const std::string d = ls.describe();
+  EXPECT_NE(d.find("chunk-buffer"), std::string::npos);
+  EXPECT_NE(d.find("(code+stack)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cellsweep::cell

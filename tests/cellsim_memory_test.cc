@@ -1,0 +1,97 @@
+// Unit tests for the MIC / EIB models: bandwidth, bank interleaving
+// efficiency and the DRAM burst-gap accounting.
+#include <gtest/gtest.h>
+
+#include "cellsim/memory.h"
+#include "cellsim/spec.h"
+
+namespace cellsweep::cell {
+namespace {
+
+class MicTest : public ::testing::Test {
+ protected:
+  CellSpec spec_;
+  Mic mic_{spec_};
+};
+
+TEST_F(MicTest, FullBankSpreadIsPeak) {
+  EXPECT_DOUBLE_EQ(mic_.bank_efficiency(16), 1.0);
+  EXPECT_DOUBLE_EQ(mic_.bank_efficiency(100), 1.0);
+}
+
+TEST_F(MicTest, BankEfficiencyMonotone) {
+  double prev = 0.0;
+  for (int b = 1; b <= 16; ++b) {
+    const double e = mic_.bank_efficiency(b);
+    EXPECT_GE(e, prev) << b;
+    EXPECT_LE(e, 1.0);
+    prev = e;
+  }
+}
+
+TEST_F(MicTest, BankEfficiencyFloor) {
+  EXPECT_GE(mic_.bank_efficiency(1), spec_.dma_min_efficiency);
+  EXPECT_GE(mic_.bank_efficiency(0), spec_.dma_min_efficiency);
+}
+
+TEST_F(MicTest, PeakRateTransferTime) {
+  // 25.6 GB at efficiency 1 with one element: ~1 s (+ one gap).
+  const sim::Tick done = mic_.submit(0, 25.6e9, 0, 1.0, 1);
+  EXPECT_NEAR(sim::seconds_from_ticks(done), 1.0, 1e-6);
+}
+
+TEST_F(MicTest, EfficiencyInflatesOccupancy) {
+  Mic a(spec_), b(spec_);
+  const sim::Tick full = a.submit(0, 1e6, 0, 1.0, 1);
+  const sim::Tick half = b.submit(0, 1e6, 0, 0.5, 1);
+  EXPECT_GT(half, full);
+  EXPECT_NEAR(static_cast<double>(half) / full, 2.0, 0.01);
+}
+
+TEST_F(MicTest, LogicalBytesUnaffectedByEfficiency) {
+  mic_.submit(0, 1e6, 0, 0.5, 1);
+  EXPECT_DOUBLE_EQ(mic_.bytes_moved(), 1e6);
+}
+
+TEST_F(MicTest, PerElementGapCharged) {
+  Mic a(spec_), b(spec_);
+  // Same payload, 1 element vs 1000 elements: more gaps, later finish.
+  const sim::Tick one = a.submit(0, 512000, 0, 1.0, 1);
+  const sim::Tick many = b.submit(0, 512000, 0, 1.0, 1000);
+  EXPECT_GT(many, one);
+  const double gap_seconds =
+      999 * spec_.dram_gap_bytes / spec_.mic_bytes_per_s;
+  EXPECT_NEAR(sim::seconds_from_ticks(many - one), gap_seconds, 1e-9);
+}
+
+TEST_F(MicTest, RejectsBadEfficiency) {
+  EXPECT_THROW(mic_.submit(0, 1.0, 0, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(mic_.submit(0, 1.0, 0, 1.5, 1), std::invalid_argument);
+}
+
+TEST_F(MicTest, ResetClears) {
+  mic_.submit(0, 1e6, 0, 1.0, 1);
+  mic_.reset();
+  EXPECT_DOUBLE_EQ(mic_.bytes_moved(), 0.0);
+  EXPECT_EQ(mic_.busy_ticks(), 0u);
+}
+
+TEST(EibTest, AggregateBandwidth) {
+  CellSpec spec;
+  Eib eib(spec);
+  // 204.8 GB in one second at peak.
+  const sim::Tick done = eib.submit(0, 204.8e9);
+  EXPECT_NEAR(sim::seconds_from_ticks(done), 1.0, 1e-9);
+}
+
+TEST(EibTest, MuchFasterThanMic) {
+  CellSpec spec;
+  Eib eib(spec);
+  Mic mic(spec);
+  const sim::Tick e = eib.submit(0, 1e9);
+  const sim::Tick m = mic.submit(0, 1e9, 0, 1.0, 1);
+  EXPECT_LT(e, m);  // 204.8 vs 25.6 GB/s
+}
+
+}  // namespace
+}  // namespace cellsweep::cell

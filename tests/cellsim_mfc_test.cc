@@ -1,0 +1,171 @@
+// Unit tests for the MFC DMA engine: CBEA command rules, queue
+// back-pressure, list vs individual commands, transfer efficiency.
+#include <gtest/gtest.h>
+
+#include "cellsim/mfc.h"
+#include "cellsim/memory.h"
+#include "cellsim/spec.h"
+
+namespace cellsweep::cell {
+namespace {
+
+class MfcTest : public ::testing::Test {
+ protected:
+  MfcTest() : eib_(spec_), mic_(spec_), mfc_(spec_, &eib_, &mic_, "mfc0") {}
+
+  DmaRequest legal(std::size_t total = 512, std::size_t elem = 512) {
+    DmaRequest r;
+    r.total_bytes = total;
+    r.element_bytes = elem;
+    return r;
+  }
+
+  CellSpec spec_;
+  Eib eib_;
+  Mic mic_;
+  Mfc mfc_;
+};
+
+TEST_F(MfcTest, AcceptsLegalCommands) {
+  EXPECT_NO_THROW(mfc_.validate(legal()));
+  EXPECT_NO_THROW(mfc_.validate(legal(16 * 1024, 16 * 1024)));
+  EXPECT_NO_THROW(mfc_.validate(legal(8, 8)));  // naturally aligned scalar
+}
+
+TEST_F(MfcTest, RejectsZeroLength) {
+  EXPECT_THROW(mfc_.validate(legal(0, 0)), DmaError);
+}
+
+TEST_F(MfcTest, RejectsBadSubQuadwordSizes) {
+  // 3, 5, 12 bytes are not legal CBEA transfer sizes.
+  for (std::size_t bad : {3u, 5u, 12u})
+    EXPECT_THROW(mfc_.validate(legal(bad, bad)), DmaError) << bad;
+}
+
+TEST_F(MfcTest, RejectsNonMultipleOf16) {
+  EXPECT_THROW(mfc_.validate(legal(400, 24)), DmaError);
+  EXPECT_THROW(mfc_.validate(legal(400, 100)), DmaError);
+}
+
+TEST_F(MfcTest, RejectsOversizedElement) {
+  EXPECT_THROW(mfc_.validate(legal(32 * 1024, 32 * 1024)), DmaError);
+}
+
+TEST_F(MfcTest, RejectsOversizedList) {
+  // > 2048 elements in one list command.
+  DmaRequest r = legal(2100 * 16, 16);
+  r.as_list = true;
+  EXPECT_THROW(mfc_.validate(r), DmaError);
+  // The same shape as individual commands is fine (they are separate
+  // commands, not one list).
+  r.as_list = false;
+  EXPECT_NO_THROW(mfc_.validate(r));
+}
+
+TEST_F(MfcTest, RejectsNonPowerOfTwoAlignment) {
+  DmaRequest r = legal();
+  r.alignment = 100;
+  EXPECT_THROW(mfc_.validate(r), DmaError);
+}
+
+TEST_F(MfcTest, ElementsComputed) {
+  DmaRequest r = legal(1024, 512);
+  EXPECT_EQ(r.elements(), 2);
+  r = legal(1025, 512);  // partial trailing element
+  EXPECT_EQ(r.elements(), 3);
+}
+
+TEST_F(MfcTest, PeakEfficiencyNeeds128ByteMultiples) {
+  // 128-byte aligned, multiple-of-128 transfers run at 1.0 (the CBEA
+  // "peak performance" rule the paper quotes).
+  EXPECT_DOUBLE_EQ(mfc_.transfer_efficiency(512, 128), 1.0);
+  EXPECT_DOUBLE_EQ(mfc_.transfer_efficiency(128, 128), 1.0);
+  // 400 B aligned: 4 bursts for 400 bytes.
+  EXPECT_NEAR(mfc_.transfer_efficiency(400, 128), 400.0 / 512.0, 1e-12);
+  // Misaligned 512 B: one extra burst.
+  EXPECT_NEAR(mfc_.transfer_efficiency(512, 16), 512.0 / 640.0, 1e-12);
+  // Tiny transfers hit the floor.
+  EXPECT_GE(mfc_.transfer_efficiency(16, 16), spec_.dma_min_efficiency);
+}
+
+TEST_F(MfcTest, ListIssueCheaperThanIndividual) {
+  DmaRequest list = legal(64 * 512, 512);
+  list.as_list = true;
+  DmaRequest indiv = list;
+  indiv.as_list = false;
+  const DmaCompletion a = mfc_.submit(0, list);
+  Mfc other(spec_, &eib_, &mic_, "mfc1");
+  const DmaCompletion b = other.submit(0, indiv);
+  // SPU-side issue: 64 channel commands vs one list command.
+  EXPECT_LT(a.issue_done, b.issue_done);
+}
+
+TEST_F(MfcTest, CompletionAfterIssue) {
+  const DmaCompletion c = mfc_.submit(1000, legal());
+  EXPECT_GT(c.issue_done, 1000u);
+  EXPECT_GT(c.done, c.issue_done);
+}
+
+TEST_F(MfcTest, QueueBackPressure) {
+  // Saturate the 16-deep queue with large transfers; the 17th must
+  // wait for a slot.
+  sim::Tick first_done = 0;
+  for (int i = 0; i < 16; ++i) {
+    const DmaCompletion c = mfc_.submit(0, legal(16 * 1024, 16 * 1024));
+    if (i == 0) first_done = c.done;
+  }
+  const DmaCompletion overflow = mfc_.submit(0, legal(16, 16));
+  EXPECT_GE(overflow.done, first_done);
+  EXPECT_EQ(mfc_.commands(), 17u);
+}
+
+TEST_F(MfcTest, WaitAllCoversOutstanding) {
+  const DmaCompletion c = mfc_.submit(0, legal(16 * 1024, 16 * 1024));
+  EXPECT_EQ(mfc_.wait_all(0), c.done);
+  EXPECT_EQ(mfc_.wait_all(c.done + 5), c.done + 5);
+}
+
+TEST_F(MfcTest, TracksBytesAndTransfers) {
+  mfc_.submit(0, legal(1024, 512));
+  EXPECT_DOUBLE_EQ(mfc_.bytes_requested(), 1024.0);
+  EXPECT_EQ(mfc_.transfers(), 2u);
+  mfc_.reset();
+  EXPECT_DOUBLE_EQ(mfc_.bytes_requested(), 0.0);
+}
+
+TEST_F(MfcTest, LsToLsSkipsMemoryController) {
+  DmaRequest ls = legal(4096, 4096);
+  ls.ls_to_ls = true;
+  const double before = mic_.bytes_moved();
+  mfc_.submit(0, ls);
+  EXPECT_DOUBLE_EQ(mic_.bytes_moved(), before);  // MIC untouched
+  EXPECT_GT(eib_.bytes_moved(), 0.0);
+}
+
+TEST_F(MfcTest, LsToLsFasterThanMemory) {
+  DmaRequest mem = legal(16 * 1024, 16 * 1024);
+  DmaRequest ls = mem;
+  ls.ls_to_ls = true;
+  Mfc a(spec_, &eib_, &mic_, "a");
+  Eib eib2(spec_);
+  Mic mic2(spec_);
+  Mfc b(spec_, &eib2, &mic2, "b");
+  const sim::Tick t_mem = a.submit(0, mem).done;
+  const sim::Tick t_ls = b.submit(0, ls).done;
+  EXPECT_LT(t_ls, t_mem);
+}
+
+TEST_F(MfcTest, SharedMicSerializesAcrossSpes) {
+  Mfc other(spec_, &eib_, &mic_, "mfc1");
+  const DmaCompletion a = mfc_.submit(0, legal(16 * 1024, 16 * 1024));
+  const DmaCompletion b = other.submit(0, legal(16 * 1024, 16 * 1024));
+  EXPECT_GT(b.done, a.done);  // FIFO on the shared port
+}
+
+TEST_F(MfcTest, RequiresResources) {
+  EXPECT_THROW(Mfc(spec_, nullptr, &mic_, "x"), DmaError);
+  EXPECT_THROW(Mfc(spec_, &eib_, nullptr, "x"), DmaError);
+}
+
+}  // namespace
+}  // namespace cellsweep::cell

@@ -1,0 +1,174 @@
+// Unit tests for the SPU dual-issue pipeline scheduler: the issue rules
+// the Section 5.1 reproduction depends on.
+#include <gtest/gtest.h>
+
+#include "cellsim/spu_pipeline.h"
+#include "spu/trace.h"
+
+namespace cellsweep::cell {
+namespace {
+
+using spu::Op;
+using spu::TraceRecorder;
+
+spu::Trace make_trace(const std::vector<spu::TracedInst>& insts,
+                      std::uint64_t flops = 0) {
+  spu::Trace t;
+  t.insts = insts;
+  t.flops = flops;
+  return t;
+}
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  CellSpec spec_;
+  SpuPipeline pipe_{spec_};
+};
+
+TEST_F(PipelineTest, EmptyTrace) {
+  const ScheduleResult r = pipe_.schedule(spu::Trace{});
+  EXPECT_EQ(r.cycles, 0u);
+  EXPECT_EQ(r.instructions, 0u);
+}
+
+TEST_F(PipelineTest, DpOpsIssueEverySevenCycles) {
+  // Independent DP ops: issue-blocked at one per 7 cycles (the paper's
+  // "two double-precision flops every seven SPU clocks").
+  std::vector<spu::TracedInst> insts;
+  for (int i = 0; i < 10; ++i)
+    insts.push_back({Op::kFmaDouble, spu::ValueId(100 + i), 0, 0, 0});
+  const ScheduleResult r = pipe_.schedule(make_trace(insts, 40));
+  // Last issues at cycle 63, retires 13 later.
+  EXPECT_EQ(r.issue_cycles, 9u * 7u + 7u);
+  EXPECT_EQ(r.cycles, 63u + 13u);
+  EXPECT_EQ(r.dual_issues, 0u);  // DP never pairs
+  EXPECT_EQ(r.block_stall_cycles, 10u * 6u);
+}
+
+TEST_F(PipelineTest, SpFullyPipelined) {
+  std::vector<spu::TracedInst> insts;
+  for (int i = 0; i < 10; ++i)
+    insts.push_back({Op::kFmaSingle, spu::ValueId(100 + i), 0, 0, 0});
+  const ScheduleResult r = pipe_.schedule(make_trace(insts, 80));
+  // One per cycle: last issues at cycle 9, retires at +6.
+  EXPECT_EQ(r.cycles, 9u + 6u);
+}
+
+TEST_F(PipelineTest, DualIssuePairsEvenThenOdd) {
+  // fixed(even) followed by load(odd): one dual-issue cycle.
+  std::vector<spu::TracedInst> insts = {
+      {Op::kFixed, 100, 0, 0, 0},
+      {Op::kLoad, 101, 0, 0, 0},
+  };
+  const ScheduleResult r = pipe_.schedule(make_trace(insts));
+  EXPECT_EQ(r.dual_issues, 1u);
+  EXPECT_EQ(r.issue_cycles, 1u);  // both in cycle 0
+}
+
+TEST_F(PipelineTest, OddThenEvenDoesNotPair) {
+  std::vector<spu::TracedInst> insts = {
+      {Op::kLoad, 100, 0, 0, 0},
+      {Op::kFixed, 101, 0, 0, 0},
+  };
+  const ScheduleResult r = pipe_.schedule(make_trace(insts));
+  EXPECT_EQ(r.dual_issues, 0u);
+}
+
+TEST_F(PipelineTest, DependentPairDoesNotDualIssue) {
+  // The odd op consumes the even op's result: cannot share a cycle.
+  std::vector<spu::TracedInst> insts = {
+      {Op::kFixed, 100, 0, 0, 0},
+      {Op::kStore, 101, 100, 0, 0},
+  };
+  const ScheduleResult r = pipe_.schedule(make_trace(insts));
+  EXPECT_EQ(r.dual_issues, 0u);
+}
+
+TEST_F(PipelineTest, TrueDependencyStallsIssue) {
+  // load (latency 6) feeding a DP op: the DP op waits for the load.
+  std::vector<spu::TracedInst> insts = {
+      {Op::kLoad, 100, 0, 0, 0},
+      {Op::kFmaDouble, 101, 100, 0, 0},
+  };
+  const ScheduleResult r = pipe_.schedule(make_trace(insts));
+  // Load issues at 0, result at 6; DP issues at 6, retires at 19.
+  EXPECT_EQ(r.cycles, 6u + 13u);
+  EXPECT_GT(r.dep_stall_cycles, 0u);
+}
+
+TEST_F(PipelineTest, SerialDpChainPacedByLatency) {
+  // Chained DP fmas: spaced by the 13-cycle latency, not the 7-cycle
+  // issue block.
+  std::vector<spu::TracedInst> insts;
+  spu::ValueId prev = 0;
+  for (int i = 0; i < 5; ++i) {
+    insts.push_back({Op::kFmaDouble, spu::ValueId(100 + i), prev, 0, 0});
+    prev = spu::ValueId(100 + i);
+  }
+  const ScheduleResult r = pipe_.schedule(make_trace(insts));
+  EXPECT_EQ(r.cycles, 4u * 13u + 13u);
+}
+
+TEST_F(PipelineTest, UnhintedBranchFlushes) {
+  std::vector<spu::TracedInst> insts = {
+      {Op::kBranchMiss, 100, 0, 0, 0},
+      {Op::kFixed, 101, 0, 0, 0},
+  };
+  const ScheduleResult r = pipe_.schedule(make_trace(insts));
+  // The fixed op cannot issue until the 19-cycle flush expires.
+  EXPECT_GE(r.issue_cycles, 19u);
+}
+
+TEST_F(PipelineTest, HintedBranchIsCheap) {
+  std::vector<spu::TracedInst> insts = {
+      {Op::kBranch, 100, 0, 0, 0},
+      {Op::kFixed, 101, 0, 0, 0},
+  };
+  const ScheduleResult r = pipe_.schedule(make_trace(insts));
+  EXPECT_LE(r.issue_cycles, 2u);
+}
+
+TEST_F(PipelineTest, PipeAssignmentCounts) {
+  std::vector<spu::TracedInst> insts = {
+      {Op::kFmaDouble, 100, 0, 0, 0},
+      {Op::kFixed, 101, 0, 0, 0},
+      {Op::kLoad, 102, 0, 0, 0},
+      {Op::kShuffle, 103, 0, 0, 0},
+      {Op::kStore, 104, 0, 0, 0},
+  };
+  const ScheduleResult r = pipe_.schedule(make_trace(insts));
+  EXPECT_EQ(r.even_pipe_insts, 2u);
+  EXPECT_EQ(r.odd_pipe_insts, 3u);
+  EXPECT_EQ(r.instructions, 5u);
+}
+
+TEST_F(PipelineTest, FullyPipelinedDpVariant) {
+  SpuPipeline fast(fully_pipelined_dp_spec());
+  std::vector<spu::TracedInst> insts;
+  for (int i = 0; i < 10; ++i)
+    insts.push_back({Op::kFmaDouble, spu::ValueId(100 + i), 0, 0, 0});
+  const ScheduleResult slow_r = pipe_.schedule(make_trace(insts, 40));
+  const ScheduleResult fast_r = fast.schedule(make_trace(insts, 40));
+  EXPECT_LT(fast_r.cycles, slow_r.cycles);
+  // Fully pipelined: one DP per cycle.
+  EXPECT_EQ(fast_r.issue_cycles, 10u);
+}
+
+TEST_F(PipelineTest, FlopsPerCycleAndDualRate) {
+  std::vector<spu::TracedInst> insts = {
+      {Op::kFmaDouble, 100, 0, 0, 0},
+  };
+  ScheduleResult r = pipe_.schedule(make_trace(insts, 4));
+  EXPECT_GT(r.flops_per_cycle(), 0.0);
+  EXPECT_EQ(r.flops, 4u);
+  EXPECT_DOUBLE_EQ(r.dual_issue_rate(), 0.0);
+}
+
+TEST_F(PipelineTest, DpPeakRateMatchesPaper) {
+  // 4 flops / 7 cycles / SPE x 8 SPEs at 3.2 GHz = 14.63 Gflops/s.
+  EXPECT_NEAR(spec_.dp_peak_flops(), 14.63e9, 0.01e9);
+  EXPECT_NEAR(spec_.sp_peak_flops(), 204.8e9, 0.1e9);
+}
+
+}  // namespace
+}  // namespace cellsweep::cell

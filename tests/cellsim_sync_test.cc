@@ -1,0 +1,88 @@
+// Unit tests for the dispatch fabric: the three sync protocols of the
+// paper's Section 5 / Figure 10.
+#include <gtest/gtest.h>
+
+#include "cellsim/sync.h"
+
+namespace cellsweep::cell {
+namespace {
+
+class SyncTest : public ::testing::Test {
+ protected:
+  CellSpec spec_;
+  DispatchFabric fabric_{spec_};
+};
+
+TEST_F(SyncTest, ProtocolNames) {
+  EXPECT_STREQ(sync_protocol_name(SyncProtocol::kMailbox), "mailbox");
+  EXPECT_STREQ(sync_protocol_name(SyncProtocol::kLsPoke), "ls-poke");
+  EXPECT_STREQ(sync_protocol_name(SyncProtocol::kAtomicDistributed),
+               "atomic-distributed");
+}
+
+TEST_F(SyncTest, PokeGrantsFasterThanMailbox) {
+  DispatchFabric a(spec_), b(spec_);
+  const sim::Tick mail = a.acquire_work(0, SyncProtocol::kMailbox);
+  const sim::Tick poke = b.acquire_work(0, SyncProtocol::kLsPoke);
+  EXPECT_LT(poke, mail);
+}
+
+TEST_F(SyncTest, AtomicGrantsCheapest) {
+  DispatchFabric a(spec_), b(spec_);
+  const sim::Tick poke = a.acquire_work(0, SyncProtocol::kLsPoke);
+  const sim::Tick atom = b.acquire_work(0, SyncProtocol::kAtomicDistributed);
+  EXPECT_LT(atom, poke);
+}
+
+TEST_F(SyncTest, CentralizedGrantsSerialize) {
+  // Eight simultaneous grant requests queue on the single PPE.
+  sim::Tick prev = 0;
+  for (int i = 0; i < 8; ++i) {
+    const sim::Tick t = fabric_.acquire_work(0, SyncProtocol::kMailbox);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+  EXPECT_EQ(fabric_.grants(), 8u);
+}
+
+TEST_F(SyncTest, ReportsCheaperThanGrants) {
+  // Completion polls do not pay the PPE's per-chunk dispatch work.
+  DispatchFabric a(spec_), b(spec_);
+  sim::Tick g = 0, r = 0;
+  for (int i = 0; i < 4; ++i) {
+    g = a.acquire_work(0, SyncProtocol::kLsPoke);
+    r = b.report_done(0, SyncProtocol::kLsPoke);
+  }
+  EXPECT_LT(r, g);
+}
+
+TEST_F(SyncTest, DistributedReportIsLocal) {
+  // Under distributed self-scheduling there is no PPE round trip.
+  const sim::Tick t = fabric_.report_done(1000, SyncProtocol::kAtomicDistributed);
+  EXPECT_LT(t - 1000, spec_.atomic_op_latency);
+}
+
+TEST_F(SyncTest, GrantsAndReportsShareThePpe) {
+  // A report queues behind an in-flight grant on the same server: the
+  // queued report completes later than one on an idle fabric.
+  DispatchFabric idle(spec_);
+  const sim::Tick idle_report = idle.report_done(0, SyncProtocol::kMailbox);
+  fabric_.acquire_work(0, SyncProtocol::kMailbox);
+  const sim::Tick queued_report =
+      fabric_.report_done(0, SyncProtocol::kMailbox);
+  EXPECT_GT(queued_report, idle_report);
+}
+
+TEST_F(SyncTest, ResetClearsCounters) {
+  fabric_.acquire_work(0, SyncProtocol::kMailbox);
+  fabric_.report_done(0, SyncProtocol::kMailbox);
+  fabric_.reset();
+  EXPECT_EQ(fabric_.grants(), 0u);
+  EXPECT_EQ(fabric_.reports(), 0u);
+  // After reset the server is idle again.
+  const sim::Tick t = fabric_.acquire_work(0, SyncProtocol::kMailbox);
+  EXPECT_EQ(t, spec_.mailbox_latency);
+}
+
+}  // namespace
+}  // namespace cellsweep::cell

@@ -1,0 +1,142 @@
+// Tests for the simulated Cell cluster, including the cross-check
+// against the analytic wavefront model.
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "perfmodel/wavefront.h"
+
+namespace cellsweep::core {
+namespace {
+
+ClusterConfig make_cluster(int px, int py, int iters = 2) {
+  ClusterConfig c;
+  c.px = px;
+  c.py = py;
+  c.chip = CellSweepConfig::from_stage(OptimizationStage::kSpeLsPoke);
+  c.chip.sweep.max_iterations = iters;
+  c.chip.sweep.fixup_from_iteration = iters;  // off: deterministic costs
+  c.chip.sweep.mk = 5;
+  c.chip.sweep.mmi = 3;
+  return c;
+}
+
+TEST(Cluster, SingleRankMatchesIsolatedChip) {
+  const sweep::Grid g = sweep::Grid::cube(20);
+  const ClusterReport r = simulate_cluster(g, make_cluster(1, 1));
+  EXPECT_DOUBLE_EQ(r.seconds, r.tile_seconds);
+  EXPECT_DOUBLE_EQ(r.wavefront_efficiency, 1.0);
+  EXPECT_EQ(r.messages, 0u);
+  EXPECT_NEAR(r.speedup_vs_one_chip, 1.0, 1e-12);
+}
+
+TEST(Cluster, DecompositionSpeedsUpTheGlobalProblem) {
+  const sweep::Grid g = sweep::Grid::cube(40);
+  const ClusterReport r22 = simulate_cluster(g, make_cluster(2, 2));
+  EXPECT_GT(r22.speedup_vs_one_chip, 1.5);  // 4 chips, pipeline losses
+  EXPECT_LT(r22.speedup_vs_one_chip, 4.0);
+  EXPECT_LT(r22.wavefront_efficiency, 1.0);
+  EXPECT_GT(r22.wavefront_efficiency, 0.4);
+}
+
+TEST(Cluster, EfficiencyDropsWithGridSize) {
+  const sweep::Grid g = sweep::Grid::cube(40);
+  const double e2 = simulate_cluster(g, make_cluster(2, 1)).wavefront_efficiency;
+  const double e4 = simulate_cluster(g, make_cluster(2, 2)).wavefront_efficiency;
+  const double e8 = simulate_cluster(g, make_cluster(4, 2)).wavefront_efficiency;
+  EXPECT_GT(e2, e4);
+  EXPECT_GT(e4, e8);
+}
+
+TEST(Cluster, CornerRanksFinishLast) {
+  // The rank farthest from every entry corner cannot finish before the
+  // one at a corner of the final octant's wave.
+  const sweep::Grid g = sweep::Grid::cube(24);
+  ClusterConfig c = make_cluster(2, 2);
+  c.chip.sweep.mk = 4;
+  const ClusterReport r = simulate_cluster(g, c);
+  ASSERT_EQ(r.rank_seconds.size(), 4u);
+  const double spread =
+      *std::max_element(r.rank_seconds.begin(), r.rank_seconds.end()) -
+      *std::min_element(r.rank_seconds.begin(), r.rank_seconds.end());
+  EXPECT_GE(spread, 0.0);
+  EXPECT_LT(spread / r.seconds, 0.2);  // all ranks near the makespan
+}
+
+TEST(Cluster, MessageAccounting) {
+  const sweep::Grid g = sweep::Grid::cube(20);
+  ClusterConfig c = make_cluster(2, 2, 1);
+  const ClusterReport r = simulate_cluster(g, c);
+  // Per block key: the 2x2 grid sends 2 I-messages + 2 J-messages.
+  const int nab = 6 / c.chip.sweep.mmi;
+  const int nkb = 20 / c.chip.sweep.mk;
+  EXPECT_EQ(r.messages, static_cast<std::uint64_t>(8 * nab * nkb * 4));
+  EXPECT_GT(r.message_bytes, 0.0);
+}
+
+TEST(Cluster, SlowLinksHurt) {
+  const sweep::Grid g = sweep::Grid::cube(24);
+  ClusterConfig fast = make_cluster(2, 2);
+  fast.chip.sweep.mk = 4;
+  ClusterConfig slow = make_cluster(2, 2);
+  slow.chip.sweep.mk = 4;
+  slow.link_bandwidth = 5e7;
+  slow.link_latency_s = 500e-6;
+  EXPECT_GT(simulate_cluster(g, slow).seconds,
+            simulate_cluster(g, fast).seconds * 1.05);
+}
+
+TEST(Cluster, FinerBlocksFillThePipelineBetter) {
+  // On a deep process grid, smaller MK x MMI blocks reach the far
+  // corner sooner: higher wavefront efficiency (relative to each
+  // config's own per-tile time) -- the paper's reason for MMI = 1 or 3
+  // at scale.
+  const sweep::Grid g = sweep::Grid::cube(32);
+  ClusterConfig coarse = make_cluster(4, 4);
+  coarse.chip.sweep.mk = 8;
+  coarse.chip.sweep.mmi = 6;
+  ClusterConfig fine = make_cluster(4, 4);
+  fine.chip.sweep.mk = 4;
+  fine.chip.sweep.mmi = 3;
+  EXPECT_GT(simulate_cluster(g, fine).wavefront_efficiency,
+            simulate_cluster(g, coarse).wavefront_efficiency);
+}
+
+TEST(Cluster, AgreesWithAnalyticModelInShape) {
+  const sweep::Grid g = sweep::Grid::cube(40);
+  ClusterConfig c = make_cluster(4, 4);
+  c.chip.sweep.mk = 5;
+  const ClusterReport sim_r = simulate_cluster(g, c);
+
+  perf::WavefrontParams wp;
+  wp.px = wp.py = 4;
+  wp.blocks_per_octant = (g.kt / c.chip.sweep.mk) * (6 / c.chip.sweep.mmi);
+  wp.tile_time_s = sim_r.tile_seconds;
+  wp.block_comm_bytes =
+      8.0 * c.chip.sweep.mmi * c.chip.sweep.mk * (10 + 10);
+  wp.link_bandwidth = c.link_bandwidth;
+  wp.link_latency_s = c.link_latency_s;
+  const perf::WavefrontEstimate analytic = perf::estimate_wavefront(wp);
+
+  // The two models must agree on the efficiency regime (within ~25%):
+  // the simulation has per-diagonal effects the analytic model folds
+  // into one number.
+  EXPECT_NEAR(sim_r.seconds / analytic.total_s, 1.0, 0.25);
+}
+
+TEST(Cluster, Deterministic) {
+  const sweep::Grid g = sweep::Grid::cube(20);
+  const ClusterReport a = simulate_cluster(g, make_cluster(2, 2));
+  const ClusterReport b = simulate_cluster(g, make_cluster(2, 2));
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+}
+
+TEST(Cluster, Validation) {
+  const sweep::Grid g = sweep::Grid::cube(20);
+  EXPECT_THROW(simulate_cluster(g, make_cluster(0, 2)),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_cluster(g, make_cluster(3, 1)),
+               std::invalid_argument);  // 3 does not divide 20
+}
+
+}  // namespace
+}  // namespace cellsweep::core

@@ -1,0 +1,169 @@
+// Tests for the input-deck parser.
+#include <gtest/gtest.h>
+
+#include "sweep/deck.h"
+#include "sweep/sweeper.h"
+
+namespace cellsweep::sweep {
+namespace {
+
+const char* kBasicDeck = R"(
+# the paper's benchmark deck
+it 50  jt 50  kt 50
+dx 0.04  dy 0.04  dz 0.04
+mk 10
+mmi 3
+sn 6
+moments 6
+iterations 12
+fixup_from 10
+material benchmark 1.0 0.5 0.2 0.05 source 1.0
+)";
+
+TEST(Deck, ParsesBenchmarkDeck) {
+  const Deck d = parse_deck_string(kBasicDeck);
+  EXPECT_EQ(d.problem.grid().it, 50);
+  EXPECT_EQ(d.problem.grid().kt, 50);
+  EXPECT_DOUBLE_EQ(d.problem.grid().dx, 0.04);
+  EXPECT_EQ(d.sweep.mk, 10);
+  EXPECT_EQ(d.sweep.mmi, 3);
+  EXPECT_EQ(d.sweep.max_iterations, 12);
+  EXPECT_EQ(d.sweep.fixup_from_iteration, 10);
+  EXPECT_EQ(d.sn_order, 6);
+  EXPECT_EQ(d.nm_cap, 6);
+  ASSERT_EQ(d.problem.materials().size(), 1u);
+  EXPECT_DOUBLE_EQ(d.problem.materials()[0].sigma_t, 1.0);
+  ASSERT_EQ(d.problem.materials()[0].sigma_s.size(), 3u);
+  EXPECT_DOUBLE_EQ(d.problem.materials()[0].q_ext, 1.0);
+}
+
+TEST(Deck, KeysMayShareLines) {
+  const Deck d = parse_deck_string(
+      "it 8 jt 10 kt 12\n# comment\nmaterial m 1.0 0.5 source 1.0\n");
+  EXPECT_EQ(d.problem.grid().it, 8);
+  EXPECT_EQ(d.problem.grid().jt, 10);
+  EXPECT_EQ(d.problem.grid().kt, 12);
+}
+
+TEST(Deck, RegionsOverwriteBoxes) {
+  const Deck d = parse_deck_string(R"(
+it 8
+jt 8
+kt 8
+material air 0.1 0.05 source 0.0
+material shield 8.0 0.4 source 0.0
+region 1 2 6 0 8 0 8
+)");
+  EXPECT_EQ(d.problem.material_of(0, 0, 0).name, "air");
+  EXPECT_EQ(d.problem.material_of(3, 4, 4).name, "shield");
+  EXPECT_EQ(d.problem.material_of(7, 4, 4).name, "air");
+}
+
+TEST(Deck, BoundaryConditions) {
+  const Deck d = parse_deck_string(R"(
+it 4
+jt 4
+kt 4
+material m 1.0 0.5 source 1.0
+bc west reflective
+bc top reflective
+)");
+  EXPECT_EQ(d.problem.boundary(kFaceWest), FaceBc::kReflective);
+  EXPECT_EQ(d.problem.boundary(kFaceTop), FaceBc::kReflective);
+  EXPECT_EQ(d.problem.boundary(kFaceEast), FaceBc::kVacuum);
+}
+
+TEST(Deck, AccelerateFlag) {
+  const Deck on = parse_deck_string(
+      "it 4\njt 4\nkt 4\naccelerate 1\nmaterial m 1.0 0.5 source 1.0\n");
+  EXPECT_TRUE(on.sweep.accelerate);
+  const Deck off = parse_deck_string(
+      "it 4\njt 4\nkt 4\naccelerate 0\nmaterial m 1.0 0.5 source 1.0\n");
+  EXPECT_FALSE(off.sweep.accelerate);
+}
+
+TEST(Deck, DefaultMkDividesKt) {
+  const Deck d = parse_deck_string(
+      "it 6\njt 6\nkt 14\nmaterial m 1.0 0.5 source 1.0\n");
+  EXPECT_EQ(14 % d.sweep.mk, 0);
+  EXPECT_GT(d.sweep.mk, 1);
+}
+
+TEST(Deck, ParsedDeckSolves) {
+  const Deck d = parse_deck_string(R"(
+it 6
+jt 6
+kt 6
+mk 3
+mmi 3
+iterations 4
+fixup_from 99
+material m 1.0 0.5 source 1.0
+)");
+  SnQuadrature quad(d.sn_order);
+  SweepState<double> state(d.problem, quad, 2, d.nm_cap);
+  const SolveResult r = solve_source_iteration(state, d.sweep);
+  EXPECT_EQ(r.iterations, 4);
+  EXPECT_GT(state.flux().moment_sum(0), 0.0);
+}
+
+TEST(Deck, ErrorsCarryLineNumbers) {
+  try {
+    parse_deck_string("it 4\nbogus 12\n");
+    FAIL() << "expected DeckError";
+  } catch (const DeckError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos);
+  }
+}
+
+TEST(Deck, RejectsMissingMaterial) {
+  EXPECT_THROW(parse_deck_string("it 4\njt 4\nkt 4\n"), DeckError);
+}
+
+TEST(Deck, RejectsMaterialWithoutSource) {
+  EXPECT_THROW(parse_deck_string("it 4\njt 4\nkt 4\nmaterial m 1.0 0.5\n"),
+               DeckError);
+}
+
+TEST(Deck, RejectsBadRegion) {
+  EXPECT_THROW(parse_deck_string(R"(
+it 4
+jt 4
+kt 4
+material m 1.0 0.5 source 1.0
+region 3 0 4 0 4 0 4
+)"),
+               DeckError);
+  EXPECT_THROW(parse_deck_string(R"(
+it 4
+jt 4
+kt 4
+material m 1.0 0.5 source 1.0
+region 0 0 9 0 4 0 4
+)"),
+               DeckError);
+}
+
+TEST(Deck, RejectsBadBlocking) {
+  EXPECT_THROW(parse_deck_string(
+                   "it 4\njt 4\nkt 4\nmk 3\nmaterial m 1.0 0.5 source 1.0\n"),
+               std::exception);  // 3 does not divide 4
+}
+
+TEST(Deck, RejectsBadFaceOrKind) {
+  EXPECT_THROW(parse_deck_string(
+                   "it 4\njt 4\nkt 4\nmaterial m 1 0.5 source 1\nbc up vacuum\n"),
+               DeckError);
+  EXPECT_THROW(
+      parse_deck_string(
+          "it 4\njt 4\nkt 4\nmaterial m 1 0.5 source 1\nbc west mirror\n"),
+      DeckError);
+}
+
+TEST(Deck, LoadRejectsMissingFile) {
+  EXPECT_THROW(load_deck("/nonexistent/path.deck"), DeckError);
+}
+
+}  // namespace
+}  // namespace cellsweep::sweep

@@ -1,0 +1,77 @@
+// Unit tests for the padded field layout (the flattening + 128-byte
+// row alignment the Cell port requires).
+#include <gtest/gtest.h>
+
+#include "sweep/field.h"
+#include "util/aligned.h"
+
+namespace cellsweep::sweep {
+namespace {
+
+TEST(MomentField, RowsAre128ByteAligned) {
+  const Grid g = Grid::cube(50);
+  MomentField<double> f(g, 6);
+  for (int n = 0; n < 6; ++n)
+    for (int k : {0, 25, 49})
+      for (int j : {0, 10, 49})
+        EXPECT_TRUE(util::is_aligned(f.line(n, k, j), 128));
+}
+
+TEST(MomentField, PaddedRowIs512BytesForIt50) {
+  // The paper's "512-byte DMAs": one padded 50-cell DP row.
+  const Grid g = Grid::cube(50);
+  MomentField<double> f(g, 6);
+  EXPECT_EQ(f.row_bytes(), 512u);
+  EXPECT_EQ(f.it_padded(), 64);
+}
+
+TEST(MomentField, MomentStrideSeparatesMoments) {
+  const Grid g{10, 5, 3, 1, 1, 1};
+  MomentField<double> f(g, 4);
+  f.at(2, 1, 3, 7) = 42.0;
+  EXPECT_DOUBLE_EQ(f.line(0, 1, 3)[2 * f.moment_stride() + 7], 42.0);
+}
+
+TEST(MomentField, FillAndSum) {
+  const Grid g{8, 4, 2, 1, 1, 1};
+  MomentField<double> f(g, 2);
+  f.fill(2.0);
+  // moment_sum only counts real cells, not the padding.
+  EXPECT_DOUBLE_EQ(f.moment_sum(0), 2.0 * g.cells());
+}
+
+TEST(MomentField, MaxAbsDiff) {
+  const Grid g{8, 4, 2, 1, 1, 1};
+  MomentField<double> a(g, 1), b(g, 1);
+  a.at(0, 1, 2, 3) = 5.0;
+  b.at(0, 1, 2, 3) = 2.5;
+  EXPECT_DOUBLE_EQ(MomentField<double>::max_abs_diff_moment0(a, b), 2.5);
+}
+
+TEST(MomentField, SinglePrecisionPadding) {
+  const Grid g = Grid::cube(50);
+  MomentField<float> f(g, 6);
+  // 50 floats = 200 B -> 256 B = 64 floats.
+  EXPECT_EQ(f.it_padded(), 64);
+  EXPECT_EQ(f.row_bytes(), 256u);
+}
+
+TEST(CellField, LayoutMatchesMomentField) {
+  const Grid g = Grid::cube(20);
+  CellField<double> c(g);
+  MomentField<double> f(g, 1);
+  EXPECT_EQ(c.it_padded(), f.it_padded());
+  c.at(3, 4, 5) = 7.0;
+  EXPECT_DOUBLE_EQ(c.line(3, 4)[5], 7.0);
+  EXPECT_TRUE(util::is_aligned(c.line(3, 4), 128));
+}
+
+TEST(MomentField, ZeroInitialized) {
+  const Grid g{16, 3, 3, 1, 1, 1};
+  MomentField<double> f(g, 3);
+  EXPECT_DOUBLE_EQ(f.moment_sum(0), 0.0);
+  EXPECT_DOUBLE_EQ(f.moment_sum(2), 0.0);
+}
+
+}  // namespace
+}  // namespace cellsweep::sweep

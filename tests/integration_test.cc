@@ -1,0 +1,168 @@
+// End-to-end reproduction checks at the paper's actual scale: the
+// Figure 5 ladder, the Section 6 audit, Figure 10 projections and
+// Figure 11 ratios, all on the 50-cubed / 12-iteration deck.
+// Trace-driven timing keeps these fast enough for the unit-test suite.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/orchestrator.h"
+#include "perfmodel/processors.h"
+
+namespace cellsweep::core {
+namespace {
+
+class PaperScale : public ::testing::Test {
+ protected:
+  static const std::map<OptimizationStage, RunReport>& reports() {
+    static const auto* cached = [] {
+      auto* m = new std::map<OptimizationStage, RunReport>;
+      const sweep::Problem p = sweep::Problem::benchmark_cube(50);
+      using OS = OptimizationStage;
+      for (OS s : {OS::kPpeGcc, OS::kPpeXlc, OS::kSpeInitial, OS::kSpeAligned,
+                   OS::kSpeBuffered, OS::kSpeSimd, OS::kSpeDmaLists,
+                   OS::kSpeLsPoke, OS::kFutureBigDma, OS::kFutureDistributed,
+                   OS::kFuturePipelinedDp, OS::kFutureSingle}) {
+        CellSweep3D runner(p, CellSweepConfig::from_stage(s));
+        (*m)[s] = runner.run(RunMode::kTraceDriven);
+      }
+      return m;
+    }();
+    return *cached;
+  }
+
+  static double seconds(OptimizationStage s) { return reports().at(s).seconds; }
+};
+
+// Each Figure 5 stage within a modest tolerance of the paper's
+// measurement (these are the calibrated reproduction targets; see
+// EXPERIMENTS.md for the exact side-by-side).
+TEST_F(PaperScale, Figure5Ladder) {
+  using OS = OptimizationStage;
+  const struct {
+    OS stage;
+    double paper;
+    double tol;  // relative
+  } rows[] = {
+      {OS::kPpeGcc, 22.3, 0.05},   {OS::kPpeXlc, 19.9, 0.05},
+      {OS::kSpeInitial, 3.55, 0.20}, {OS::kSpeAligned, 3.03, 0.20},
+      {OS::kSpeBuffered, 2.88, 0.20}, {OS::kSpeSimd, 1.68, 0.20},
+      {OS::kSpeDmaLists, 1.48, 0.15}, {OS::kSpeLsPoke, 1.33, 0.10},
+  };
+  for (const auto& row : rows)
+    EXPECT_NEAR(seconds(row.stage) / row.paper, 1.0, row.tol)
+        << stage_name(row.stage) << " got " << seconds(row.stage);
+}
+
+TEST_F(PaperScale, Figure5OrderingStrict) {
+  using OS = OptimizationStage;
+  EXPECT_LT(seconds(OS::kPpeXlc), seconds(OS::kPpeGcc));
+  EXPECT_LT(seconds(OS::kSpeInitial), seconds(OS::kPpeXlc));
+  EXPECT_LT(seconds(OS::kSpeAligned), seconds(OS::kSpeInitial));
+  EXPECT_LT(seconds(OS::kSpeBuffered), seconds(OS::kSpeAligned));
+  EXPECT_LT(seconds(OS::kSpeSimd), seconds(OS::kSpeBuffered));
+  EXPECT_LT(seconds(OS::kSpeDmaLists), seconds(OS::kSpeSimd));
+  EXPECT_LT(seconds(OS::kSpeLsPoke), seconds(OS::kSpeDmaLists));
+}
+
+TEST_F(PaperScale, Figure10Projections) {
+  using OS = OptimizationStage;
+  EXPECT_NEAR(seconds(OS::kFutureBigDma), 1.2, 0.15);
+  EXPECT_NEAR(seconds(OS::kFutureDistributed), 0.9, 0.12);
+  // The paper projects 0.85 for the pipelined-DP unit; our model shows
+  // a somewhat larger gain (documented), but the ordering holds.
+  EXPECT_LT(seconds(OS::kFuturePipelinedDp),
+            seconds(OS::kFutureDistributed));
+  EXPECT_NEAR(seconds(OS::kFutureSingle), 0.45, 0.10);
+  // SP remains memory-bound: about a factor 2 from DP (paper).
+  EXPECT_NEAR(seconds(OS::kFutureDistributed) /
+                  seconds(OS::kFutureSingle),
+              2.0, 0.5);
+}
+
+TEST_F(PaperScale, Section6TrafficAudit) {
+  const RunReport& r = reports().at(OptimizationStage::kSpeLsPoke);
+  // "the SPEs transfer 17.6 Gbytes of data"
+  EXPECT_NEAR(r.traffic_bytes / 1e9, 17.6, 1.5);
+  // "...sets a lower bound of 0.7 seconds"
+  EXPECT_NEAR(r.memory_bound_s, 0.70, 0.08);
+  // "By profiling the amount of computation ... 0.68 seconds"
+  EXPECT_NEAR(r.compute_bound_s, 0.68, 0.20);
+  // "The gap between this bound and the actual run-time ..."
+  EXPECT_GT(r.seconds, r.memory_bound_s);
+  EXPECT_LT(r.seconds, 2.5 * r.memory_bound_s);
+}
+
+TEST_F(PaperScale, Figure11Speedups) {
+  const double cell = seconds(OptimizationStage::kSpeLsPoke);
+  const std::uint64_t solves = reports()
+                                   .at(OptimizationStage::kSpeLsPoke)
+                                   .cell_solves;
+  const std::uint64_t flops =
+      reports().at(OptimizationStage::kSpeLsPoke).flops;
+  EXPECT_NEAR(perf::power5().seconds(solves, flops) / cell, 4.5, 1.2);
+  EXPECT_NEAR(perf::opteron().seconds(solves, flops) / cell, 5.5, 1.5);
+  for (const auto& conv :
+       {perf::itanium2(), perf::xeon(), perf::ppc970()}) {
+    const double ratio = conv.seconds(solves, flops) / cell;
+    EXPECT_GT(ratio, 13.0) << conv.name;
+    EXPECT_LT(ratio, 30.0) << conv.name;
+  }
+}
+
+TEST_F(PaperScale, DpEfficiencyHeadline) {
+  // "we were able to reach an impressive 64% of peak performance in
+  // double precision (9.3 Gflops/second)". Measured during pure
+  // compute: flops / compute-busy time vs the 14.63 Gflops/s peak.
+  const RunReport& r = reports().at(OptimizationStage::kSpeLsPoke);
+  const cell::CellSpec spec;
+  const double kernel_rate =
+      static_cast<double>(r.flops) / (r.compute_busy_s * spec.num_spes) *
+      1.0;  // per-chip rate while all SPEs compute
+  const double fraction = kernel_rate * spec.num_spes /
+                          (spec.dp_peak_flops() * spec.num_spes);
+  // Equivalent simplification: flops / (busy * 8) / per-SPE peak.
+  const double per_spe_peak = spec.dp_peak_flops() / spec.num_spes;
+  const double eff =
+      static_cast<double>(r.flops) / (r.compute_busy_s * spec.num_spes) /
+      per_spe_peak;
+  (void)kernel_rate;
+  (void)fraction;
+  EXPECT_GT(eff, 0.35);
+  EXPECT_LT(eff, 0.85);
+}
+
+TEST_F(PaperScale, OverallSpeedupRange) {
+  // "an overall performance speedup ranging from 4.5 times ... up to
+  // over 20 times with conventional processors" -- and ~17x versus the
+  // PPE-only baseline.
+  const double cell = seconds(OptimizationStage::kSpeLsPoke);
+  const double ppe = seconds(OptimizationStage::kPpeGcc);
+  EXPECT_GT(ppe / cell, 12.0);
+  EXPECT_LT(ppe / cell, 22.0);
+}
+
+TEST(GrindTime, FlatAboveTwentyFiveCells) {
+  // Figure 9: grind time roughly constant for cube sizes >= 25-40.
+  auto grind = [](int n) {
+    const sweep::Problem p = sweep::Problem::benchmark_cube(n);
+    CellSweepConfig cfg =
+        CellSweepConfig::from_stage(OptimizationStage::kSpeLsPoke);
+    int mk = 1;
+    for (int d = 1; d <= 10; ++d)
+      if (n % d == 0) mk = d;
+    cfg.sweep.mk = mk;
+    CellSweep3D runner(p, cfg);
+    return runner.run(RunMode::kTraceDriven).grind_seconds;
+  };
+  const double g40 = grind(40);
+  const double g60 = grind(60);
+  const double g80 = grind(80);
+  EXPECT_NEAR(g60 / g40, 1.0, 0.2);
+  EXPECT_NEAR(g80 / g60, 1.0, 0.15);
+  // Small cubes pay visible overhead.
+  EXPECT_GT(grind(10), 2.0 * g60);
+}
+
+}  // namespace
+}  // namespace cellsweep::core

@@ -1,0 +1,172 @@
+// Unit tests for the message-passing substrate: matched send/recv,
+// ordering, collectives, determinism, and the Cartesian topology.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "msg/cart_grid.h"
+#include "msg/communicator.h"
+
+namespace cellsweep::msg {
+namespace {
+
+TEST(World, RequiresOneRank) {
+  EXPECT_THROW(World(0), MsgError);
+  EXPECT_NO_THROW(World(1));
+}
+
+TEST(Msg, PingPong) {
+  World world(2);
+  world.run([](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 7, std::vector<double>{1.0, 2.0, 3.0});
+      const auto back = comm.recv(1, 8);
+      ASSERT_EQ(back.size(), 1u);
+      EXPECT_DOUBLE_EQ(back[0], 6.0);
+    } else {
+      const auto msg = comm.recv(0, 7);
+      double sum = 0;
+      for (double x : msg) sum += x;
+      comm.send(0, 8, std::vector<double>{sum});
+    }
+  });
+}
+
+TEST(Msg, NonOvertakingSameSourceAndTag) {
+  World world(2);
+  world.run([](Communicator& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 10; ++i)
+        comm.send(1, 3, std::vector<double>{static_cast<double>(i)});
+    } else {
+      for (int i = 0; i < 10; ++i) {
+        const auto m = comm.recv(0, 3);
+        EXPECT_DOUBLE_EQ(m[0], i);  // FIFO per (src, tag)
+      }
+    }
+  });
+}
+
+TEST(Msg, TagsMatchIndependently) {
+  World world(2);
+  world.run([](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 100, std::vector<double>{100.0});
+      comm.send(1, 200, std::vector<double>{200.0});
+    } else {
+      // Receive in the opposite order of sending: tags select.
+      EXPECT_DOUBLE_EQ(comm.recv(0, 200)[0], 200.0);
+      EXPECT_DOUBLE_EQ(comm.recv(0, 100)[0], 100.0);
+    }
+  });
+}
+
+TEST(Msg, RecvIntoValidatesSize) {
+  World world(2);
+  world.run([](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, std::vector<double>{1.0, 2.0});
+    } else {
+      std::vector<double> buf(3);
+      EXPECT_THROW(comm.recv_into(0, 1, buf), MsgError);
+    }
+  });
+}
+
+TEST(Msg, RankRangeChecked) {
+  World world(2);
+  world.run([](Communicator& comm) {
+    EXPECT_THROW(comm.send(5, 0, std::vector<double>{1.0}), MsgError);
+    EXPECT_THROW(comm.recv(-1, 0), MsgError);
+  });
+}
+
+TEST(Msg, BarrierSynchronizes) {
+  World world(4);
+  std::atomic<int> before{0}, after{0};
+  world.run([&](Communicator& comm) {
+    before.fetch_add(1);
+    comm.barrier();
+    // Every rank must have passed `before` by now.
+    EXPECT_EQ(before.load(), 4);
+    after.fetch_add(1);
+    comm.barrier();
+    EXPECT_EQ(after.load(), 4);
+  });
+}
+
+TEST(Msg, AllreduceSumDeterministicOrder) {
+  // Values with different magnitudes: result must be the rank-ordered
+  // sum, bit-exactly, on every rank and every repetition.
+  const int n = 6;
+  std::vector<double> contrib = {1e16, 3.25, -1e16, 7.5, 0.125, 2.0};
+  double expected = 0.0;
+  for (double x : contrib) expected += x;
+
+  for (int rep = 0; rep < 5; ++rep) {
+    World world(n);
+    world.run([&](Communicator& comm) {
+      const double r = comm.allreduce_sum(contrib[comm.rank()]);
+      EXPECT_EQ(r, expected);
+    });
+  }
+}
+
+TEST(Msg, AllreduceMax) {
+  World world(3);
+  world.run([](Communicator& comm) {
+    const double r = comm.allreduce_max(static_cast<double>(comm.rank()));
+    EXPECT_DOUBLE_EQ(r, 2.0);
+  });
+}
+
+TEST(Msg, SequentialReductions) {
+  World world(3);
+  world.run([](Communicator& comm) {
+    for (int i = 0; i < 10; ++i) {
+      const double s = comm.allreduce_sum(1.0);
+      EXPECT_DOUBLE_EQ(s, 3.0);
+    }
+  });
+}
+
+TEST(Msg, ExceptionsPropagate) {
+  World world(2);
+  EXPECT_THROW(world.run([](Communicator& comm) {
+                 if (comm.rank() == 1) throw std::runtime_error("rank fail");
+               }),
+               std::runtime_error);
+}
+
+TEST(CartGrid, CoordinatesRoundTrip) {
+  CartGrid2D grid(3, 2);
+  EXPECT_EQ(grid.size(), 6);
+  for (int r = 0; r < grid.size(); ++r)
+    EXPECT_EQ(grid.rank_of(grid.x_of(r), grid.y_of(r)), r);
+}
+
+TEST(CartGrid, NeighborsAndBoundaries) {
+  CartGrid2D grid(3, 3);
+  const int center = grid.rank_of(1, 1);
+  EXPECT_EQ(grid.neighbor(center, Direction::kWest), grid.rank_of(0, 1));
+  EXPECT_EQ(grid.neighbor(center, Direction::kEast), grid.rank_of(2, 1));
+  EXPECT_EQ(grid.neighbor(center, Direction::kNorth), grid.rank_of(1, 0));
+  EXPECT_EQ(grid.neighbor(center, Direction::kSouth), grid.rank_of(1, 2));
+  EXPECT_EQ(grid.neighbor(grid.rank_of(0, 0), Direction::kWest), -1);
+  EXPECT_EQ(grid.neighbor(grid.rank_of(2, 2), Direction::kSouth), -1);
+}
+
+TEST(CartGrid, WaveDepth) {
+  CartGrid2D grid(3, 3);
+  // Sweep entering at the north-west corner (Figure 1).
+  EXPECT_EQ(grid.wave_depth(grid.rank_of(0, 0), 0, 0), 0);
+  EXPECT_EQ(grid.wave_depth(grid.rank_of(2, 2), 0, 0), 4);
+  EXPECT_EQ(grid.wave_depth(grid.rank_of(2, 2), 1, 1), 0);  // SE corner
+}
+
+TEST(CartGrid, RejectsBadDims) {
+  EXPECT_THROW(CartGrid2D(0, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cellsweep::msg

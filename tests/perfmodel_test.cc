@@ -1,0 +1,82 @@
+// Tests for the comparator processor models and the roofline bounds.
+#include <gtest/gtest.h>
+
+#include "perfmodel/bounds.h"
+#include "perfmodel/processors.h"
+
+namespace cellsweep::perf {
+namespace {
+
+// The 50-cubed / 12-iteration workload in cell-solves and flops (nm=6).
+constexpr std::uint64_t kSolves = 125000ull * 48 * 12;
+constexpr std::uint64_t kFlops = kSolves * 40;
+
+TEST(Processors, PpeGccMatchesPaperStartingPoint) {
+  EXPECT_NEAR(ppe_gcc().seconds(kSolves, kFlops), 22.3, 0.7);
+}
+
+TEST(Processors, PpeXlcMatchesPaper) {
+  EXPECT_NEAR(ppe_xlc().seconds(kSolves, kFlops), 19.9, 0.7);
+}
+
+TEST(Processors, XlcFasterThanGcc) {
+  EXPECT_LT(ppe_xlc().seconds(kSolves, kFlops),
+            ppe_gcc().seconds(kSolves, kFlops));
+}
+
+TEST(Processors, Power5IsBestHeavyIron) {
+  const double p5 = power5().seconds(kSolves, kFlops);
+  for (const auto& proc : figure11_lineup())
+    EXPECT_GE(proc.seconds(kSolves, kFlops), p5 * 0.999) << proc.name;
+}
+
+TEST(Processors, Figure11Ratios) {
+  // Cell final time 1.33 s: Power5 ~4.5x, Opteron ~5.5x, conventional
+  // processors ~20x (paper Section 6).
+  const double cell = 1.33;
+  EXPECT_NEAR(power5().seconds(kSolves, kFlops) / cell, 4.5, 1.0);
+  EXPECT_NEAR(opteron().seconds(kSolves, kFlops) / cell, 5.5, 1.2);
+  for (const auto& conv : {itanium2(), xeon(), ppc970()}) {
+    const double ratio = conv.seconds(kSolves, kFlops) / cell;
+    EXPECT_GT(ratio, 14.0) << conv.name;
+    EXPECT_LT(ratio, 28.0) << conv.name;
+  }
+}
+
+TEST(Processors, RooflineTakesMaxOfLegs) {
+  ProcessorModel m{"test", 1e9, 2.0, 1.0, 1e9, 100.0};
+  // Compute leg: 1e9 flops / 2e9 = 0.5 s; memory: 1e7 solves*100/1e9 = 1 s.
+  EXPECT_DOUBLE_EQ(m.seconds(10'000'000, 1'000'000'000), 1.0);
+  // Fewer solves: compute-bound.
+  EXPECT_DOUBLE_EQ(m.seconds(1'000'000, 1'000'000'000), 0.5);
+}
+
+TEST(Processors, LineupHasFiveMachines) {
+  const auto lineup = figure11_lineup();
+  EXPECT_EQ(lineup.size(), 5u);
+  for (const auto& p : lineup) {
+    EXPECT_FALSE(p.name.empty());
+    EXPECT_GT(p.clock_hz, 0.0);
+    EXPECT_GT(p.achievable_fraction, 0.0);
+    EXPECT_LT(p.achievable_fraction, 0.2);  // branchy kernel: low % peak
+  }
+}
+
+TEST(Bounds, PaperSection6Numbers) {
+  // 17.6 GB at 25.6 GB/s -> 0.7 s lower bound.
+  cell::CellSpec spec;
+  const CellBounds b = cell_bounds(spec, 17.6e9, /*compute_cycles=*/17.4e9);
+  EXPECT_NEAR(b.memory_bound_s, 0.6875, 1e-4);
+  EXPECT_NEAR(b.compute_bound_s, 0.68, 0.01);
+  EXPECT_DOUBLE_EQ(b.bound_s, std::max(b.memory_bound_s, b.compute_bound_s));
+}
+
+TEST(Bounds, ScalesWithTraffic) {
+  cell::CellSpec spec;
+  const CellBounds a = cell_bounds(spec, 10e9, 1e9);
+  const CellBounds b = cell_bounds(spec, 20e9, 1e9);
+  EXPECT_NEAR(b.memory_bound_s / a.memory_bound_s, 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace cellsweep::perf

@@ -1,0 +1,92 @@
+// Unit tests for problem definitions and the grid.
+#include <gtest/gtest.h>
+
+#include "sweep/grid.h"
+#include "sweep/problem.h"
+
+namespace cellsweep::sweep {
+namespace {
+
+TEST(Grid, CubeFactory) {
+  const Grid g = Grid::cube(50, 2.0);
+  EXPECT_EQ(g.it, 50);
+  EXPECT_EQ(g.cells(), 125000);
+  EXPECT_DOUBLE_EQ(g.dx, 0.04);
+  EXPECT_DOUBLE_EQ(g.cell_volume(), 0.04 * 0.04 * 0.04);
+}
+
+TEST(Grid, IndexIsRowMajorInI) {
+  const Grid g{4, 3, 2, 1, 1, 1};
+  EXPECT_EQ(g.index(0, 0, 0), 0);
+  EXPECT_EQ(g.index(1, 0, 0), 1);
+  EXPECT_EQ(g.index(0, 1, 0), 4);
+  EXPECT_EQ(g.index(0, 0, 1), 12);
+}
+
+TEST(Grid, Validation) {
+  EXPECT_THROW(Grid::cube(0), std::invalid_argument);
+  Grid bad{10, 10, 10, -1.0, 1.0, 1.0};
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(Material, ScatteringRatio) {
+  Material m{"m", 2.0, {1.0, 0.2}, 0.0};
+  EXPECT_DOUBLE_EQ(m.scattering_ratio(), 0.5);
+}
+
+TEST(Problem, BenchmarkCube) {
+  const Problem p = Problem::benchmark_cube(10);
+  EXPECT_EQ(p.grid().cells(), 1000);
+  EXPECT_EQ(p.materials().size(), 1u);
+  EXPECT_EQ(p.max_scattering_order(), 2);
+  EXPECT_LT(p.max_scattering_ratio(), 1.0);  // convergent
+  EXPECT_GT(p.total_external_source(), 0.0);
+}
+
+TEST(Problem, TotalSourceScalesWithVolume) {
+  const Problem p = Problem::benchmark_cube(10);
+  // Unit source density over the whole domain: total = volume.
+  const double volume = p.grid().cells() * p.grid().cell_volume();
+  EXPECT_NEAR(p.total_external_source(), volume, 1e-9);
+}
+
+TEST(Problem, ShieldHasThreeMaterials) {
+  const Problem p = Problem::shield(16);
+  EXPECT_EQ(p.materials().size(), 3u);
+  // The slab is optically thick relative to everything else.
+  double max_sigt = 0;
+  for (const auto& m : p.materials()) max_sigt = std::max(max_sigt, m.sigma_t);
+  EXPECT_GE(max_sigt, 5.0);
+  // Source sits in the corner.
+  EXPECT_GT(p.material_of(0, 0, 0).q_ext, 0.0);
+  // The middle of the domain is shield material.
+  const int n = p.grid().it;
+  EXPECT_EQ(p.material_of(n / 2, n / 2, n / 2).name, "shield");
+}
+
+TEST(Problem, ReactorIsStronglyScattering) {
+  const Problem p = Problem::reactor(12);
+  EXPECT_GT(p.max_scattering_ratio(), 0.9);
+  EXPECT_GT(p.total_external_source(), 0.0);
+}
+
+TEST(Problem, RejectsInvalidInput) {
+  Grid g = Grid::cube(4);
+  EXPECT_THROW(Problem(g, {}, std::vector<std::uint8_t>(g.cells(), 0)),
+               std::invalid_argument);
+  Material m{"m", 1.0, {0.5}, 0.0};
+  EXPECT_THROW(Problem(g, {m}, std::vector<std::uint8_t>(10, 0)),
+               std::invalid_argument);
+  EXPECT_THROW(Problem(g, {m}, std::vector<std::uint8_t>(g.cells(), 3)),
+               std::invalid_argument);
+  Material bad_sigt{"b", -1.0, {0.5}, 0.0};
+  EXPECT_THROW(Problem(g, {bad_sigt}, std::vector<std::uint8_t>(g.cells(), 0)),
+               std::invalid_argument);
+  Material no_scatter{"n", 1.0, {}, 0.0};
+  EXPECT_THROW(
+      Problem(g, {no_scatter}, std::vector<std::uint8_t>(g.cells(), 0)),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cellsweep::sweep

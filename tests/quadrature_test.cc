@@ -1,0 +1,221 @@
+// Unit and property tests for the Sn quadrature and the scattering
+// moment tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sweep/quadrature.h"
+
+namespace cellsweep::sweep {
+namespace {
+
+class QuadratureOrders : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuadratureOrders, AngleCountIsNnPlus2Over8) {
+  const int n = GetParam();
+  SnQuadrature quad(n);
+  EXPECT_EQ(quad.angles_per_octant(), n * (n + 2) / 8);
+  EXPECT_EQ(quad.total_angles(), n * (n + 2));
+}
+
+TEST_P(QuadratureOrders, WeightsNormalizedToOne) {
+  SnQuadrature quad(GetParam());
+  EXPECT_NEAR(quad.total_weight(), 1.0, 1e-12);
+}
+
+TEST_P(QuadratureOrders, DirectionsOnUnitSphere) {
+  SnQuadrature quad(GetParam());
+  for (const Ordinate& o : quad.octant_ordinates()) {
+    EXPECT_NEAR(o.mu * o.mu + o.eta * o.eta + o.xi * o.xi, 1.0, 1e-6);
+    EXPECT_GT(o.mu, 0.0);
+    EXPECT_GT(o.eta, 0.0);
+    EXPECT_GT(o.xi, 0.0);
+    EXPECT_GT(o.w, 0.0);
+  }
+}
+
+TEST_P(QuadratureOrders, IntegratesEvenMomentsExactly) {
+  // Level-symmetric quadrature integrates low-order even polynomials:
+  // <mu^2> = 1/3 over the sphere (and by symmetry eta, xi alike).
+  SnQuadrature quad(GetParam());
+  double mu2 = 0, eta2 = 0, xi2 = 0, mu1 = 0;
+  for (const Ordinate& o : quad.octant_ordinates()) {
+    // Sum over all 8 octants: odd powers cancel, even powers x8.
+    mu2 += 8 * o.w * o.mu * o.mu;
+    eta2 += 8 * o.w * o.eta * o.eta;
+    xi2 += 8 * o.w * o.xi * o.xi;
+    mu1 += o.w * o.mu;  // first octant only; nonzero there
+  }
+  EXPECT_NEAR(mu2, 1.0 / 3.0, 1e-6);
+  EXPECT_NEAR(eta2, 1.0 / 3.0, 1e-6);
+  EXPECT_NEAR(xi2, 1.0 / 3.0, 1e-6);
+  EXPECT_GT(mu1, 0.0);
+}
+
+TEST_P(QuadratureOrders, SymmetricUnderAxisExchange) {
+  // Level symmetry: the set of (mu, eta, xi) triples is closed under
+  // coordinate permutation, so the sums of each cosine are equal.
+  SnQuadrature quad(GetParam());
+  double smu = 0, seta = 0, sxi = 0;
+  for (const Ordinate& o : quad.octant_ordinates()) {
+    smu += o.w * o.mu;
+    seta += o.w * o.eta;
+    sxi += o.w * o.xi;
+  }
+  EXPECT_NEAR(smu, seta, 1e-9);
+  EXPECT_NEAR(seta, sxi, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrders, QuadratureOrders,
+                         ::testing::Values(2, 4, 6, 8));
+
+TEST(Quadrature, PaperUsesSixAnglesPerOctant) {
+  SnQuadrature quad(6);
+  EXPECT_EQ(quad.angles_per_octant(), 6);
+}
+
+TEST(Quadrature, RejectsUnsupportedOrders) {
+  EXPECT_THROW(SnQuadrature(3), std::invalid_argument);
+  EXPECT_THROW(SnQuadrature(10), std::invalid_argument);
+}
+
+TEST(Octants, AllEightSignCombinations) {
+  const auto octs = all_octants();
+  int seen[2][2][2] = {};
+  for (const Octant& o : octs) {
+    EXPECT_TRUE(o.sx == 1 || o.sx == -1);
+    ++seen[o.sx > 0][o.sy > 0][o.sz > 0];
+  }
+  for (int a = 0; a < 2; ++a)
+    for (int b = 0; b < 2; ++b)
+      for (int c = 0; c < 2; ++c) EXPECT_EQ(seen[a][b][c], 1);
+}
+
+TEST(MomentTable, FullP2HasNineMoments) {
+  SnQuadrature quad(6);
+  MomentTable mt(quad, 2);
+  EXPECT_EQ(mt.nm(), 9);
+  EXPECT_EQ(mt.moment_order(0), 0);
+  EXPECT_EQ(mt.moment_order(1), 1);
+  EXPECT_EQ(mt.moment_order(3), 1);
+  EXPECT_EQ(mt.moment_order(4), 2);
+  EXPECT_EQ(mt.moment_order(8), 2);
+}
+
+TEST(MomentTable, BenchmarkCapKeepsSix) {
+  SnQuadrature quad(6);
+  MomentTable mt(quad, 2, kBenchmarkMoments);
+  EXPECT_EQ(mt.nm(), 6);
+  EXPECT_EQ(mt.moment_order(5), 2);
+}
+
+TEST(MomentTable, CapValidation) {
+  SnQuadrature quad(6);
+  EXPECT_THROW(MomentTable(quad, 2, 10), std::invalid_argument);
+  EXPECT_THROW(MomentTable(quad, 2, -1), std::invalid_argument);
+  EXPECT_THROW(MomentTable(quad, 4), std::invalid_argument);
+}
+
+TEST(MomentTable, P3HasSixteenMoments) {
+  SnQuadrature quad(6);
+  MomentTable mt(quad, 3);
+  EXPECT_EQ(mt.nm(), 16);
+  EXPECT_EQ(mt.moment_order(9), 3);
+  EXPECT_EQ(mt.moment_order(15), 3);
+}
+
+TEST(MomentTable, ScalarMomentIsUnity) {
+  SnQuadrature quad(6);
+  MomentTable mt(quad, 2);
+  for (int iq = 0; iq < 8; ++iq)
+    for (int m = 0; m < quad.angles_per_octant(); ++m)
+      EXPECT_DOUBLE_EQ(mt.pn(iq)[m * mt.nm() + 0], 1.0);
+}
+
+TEST(MomentTable, LinearMomentsCarryOctantSigns) {
+  SnQuadrature quad(6);
+  MomentTable mt(quad, 1);
+  const auto octs = all_octants();
+  for (int iq = 0; iq < 8; ++iq)
+    for (int m = 0; m < quad.angles_per_octant(); ++m) {
+      const Ordinate& o = quad.octant_ordinates()[m];
+      const double* row = mt.pn(iq) + m * mt.nm();
+      EXPECT_DOUBLE_EQ(row[1], octs[iq].sx * o.mu);
+      EXPECT_DOUBLE_EQ(row[2], octs[iq].sy * o.eta);
+      EXPECT_DOUBLE_EQ(row[3], octs[iq].sz * o.xi);
+    }
+}
+
+TEST(MomentTable, AdditionTheoremP1) {
+  // sum_{n in l=1} R_n(O) R_n(O') == P_1(O.O') == O.O'.
+  SnQuadrature quad(6);
+  MomentTable mt(quad, 1);
+  const double* pn0 = mt.pn(0);
+  const int nm = mt.nm();
+  const auto& ords = quad.octant_ordinates();
+  for (int m = 0; m < quad.angles_per_octant(); ++m)
+    for (int mp = 0; mp < quad.angles_per_octant(); ++mp) {
+      double lhs = 0;
+      for (int n = 1; n < 4; ++n) lhs += pn0[m * nm + n] * pn0[mp * nm + n];
+      const double dot = ords[m].mu * ords[mp].mu +
+                         ords[m].eta * ords[mp].eta +
+                         ords[m].xi * ords[mp].xi;
+      EXPECT_NEAR(lhs, dot, 1e-6);
+    }
+}
+
+TEST(MomentTable, AdditionTheoremP3FullSet) {
+  // sum_{n in l=3} R_n R_n' == P_3(O.O') = (5t^3 - 3t)/2.
+  SnQuadrature quad(8);  // S8: more directions, stronger check
+  MomentTable mt(quad, 3);
+  const double* pn0 = mt.pn(0);
+  const int nm = mt.nm();
+  const auto& ords = quad.octant_ordinates();
+  for (int m = 0; m < quad.angles_per_octant(); ++m)
+    for (int mp = 0; mp < quad.angles_per_octant(); ++mp) {
+      double lhs = 0;
+      for (int n = 9; n < 16; ++n) lhs += pn0[m * nm + n] * pn0[mp * nm + n];
+      const double t = ords[m].mu * ords[mp].mu +
+                       ords[m].eta * ords[mp].eta + ords[m].xi * ords[mp].xi;
+      EXPECT_NEAR(lhs, 0.5 * (5.0 * t * t * t - 3.0 * t), 5e-7)
+          << m << "," << mp;
+    }
+}
+
+TEST(MomentTable, AdditionTheoremP2FullSet) {
+  // With the full 9-moment basis, sum_{n in l=2} R_n R_n' == P_2(O.O').
+  SnQuadrature quad(6);
+  MomentTable mt(quad, 2);
+  const double* pn0 = mt.pn(0);
+  const int nm = mt.nm();
+  const auto& ords = quad.octant_ordinates();
+  for (int m = 0; m < quad.angles_per_octant(); ++m)
+    for (int mp = 0; mp < quad.angles_per_octant(); ++mp) {
+      double lhs = 0;
+      for (int n = 4; n < 9; ++n) lhs += pn0[m * nm + n] * pn0[mp * nm + n];
+      const double dot = ords[m].mu * ords[mp].mu +
+                         ords[m].eta * ords[mp].eta +
+                         ords[m].xi * ords[mp].xi;
+      EXPECT_NEAR(lhs, 0.5 * (3.0 * dot * dot - 1.0), 5e-7);
+    }
+}
+
+TEST(MomentTable, TruncatedKernelStaysPsd) {
+  // The truncated (nm=6) scattering kernel sum_n R_n(O) R_n(O) must be
+  // nonnegative on the diagonal -- the contraction property source
+  // iteration needs.
+  SnQuadrature quad(6);
+  MomentTable mt(quad, 2, kBenchmarkMoments);
+  for (int iq = 0; iq < 8; ++iq)
+    for (int m = 0; m < quad.angles_per_octant(); ++m) {
+      double diag = 0;
+      for (int n = 0; n < mt.nm(); ++n) {
+        const double v = mt.pn(iq)[m * mt.nm() + n];
+        diag += v * v;
+      }
+      EXPECT_GE(diag, 0.0);
+    }
+}
+
+}  // namespace
+}  // namespace cellsweep::sweep

@@ -1,0 +1,158 @@
+// Unit tests for the discrete-event core: time conversion, event
+// ordering/determinism, and the shared-resource models.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/resource.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace cellsweep::sim {
+namespace {
+
+TEST(Time, SecondsRoundTrip) {
+  EXPECT_EQ(ticks_from_seconds(1.0), kTicksPerSecond);
+  EXPECT_DOUBLE_EQ(seconds_from_ticks(ticks_from_seconds(1.33)), 1.33);
+}
+
+TEST(Time, CellCycleIsExact) {
+  // One 3.2 GHz cycle = 312,500 fs exactly: integer cycle arithmetic.
+  EXPECT_EQ(ticks_per_cycle(3.2e9), 312500u);
+  EXPECT_EQ(ticks_from_cycles(7, 3.2e9), 7u * 312500u);
+}
+
+TEST(Time, BytesOverLink) {
+  // 25.6 GB/s moving 25.6 GB takes one second.
+  EXPECT_EQ(ticks_for_bytes(25.6e9, 25.6e9), kTicksPerSecond);
+}
+
+TEST(Simulator, RunsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(30, [&] { order.push_back(3); });
+  sim.schedule(10, [&] { order.push_back(1); });
+  sim.schedule(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+  EXPECT_EQ(sim.events_executed(), 3u);
+}
+
+TEST(Simulator, SimultaneousEventsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    sim.schedule(100, [&order, i] { order.push_back(i); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(10, [&] {
+    ++fired;
+    sim.schedule(5, [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 15u);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(10, [&] { ++fired; });
+  sim.schedule(100, [&] { ++fired; });
+  sim.run_until(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 50u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RejectsPastScheduling) {
+  Simulator sim;
+  sim.schedule(10, [&] {
+    EXPECT_THROW(sim.schedule_at(5, [] {}), std::logic_error);
+  });
+  sim.run();
+}
+
+TEST(BandwidthResource, SingleTransfer) {
+  BandwidthResource link("l", 1e9);  // 1 GB/s
+  const Tick done = link.submit(0, 1e6);  // 1 MB
+  EXPECT_EQ(done, ticks_from_seconds(1e-3));
+  EXPECT_DOUBLE_EQ(link.bytes_moved(), 1e6);
+  EXPECT_EQ(link.requests(), 1u);
+}
+
+TEST(BandwidthResource, FifoContention) {
+  BandwidthResource link("l", 1e9);
+  const Tick d1 = link.submit(0, 1e6);
+  // Submitted while busy: queues behind the first transfer.
+  const Tick d2 = link.submit(0, 1e6);
+  EXPECT_EQ(d2, 2 * d1);
+}
+
+TEST(BandwidthResource, IdleGapNotCharged) {
+  BandwidthResource link("l", 1e9);
+  link.submit(0, 1e6);
+  const Tick later = ticks_from_seconds(1.0);
+  const Tick done = link.submit(later, 1e6);
+  EXPECT_EQ(done, later + ticks_from_seconds(1e-3));
+  // Busy time counts service only, not the idle gap.
+  EXPECT_EQ(link.busy_ticks(), 2 * ticks_from_seconds(1e-3));
+}
+
+TEST(BandwidthResource, OverheadAddsToService) {
+  BandwidthResource link("l", 1e9);
+  const Tick done = link.submit(0, 1e6, /*overhead=*/500);
+  EXPECT_EQ(done, ticks_from_seconds(1e-3) + 500);
+}
+
+TEST(BandwidthResource, Utilization) {
+  BandwidthResource link("l", 1e9);
+  link.submit(0, 1e6);
+  EXPECT_NEAR(link.utilization(ticks_from_seconds(2e-3)), 0.5, 1e-12);
+}
+
+TEST(BandwidthResource, RejectsBadArgs) {
+  EXPECT_THROW(BandwidthResource("x", 0.0), std::invalid_argument);
+  BandwidthResource link("l", 1e9);
+  EXPECT_THROW(link.submit(0, -1.0), std::invalid_argument);
+}
+
+TEST(BandwidthResource, ResetClearsState) {
+  BandwidthResource link("l", 1e9);
+  link.submit(0, 1e6);
+  link.reset();
+  EXPECT_EQ(link.busy_ticks(), 0u);
+  EXPECT_EQ(link.requests(), 0u);
+  EXPECT_EQ(link.free_at(), 0u);
+}
+
+TEST(LatencyServer, LatencyAndOccupancyDiffer) {
+  LatencyServer srv("s", /*latency=*/100, /*occupancy=*/10);
+  EXPECT_EQ(srv.submit(0), 100u);
+  // Second request starts after the 10-tick occupancy, not the 100.
+  EXPECT_EQ(srv.submit(0), 110u);
+}
+
+TEST(LatencyServer, SubmitWithOverride) {
+  LatencyServer srv("s", 100, 100);
+  EXPECT_EQ(srv.submit_with(0, 5, 50), 5u);
+  EXPECT_EQ(srv.submit_with(0, 5, 50), 55u);  // queued behind occupancy
+}
+
+TEST(LatencyServer, BurstSerializes) {
+  LatencyServer srv("s", 100, 100);
+  Tick last = 0;
+  for (int i = 0; i < 8; ++i) last = srv.submit(0);
+  EXPECT_EQ(last, 800u);
+  EXPECT_EQ(srv.requests(), 8u);
+}
+
+}  // namespace
+}  // namespace cellsweep::sim

@@ -1,0 +1,205 @@
+// Unit tests for the SPU intrinsics emulation: numerics of every
+// operation, trace recording, and dataflow value-id propagation.
+#include <gtest/gtest.h>
+
+#include "spu/intrinsics.h"
+#include "spu/trace.h"
+
+namespace cellsweep::spu {
+namespace {
+
+TEST(VecDouble2, SplatsAndArithmetic) {
+  const vec_double2 a = spu_splats(3.0);
+  const vec_double2 b = spu_splats(2.0);
+  EXPECT_DOUBLE_EQ(spu_mul(a, b).v[0], 6.0);
+  EXPECT_DOUBLE_EQ(spu_add(a, b).v[1], 5.0);
+  EXPECT_DOUBLE_EQ(spu_sub(a, b).v[0], 1.0);
+}
+
+TEST(VecDouble2, MaddMatchesScalar) {
+  vec_double2 a{{1.5, -2.0}}, b{{4.0, 0.5}}, c{{0.25, 10.0}};
+  const vec_double2 r = spu_madd(a, b, c);
+  EXPECT_DOUBLE_EQ(r.v[0], 1.5 * 4.0 + 0.25);
+  EXPECT_DOUBLE_EQ(r.v[1], -2.0 * 0.5 + 10.0);
+}
+
+TEST(VecDouble2, NmsubMatchesScalar) {
+  vec_double2 a{{2.0, 3.0}}, b{{5.0, 7.0}}, c{{100.0, 1.0}};
+  const vec_double2 r = spu_nmsub(a, b, c);
+  EXPECT_DOUBLE_EQ(r.v[0], 100.0 - 10.0);
+  EXPECT_DOUBLE_EQ(r.v[1], 1.0 - 21.0);
+}
+
+TEST(VecFloat4, LaneArithmetic) {
+  const vec_float4 a = spu_splats(2.0f);
+  vec_float4 b{{1.f, 2.f, 3.f, 4.f}};
+  const vec_float4 m = spu_mul(a, b);
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(m.v[i], 2.0f * (i + 1));
+  const vec_float4 f = spu_madd(a, b, b);
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(f.v[i], 3.0f * (i + 1));
+}
+
+TEST(Compare, MaskAllOrNothing) {
+  vec_double2 a{{1.0, -1.0}}, zero{{0.0, 0.0}};
+  const vec_mask2 m = spu_cmpgt(a, zero);
+  EXPECT_EQ(m.m[0], ~0ULL);
+  EXPECT_EQ(m.m[1], 0ULL);
+  EXPECT_TRUE(any(m));
+  const vec_mask2 none = spu_cmpgt(zero, a);  // 0 > 1 false, 0 > -1 true
+  EXPECT_TRUE(any(none));
+}
+
+TEST(Compare, NoLaneSet) {
+  vec_double2 lo{{-1.0, -2.0}}, hi{{0.0, 0.0}};
+  EXPECT_FALSE(any(spu_cmpgt(lo, hi)));
+}
+
+TEST(Select, PicksPerLane) {
+  vec_double2 a{{1.0, 2.0}}, b{{10.0, 20.0}};
+  vec_mask2 m;
+  m.m[0] = ~0ULL;  // take b in lane 0
+  m.m[1] = 0;      // take a in lane 1
+  const vec_double2 r = spu_sel(a, b, m);
+  EXPECT_DOUBLE_EQ(r.v[0], 10.0);
+  EXPECT_DOUBLE_EQ(r.v[1], 2.0);
+}
+
+TEST(SelectFloat, PicksPerLane) {
+  vec_float4 a{{1.f, 2.f, 3.f, 4.f}}, b{{-1.f, -2.f, -3.f, -4.f}};
+  vec_mask4 m;
+  m.m[1] = ~0U;
+  m.m[3] = ~0U;
+  const vec_float4 r = spu_sel(a, b, m);
+  EXPECT_FLOAT_EQ(r.v[0], 1.f);
+  EXPECT_FLOAT_EQ(r.v[1], -2.f);
+  EXPECT_FLOAT_EQ(r.v[2], 3.f);
+  EXPECT_FLOAT_EQ(r.v[3], -4.f);
+}
+
+TEST(LoadStore, RoundTrip) {
+  alignas(16) double buf[2] = {1.25, -3.5};
+  const vec_double2 v = vec_load(buf);
+  alignas(16) double out[2] = {};
+  vec_store(out, v);
+  EXPECT_DOUBLE_EQ(out[0], 1.25);
+  EXPECT_DOUBLE_EQ(out[1], -3.5);
+}
+
+TEST(Pack, BuildsVectorFromScalars) {
+  const vec_double2 v = vec_pack(1.0, 2.0);
+  EXPECT_DOUBLE_EQ(v.v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v.v[1], 2.0);
+  const vec_float4 f = vec_pack(1.f, 2.f, 3.f, 4.f);
+  EXPECT_FLOAT_EQ(f.v[3], 4.f);
+}
+
+TEST(Extract, ReadsLane) {
+  vec_double2 v{{7.0, 8.0}};
+  EXPECT_DOUBLE_EQ(vec_extract(v, 0), 7.0);
+  EXPECT_DOUBLE_EQ(vec_extract(v, 1), 8.0);
+}
+
+// ---------------------------------------------------------------------------
+// Trace recording
+// ---------------------------------------------------------------------------
+
+TEST(Trace, NothingRecordedWithoutRecorder) {
+  ASSERT_EQ(TraceRecorder::active(), nullptr);
+  const vec_double2 a = spu_splats(1.0);
+  EXPECT_EQ(a.id, kNoValue);  // no ids handed out
+}
+
+TEST(Trace, RecordsOpsAndFlops) {
+  TraceRecorder rec;
+  const vec_double2 a = spu_splats(1.0);
+  const vec_double2 b = spu_splats(2.0);
+  const vec_double2 c = spu_madd(a, b, a);
+  (void)c;
+  const Trace& t = rec.trace();
+  EXPECT_EQ(t.count(Op::kShuffle), 2u);
+  EXPECT_EQ(t.count(Op::kFmaDouble), 1u);
+  EXPECT_EQ(t.flops, 4u);  // DP madd = 2 lanes x 2 ops
+}
+
+TEST(Trace, SingleFlopAccounting) {
+  TraceRecorder rec;
+  const vec_float4 a = spu_splats(1.0f);
+  (void)spu_madd(a, a, a);  // 4 lanes x 2 = 8 flops
+  (void)spu_mul(a, a);      // 4 flops
+  EXPECT_EQ(rec.trace().flops, 12u);
+}
+
+TEST(Trace, DataflowIdsChain) {
+  TraceRecorder rec;
+  const vec_double2 a = spu_splats(1.0);
+  const vec_double2 b = spu_mul(a, a);
+  const vec_double2 c = spu_add(b, a);
+  ASSERT_NE(a.id, kNoValue);
+  const auto& insts = rec.trace().insts;
+  ASSERT_EQ(insts.size(), 3u);
+  EXPECT_EQ(insts[1].src0, a.id);
+  EXPECT_EQ(insts[1].dst, b.id);
+  EXPECT_EQ(insts[2].src0, b.id);
+  EXPECT_EQ(insts[2].dst, c.id);
+}
+
+TEST(Trace, OnlyOneRecorderAllowed) {
+  TraceRecorder rec;
+  EXPECT_THROW(TraceRecorder{}, std::logic_error);
+}
+
+TEST(Trace, RecorderDeactivatesOnDestruction) {
+  {
+    TraceRecorder rec;
+    EXPECT_EQ(TraceRecorder::active(), &rec);
+  }
+  EXPECT_EQ(TraceRecorder::active(), nullptr);
+}
+
+TEST(Trace, TakeTraceResets) {
+  TraceRecorder rec;
+  (void)spu_splats(1.0);
+  Trace t = rec.take_trace();
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(rec.trace().size(), 0u);
+}
+
+TEST(Trace, Markers) {
+  TraceRecorder rec;
+  mark_fixed(3);
+  mark_branch(true);
+  mark_branch(false);
+  mark_store(2);
+  mark_double_op(4);
+  mark_pack_loads(5);
+  const Trace& t = rec.trace();
+  EXPECT_EQ(t.count(Op::kFixed), 3u);
+  EXPECT_EQ(t.count(Op::kBranch), 1u);
+  EXPECT_EQ(t.count(Op::kBranchMiss), 1u);
+  EXPECT_EQ(t.count(Op::kStore), 2u);
+  EXPECT_EQ(t.count(Op::kFmaDouble), 4u);
+  EXPECT_EQ(t.count(Op::kLoad), 5u);
+}
+
+TEST(Trace, OpNamesAreDistinctive) {
+  EXPECT_STREQ(op_name(Op::kFmaDouble), "dfma");
+  EXPECT_STREQ(op_name(Op::kLoad), "lqd");
+  EXPECT_STREQ(op_name(Op::kBranchMiss), "br!");
+}
+
+TEST(Trace, NumericsIdenticalWithAndWithoutRecording) {
+  vec_double2 a{{1.1, 2.2}}, b{{3.3, 4.4}}, c{{5.5, 6.6}};
+  const vec_double2 plain = spu_madd(a, b, c);
+  double traced0, traced1;
+  {
+    TraceRecorder rec;
+    const vec_double2 t = spu_madd(a, b, c);
+    traced0 = t.v[0];
+    traced1 = t.v[1];
+  }
+  EXPECT_EQ(plain.v[0], traced0);
+  EXPECT_EQ(plain.v[1], traced1);
+}
+
+}  // namespace
+}  // namespace cellsweep::spu

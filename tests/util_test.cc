@@ -1,0 +1,215 @@
+// Unit tests for src/util: aligned allocation, RNG, statistics,
+// formatting, tables and the CLI parser.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/aligned.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace cellsweep::util {
+namespace {
+
+TEST(Aligned, RoundUp) {
+  EXPECT_EQ(round_up(0, 128), 0u);
+  EXPECT_EQ(round_up(1, 128), 128u);
+  EXPECT_EQ(round_up(128, 128), 128u);
+  EXPECT_EQ(round_up(129, 128), 256u);
+  EXPECT_EQ(round_up(400, 16), 400u);
+  EXPECT_EQ(round_up(401, 16), 416u);
+}
+
+TEST(Aligned, IsAligned) {
+  EXPECT_TRUE(is_aligned(std::size_t{256}, 128));
+  EXPECT_FALSE(is_aligned(std::size_t{260}, 128));
+  alignas(128) static char buf[256];
+  EXPECT_TRUE(is_aligned(static_cast<const void*>(buf), 128));
+}
+
+TEST(Aligned, VectorDataIsCacheLineAligned) {
+  for (int n : {1, 7, 50, 1000}) {
+    AlignedVector<double> v(n, 1.0);
+    EXPECT_TRUE(is_aligned(v.data(), kCacheLineBytes)) << n;
+  }
+}
+
+TEST(Aligned, PaddedExtentCoversWholeLines) {
+  // 50 doubles = 400 B -> padded to 512 B = 64 doubles (the paper's
+  // "512-byte DMAs" for the 50-cubed rows).
+  EXPECT_EQ(padded_extent<double>(50), 64u);
+  EXPECT_EQ(padded_extent<double>(64), 64u);
+  EXPECT_EQ(padded_extent<double>(65), 80u);
+  EXPECT_EQ(padded_extent<float>(50), 64u);  // 200 B -> 256 B
+}
+
+TEST(Aligned, AllocatorComparesEqual) {
+  AlignedAllocator<double> a;
+  AlignedAllocator<int> b;
+  EXPECT_TRUE(a == b);
+}
+
+TEST(Rng, Deterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a(), b());
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, RangedDouble) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, NextBelow) {
+  SplitMix64 rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(10), 10u);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Stats, Basics) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_TRUE(std::isnan(s.min()));
+}
+
+TEST(Stats, MergeMatchesSequential) {
+  RunningStats all, a, b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.37 - 3.0;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Units, Seconds) {
+  EXPECT_EQ(format_seconds(1.33), "1.33 s");
+  EXPECT_EQ(format_seconds(0.0025), "2.5 ms");
+  EXPECT_EQ(format_seconds(5.9e-7), "590 ns");
+}
+
+TEST(Units, Bytes) {
+  EXPECT_EQ(format_bytes(17.6e9), "17.6 GB");
+  EXPECT_EQ(format_bytes(512), "512 B");
+}
+
+TEST(Units, Flops) {
+  EXPECT_EQ(format_flops(9.3e9), "9.3 Gflops/s");
+}
+
+TEST(Units, SpeedupAndPercent) {
+  EXPECT_EQ(format_speedup(4.5), "4.50x");
+  EXPECT_EQ(format_percent(0.64), "64.0%");
+}
+
+TEST(Table, RendersAligned) {
+  TextTable t({"stage", "time"});
+  t.add_row({"PPE", "22.3 s"});
+  t.add_row({"final", "1.33 s"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("stage"), std::string::npos);
+  EXPECT_NE(out.find("1.33 s"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(Cli, ParsesTypedFlags) {
+  CliParser cli("test");
+  cli.add_flag("size", "50", "cube size");
+  cli.add_flag("eps", "1e-6", "tolerance");
+  cli.add_flag("fixups", "false", "enable fixups");
+  const char* argv[] = {"prog", "--size=32", "--eps", "0.5", "--fixups"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  EXPECT_EQ(cli.get_int("size"), 32);
+  EXPECT_DOUBLE_EQ(cli.get_double("eps"), 0.5);
+  EXPECT_TRUE(cli.get_bool("fixups"));
+}
+
+TEST(Cli, DefaultsApply) {
+  CliParser cli("test");
+  cli.add_flag("size", "50", "cube size");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_int("size"), 50);
+}
+
+TEST(Cli, UnknownFlagFails) {
+  CliParser cli("test");
+  const char* argv[] = {"prog", "--nope=1"};
+  EXPECT_FALSE(cli.parse(2, argv));
+  EXPECT_NE(cli.error().find("nope"), std::string::npos);
+}
+
+TEST(Cli, HelpRequested) {
+  CliParser cli("test");
+  cli.add_flag("size", "50", "cube size");
+  const char* argv[] = {"prog", "--help"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_TRUE(cli.help_requested());
+  EXPECT_NE(cli.usage("prog").find("size"), std::string::npos);
+}
+
+TEST(Cli, MissingValueFails) {
+  CliParser cli("test");
+  cli.add_flag("size", "50", "cube size");
+  const char* argv[] = {"prog", "--size"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, PositionalArguments) {
+  CliParser cli("test");
+  const char* argv[] = {"prog", "input.dat", "out.dat"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.dat");
+}
+
+}  // namespace
+}  // namespace cellsweep::util

@@ -1,0 +1,106 @@
+// Tests for the multi-chip wavefront scaling model.
+#include <gtest/gtest.h>
+
+#include "perfmodel/wavefront.h"
+
+namespace cellsweep::perf {
+namespace {
+
+WavefrontParams base() {
+  WavefrontParams p;
+  p.px = 4;
+  p.py = 4;
+  p.blocks_per_octant = 20;
+  p.tile_time_s = 0.1;
+  p.block_comm_bytes = 4000;
+  p.link_bandwidth = 2e9;
+  p.link_latency_s = 10e-6;
+  return p;
+}
+
+TEST(Wavefront, SingleChipHasNoPipelineLoss) {
+  WavefrontParams p = base();
+  p.px = p.py = 1;
+  const WavefrontEstimate e = estimate_wavefront(p);
+  EXPECT_EQ(e.pipeline_depth, 0);
+  EXPECT_DOUBLE_EQ(e.fill_efficiency, 1.0);
+  EXPECT_DOUBLE_EQ(e.block_comm_s, 0.0);
+  EXPECT_NEAR(e.total_s, p.tile_time_s, 1e-12);
+  EXPECT_NEAR(e.parallel_efficiency, 1.0, 1e-12);
+}
+
+TEST(Wavefront, DepthIsManhattanDistance) {
+  WavefrontParams p = base();
+  const WavefrontEstimate e = estimate_wavefront(p);
+  EXPECT_EQ(e.pipeline_depth, 6);  // (4-1)+(4-1)
+}
+
+TEST(Wavefront, FillEfficiencyFormula) {
+  WavefrontParams p = base();
+  const WavefrontEstimate e = estimate_wavefront(p);
+  EXPECT_NEAR(e.fill_efficiency, 20.0 / 26.0, 1e-12);
+}
+
+TEST(Wavefront, EfficiencyDropsWithGridSize) {
+  double prev = 1.1;
+  for (int n : {1, 2, 4, 8}) {
+    WavefrontParams p = base();
+    p.px = p.py = n;
+    const WavefrontEstimate e = estimate_wavefront(p);
+    EXPECT_LT(e.parallel_efficiency, prev) << n;
+    prev = e.parallel_efficiency;
+  }
+}
+
+TEST(Wavefront, MoreBlocksImproveFillButPayComm) {
+  // With per-block message cost, an interior optimum exists.
+  WavefrontParams p = base();
+  p.px = p.py = 8;
+  double coarse, fine, best;
+  p.blocks_per_octant = 2;
+  coarse = estimate_wavefront(p).total_s;
+  p.blocks_per_octant = 2000;
+  fine = estimate_wavefront(p).total_s;
+  best = best_blocking(p, 2000).total_s;
+  EXPECT_LT(best, coarse);
+  EXPECT_LE(best, fine);
+}
+
+TEST(Wavefront, BestBlockingFindsInteriorOptimum) {
+  WavefrontParams p = base();
+  p.px = p.py = 8;
+  p.link_latency_s = 50e-6;  // expensive messages
+  const WavefrontEstimate best = best_blocking(p, 500);
+  // The optimum is neither 1 block nor the maximum.
+  p.blocks_per_octant = 1;
+  EXPECT_LT(best.total_s, estimate_wavefront(p).total_s);
+  p.blocks_per_octant = 500;
+  EXPECT_LT(best.total_s, estimate_wavefront(p).total_s);
+}
+
+TEST(Wavefront, CommScalesWithBytesAndLatency) {
+  WavefrontParams p = base();
+  const double t1 = estimate_wavefront(p).total_s;
+  p.block_comm_bytes *= 10;
+  const double t2 = estimate_wavefront(p).total_s;
+  EXPECT_GT(t2, t1);
+  p.block_comm_bytes = base().block_comm_bytes;
+  p.link_latency_s *= 10;
+  EXPECT_GT(estimate_wavefront(p).total_s, t1);
+}
+
+TEST(Wavefront, Validation) {
+  WavefrontParams p = base();
+  p.px = 0;
+  EXPECT_THROW(estimate_wavefront(p), std::invalid_argument);
+  p = base();
+  p.blocks_per_octant = 0;
+  EXPECT_THROW(estimate_wavefront(p), std::invalid_argument);
+  p = base();
+  p.link_bandwidth = 0;
+  EXPECT_THROW(estimate_wavefront(p), std::invalid_argument);
+  EXPECT_THROW(best_blocking(base(), 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cellsweep::perf
