@@ -18,6 +18,9 @@ int main(int argc, char** argv) {
                "optimization stage: ppe | initial | simd | final");
   cli.add_flag("functional", "true",
                "solve the physics (false: timing only)");
+  cli.add_flag("threads", "1",
+               "host threads for the functional sweep (results are "
+               "bitwise identical for any value)");
   if (!cli.parse(argc, argv)) {
     std::cerr << cli.error() << "\n" << cli.usage(argv[0]);
     return 1;
@@ -49,8 +52,14 @@ int main(int argc, char** argv) {
             << deck.sn_order << ", " << deck.nm_cap << " moments, MK="
             << deck.sweep.mk << " MMI=" << deck.sweep.mmi << "\n";
 
+  deck.sweep.threads = static_cast<int>(cli.get_int("threads"));
+  if (deck.sweep.threads < 1) {
+    std::cerr << "deck_runner: --threads must be a positive integer\n";
+    return 1;
+  }
+
   if (deck.problem.any_reflective() || cli.get_bool("functional")) {
-    // Reflective decks need the functional (serial) solver for physics.
+    // Reflective decks need the functional solver for physics.
     sweep::SnQuadrature quad(deck.sn_order);
     sweep::SweepState<double> state(deck.problem, quad, 2, deck.nm_cap);
     const sweep::SolveResult r =

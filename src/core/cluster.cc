@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "msg/cart_grid.h"
+#include "sweep/plan.h"
 #include "sweep/quadrature.h"
 
 namespace cellsweep::core {
@@ -16,14 +17,9 @@ namespace {
 void feed_block(TimingEngine& engine, const sweep::Grid& tile,
                 const sweep::SweepConfig& cfg, int iq, int ab, int kb,
                 bool fixup) {
-  const int ndiags = tile.jt + cfg.mk + cfg.mmi - 2;
+  const int ndiags = sweep::ChunkPlan::diagonals_per_block(cfg, tile.jt);
   for (int d = 0; d < ndiags; ++d) {
-    int nlines = 0;
-    for (int mh = 0; mh < cfg.mmi; ++mh)
-      for (int kk = 0; kk < cfg.mk; ++kk) {
-        const int jj = d - kk - mh;
-        if (jj >= 0 && jj < tile.jt) ++nlines;
-      }
+    const int nlines = sweep::ChunkPlan::lines_on_diagonal(cfg, tile.jt, d);
     if (nlines > 0)
       engine.on_diagonal(sweep::DiagonalWork{iq, ab, kb, d, nlines, tile.it,
                                              fixup, cfg.kernel});

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "perfmodel/processors.h"
+#include "sweep/plan.h"
 #include "util/aligned.h"
 
 namespace cellsweep::core {
@@ -100,8 +101,10 @@ void TimingEngine::on_diagonal(const sweep::DiagonalWork& w) {
     return centralized ? t : t + machine_.spec().atomic_op_latency;
   };
 
-  // Chunk list of this diagonal, assigned to SPEs in the paper's
-  // cyclic manner.
+  // Chunk list of this diagonal -- the same ChunkPlan the functional
+  // sweeper executes (the plan constructor throws on functional/timing
+  // drift) -- assigned to SPEs in the paper's cyclic manner.
+  const sweep::ChunkPlan plan(cfg_.sweep, grid_.jt, w);
   struct Chunk {
     int nlines;
     int spe;
@@ -112,10 +115,9 @@ void TimingEngine::on_diagonal(const sweep::DiagonalWork& w) {
     sim::Tick completion = 0;
   };
   std::vector<Chunk> chunks;
-  for (int remaining = w.nlines; remaining > 0;) {
-    const int n = std::min(remaining, sweep::kBundleLines);
-    remaining -= n;
-    chunks.push_back(Chunk{n, rr_spe_, static_cast<int>(chunks.size())});
+  chunks.reserve(plan.chunks().size());
+  for (const sweep::ChunkDesc& pc : plan.chunks()) {
+    chunks.push_back(Chunk{pc.nlines, rr_spe_, pc.index});
     rr_spe_ = (rr_spe_ + 1) % static_cast<int>(spes_.size());
   }
 

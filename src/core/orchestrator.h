@@ -3,7 +3,9 @@
 //
 // Level 1 (process) stays with src/sweep/mpi_sweeper. Levels 2-5 live
 // here: the jkm-diagonal I-lines are farmed to the eight SPEs in
-// chunks of four (thread level); each chunk's working set streams
+// chunks of four (thread level), using the same ChunkPlan decomposition
+// (sweep/plan.h) the functional sweeper executes; each chunk's working
+// set streams
 // through the local store with single or double buffering (data
 // streaming); the chunk kernel is the scalar or the four-logical-thread
 // SIMD one (vector + pipeline levels). The TimingEngine walks the same

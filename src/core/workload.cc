@@ -1,6 +1,7 @@
 #include "core/workload.h"
 
 #include "sweep/kernel.h"
+#include "sweep/plan.h"
 #include "util/aligned.h"
 
 namespace cellsweep::core {
@@ -45,19 +46,14 @@ void enumerate_sweep(const sweep::Grid& grid, int angles_per_octant,
   cfg.validate(grid.kt, angles_per_octant);
   const int nkb = grid.kt / cfg.mk;
   const int nab = angles_per_octant / cfg.mmi;
-  const int ndiags = grid.jt + cfg.mk + cfg.mmi - 2;
+  const int ndiags = sweep::ChunkPlan::diagonals_per_block(cfg, grid.jt);
 
   for (int iq = 0; iq < 8; ++iq)
     for (int ab = 0; ab < nab; ++ab)
       for (int kb = 0; kb < nkb; ++kb)
         for (int d = 0; d < ndiags; ++d) {
-          // Lines on this diagonal: (mh, kk) with 0 <= d-kk-mh < jt.
-          int nlines = 0;
-          for (int mh = 0; mh < cfg.mmi; ++mh)
-            for (int kk = 0; kk < cfg.mk; ++kk) {
-              const int jj = d - kk - mh;
-              if (jj >= 0 && jj < grid.jt) ++nlines;
-            }
+          const int nlines =
+              sweep::ChunkPlan::lines_on_diagonal(cfg, grid.jt, d);
           if (nlines > 0)
             observer(sweep::DiagonalWork{iq, ab, kb, d, nlines, grid.it,
                                          fixup, cfg.kernel});
@@ -78,11 +74,10 @@ WorkloadTotals audit_workload(const sweep::Grid& grid, int angles_per_octant,
           ++totals.diagonals;
           totals.lines += w.nlines;
           totals.cell_solves += static_cast<std::uint64_t>(w.nlines) * w.it;
-          int remaining = w.nlines;
-          while (remaining > 0) {
-            const int n = std::min(remaining, sweep::kBundleLines);
-            remaining -= n;
-            ++totals.chunks;
+          const int nchunks = sweep::ChunkPlan::chunk_count(w.nlines);
+          totals.chunks += nchunks;
+          for (int c = 0; c < nchunks; ++c) {
+            const int n = sweep::ChunkPlan::chunk_width(w.nlines, c);
             const TransferPlan plan = plan_chunk(ChunkShape{
                 n, w.it, nm, real_bytes, cell_cfg.aligned_rows});
             totals.bytes += static_cast<double>(plan.total_bytes());

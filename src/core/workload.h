@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "core/config.h"
+#include "sweep/plan.h"
 #include "sweep/sweeper.h"
 
 namespace cellsweep::core {
@@ -68,10 +69,10 @@ struct TransferPlan {
 /// Computes the transfer plan for a chunk under the given config.
 TransferPlan plan_chunk(const ChunkShape& shape);
 
-/// Splits a diagonal's I-lines into SPE chunks exactly like the
-/// functional sweeper does (bundles of kBundleLines, remainder last).
+/// Chunks per diagonal, delegating to the shared plan layer (bundles
+/// of kBundleLines, remainder last). Kept as a convenience alias.
 inline int chunks_for_lines(int nlines) {
-  return (nlines + sweep::kBundleLines - 1) / sweep::kBundleLines;
+  return sweep::ChunkPlan::chunk_count(nlines);
 }
 
 /// Replays the sweep() loop structure -- octants, angle blocks, K-plane

@@ -1,11 +1,14 @@
 // Generic discrete-event simulation core.
 //
-// The Cell machine model (src/cellsim) is built on this: DMA issue and
-// completion, mailbox deliveries, work-unit dispatch and SPE compute
-// phases are all events. Event ordering is fully deterministic:
+// Note on actual usage: the Cell machine model (src/cellsim) does NOT
+// run on this event queue -- core::TimingEngine advances analytic
+// per-SPE clocks (SpeClock) and FIFO-server resources directly, and
+// only shares the sim::Tick time base from sim/time.h. What this class
+// provides today is the standalone deterministic event queue:
 // simultaneous events fire in scheduling order (a monotone sequence
-// number breaks ties), so a given workload always produces the same
-// simulated cycle counts.
+// number breaks ties), exercised by tests/sim_test.cc and available
+// for future event-driven models that need genuine event interleaving
+// rather than the analytic three-phase approximation.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,96 @@
+// ChunkPlan: the single authority for how a JK-diagonal's independent
+// I-lines decompose into executable chunks.
+//
+// The paper's level-2 insight (Section 4) is that every I-line on one
+// jkm-diagonal is independent, so the Cell port farms them to the SPEs
+// in chunks of four. Exactly one piece of code may decide what those
+// chunks are: this layer enumerates, for one diagonal of one (octant,
+// angle-block, K-block) pipeline block, the line coordinates in sweep
+// order and their bundling into chunks of at most kBundleLines lines
+// (remainder last). Both consumers -- the functional sweeper
+// (sweep::SweepState::sweep_block, which executes the chunks, serially
+// or on a host thread pool) and the timing engine
+// (core::TimingEngine::on_diagonal, which prices the identical chunk
+// list on the machine model) -- consume a ChunkPlan, so the functional
+// and timing paths cannot drift. The workload audit and the cluster
+// replayer use the same arithmetic through the static helpers.
+#pragma once
+
+#include <vector>
+
+#include "sweep/sweeper.h"
+
+namespace cellsweep::sweep {
+
+/// Coordinates of one I-line within its pipeline block: angle slot
+/// mh in [0, mmi), K-plane slot kk in [0, mk), J-column jj in [0, jt),
+/// with mh + kk + jj equal to the diagonal index.
+struct LineCoord {
+  int mh = 0;
+  int kk = 0;
+  int jj = 0;
+};
+
+/// One executable unit: a contiguous run of the diagonal's lines,
+/// dispatched to one SPE (timing model) or one host worker (functional
+/// executor).
+struct ChunkDesc {
+  int index = 0;       ///< position in the diagonal's chunk list
+  int first_line = 0;  ///< offset into ChunkPlan::lines()
+  int nlines = 0;      ///< 1..kBundleLines
+};
+
+/// Deterministic decomposition of one JK-diagonal into chunks.
+class ChunkPlan {
+ public:
+  ChunkPlan() = default;
+
+  /// Plans diagonal @p diagonal (0-based jkm index) of one pipeline
+  /// block: lines in the sweeper's visiting order (mh-major, kk-minor),
+  /// bundled into chunks of at most kBundleLines.
+  ChunkPlan(const SweepConfig& cfg, int jt, int it, int diagonal,
+            bool fixup);
+
+  /// Plans the diagonal described by an already-emitted DiagonalWork
+  /// record (the timing engine's entry point). Throws std::logic_error
+  /// if @p w.nlines disagrees with the geometry -- functional/timing
+  /// drift is a structural bug, not a tolerance.
+  ChunkPlan(const SweepConfig& cfg, int jt, const DiagonalWork& w);
+
+  int diagonal() const noexcept { return diagonal_; }
+  int it() const noexcept { return it_; }
+  bool fixup() const noexcept { return fixup_; }
+  KernelKind kernel() const noexcept { return kernel_; }
+
+  int nlines() const noexcept { return static_cast<int>(lines_.size()); }
+  bool empty() const noexcept { return lines_.empty(); }
+  const std::vector<LineCoord>& lines() const noexcept { return lines_; }
+  const std::vector<ChunkDesc>& chunks() const noexcept { return chunks_; }
+
+  // --- bundling arithmetic (shared with the audit / cluster paths) ----
+
+  /// Diagonals in one pipeline block (some near the corners are empty).
+  static int diagonals_per_block(const SweepConfig& cfg, int jt) noexcept {
+    return jt + cfg.mk + cfg.mmi - 2;
+  }
+
+  /// I-lines on diagonal @p diagonal of an (mmi x mk x jt) block.
+  static int lines_on_diagonal(const SweepConfig& cfg, int jt,
+                               int diagonal) noexcept;
+
+  /// Chunks @p nlines lines split into (full bundles, remainder last).
+  static int chunk_count(int nlines) noexcept;
+
+  /// Width of chunk @p chunk in a plan over @p nlines lines.
+  static int chunk_width(int nlines, int chunk) noexcept;
+
+ private:
+  int diagonal_ = 0;
+  int it_ = 0;
+  bool fixup_ = false;
+  KernelKind kernel_ = KernelKind::kSimd;
+  std::vector<LineCoord> lines_;
+  std::vector<ChunkDesc> chunks_;
+};
+
+}  // namespace cellsweep::sweep

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "sweep/plan.h"
+
 namespace cellsweep::sweep {
 namespace {
 
@@ -24,6 +26,8 @@ void SweepConfig::validate(int kt, int mm) const {
     throw std::invalid_argument("SweepConfig: need at least one iteration");
   if (fixup_from_iteration < 0)
     throw std::invalid_argument("SweepConfig: fixup_from_iteration >= 0");
+  if (threads < 1)
+    throw std::invalid_argument("SweepConfig: need at least one thread");
 }
 
 template <typename Real>
@@ -105,7 +109,8 @@ SweepState<Real>::SweepState(const Problem& problem, const SnQuadrature& quad,
     refl_k_.assign(2ull * 8 * mm * g.jt * it_pad, Real(0));
   }
 
-  scratch_ = std::make_unique<BundleScratch<Real>>(flux_.it_padded());
+  scratch_.push_back(std::make_unique<BundleScratch<Real>>(flux_.it_padded()));
+  worker_stats_.resize(1);
 }
 
 template <typename Real>
@@ -194,71 +199,72 @@ void SweepState<Real>::sweep_block(const SweepConfig& cfg, bool fixup, int iq,
     }
   }
 
-  const int ndiags = g.jt + cfg.mk + cfg.mmi - 2;
-  LineArgs<Real> bundle[kBundleLines];
-  KernelStats kstats;
+  const int ndiags = ChunkPlan::diagonals_per_block(cfg, g.jt);
 
   for (int d = 0; d < ndiags; ++d) {
-    int nlines_on_diag = 0;
-    int in_bundle = 0;
-    auto flush = [&] {
-      if (in_bundle == 0) return;
-      if (cfg.kernel == KernelKind::kSimd) {
-        sweep_bundle_simd(bundle, in_bundle, fixup, *scratch_, &kstats);
-      } else {
-        for (int b = 0; b < in_bundle; ++b)
-          sweep_line_scalar(bundle[b], fixup, &kstats);
-      }
-      ++stats.chunks;
-      in_bundle = 0;
-    };
+    const ChunkPlan plan(cfg, g.jt, g.it, d, fixup);
+    if (plan.empty()) continue;
 
-    for (int mh = 0; mh < cfg.mmi; ++mh) {
-      for (int kk = 0; kk < cfg.mk; ++kk) {
-        const int jj = d - kk - mh;
-        if (jj < 0 || jj >= g.jt) continue;
+    // Materialize the plan's line coordinates into kernel arguments.
+    // Every line writes disjoint flux rows and face entries (distinct
+    // (mh, kk) pairs, hence distinct j and jj), so the chunks below may
+    // run concurrently.
+    diag_args_.resize(plan.nlines());
+    for (int l = 0; l < plan.nlines(); ++l) {
+      const LineCoord& lc = plan.lines()[l];
+      const int m = ab * cfg.mmi + lc.mh;
+      const int j = oct.sy > 0 ? lc.jj : g.jt - 1 - lc.jj;
+      const int kl = kb * cfg.mk + lc.kk;  // logical plane along sweep
+      const int k = oct.sz > 0 ? kl : g.kt - 1 - kl;
+      const AngleConsts& ac = angle_consts_[iq * mm + m];
 
-        const int m = ab * cfg.mmi + mh;
-        const int j = oct.sy > 0 ? jj : g.jt - 1 - jj;
-        const int kl = kb * cfg.mk + kk;  // logical plane along sweep
-        const int k = oct.sz > 0 ? kl : g.kt - 1 - kl;
-        const AngleConsts& ac = angle_consts_[iq * mm + m];
-
-        LineArgs<Real>& a = bundle[in_bundle];
-        a.it = g.it;
-        a.dir = oct.sx;
-        a.sigt = sigt_.line(k, j);
-        a.src = src_.line(0, k, j);
-        a.flux = flux_.line(0, k, j);
-        a.mstride = mstride;
-        a.pn_src = ac.pn_src.data();
-        a.pn_acc = ac.pn_acc.data();
-        a.nm = moments_.nm();
-        a.ci = ac.ci;
-        a.cj = ac.cj;
-        a.ck = ac.ck;
-        a.phi_j = phi_j_face_.data() +
-                  (static_cast<std::size_t>(mh) * cfg.mk + kk) * it_pad;
-        a.phi_k = phi_k_face_.data() +
-                  (static_cast<std::size_t>(mh) * g.jt + j) * it_pad;
-        a.phi_i = phi_i_face_.data() +
-                  (static_cast<std::size_t>(mh) * cfg.mk + kk) * g.jt + jj;
-
-        ++nlines_on_diag;
-        if (++in_bundle == kBundleLines) flush();
-      }
+      LineArgs<Real>& a = diag_args_[l];
+      a.it = g.it;
+      a.dir = oct.sx;
+      a.sigt = sigt_.line(k, j);
+      a.src = src_.line(0, k, j);
+      a.flux = flux_.line(0, k, j);
+      a.mstride = mstride;
+      a.pn_src = ac.pn_src.data();
+      a.pn_acc = ac.pn_acc.data();
+      a.nm = moments_.nm();
+      a.ci = ac.ci;
+      a.cj = ac.cj;
+      a.ck = ac.ck;
+      a.phi_j = phi_j_face_.data() +
+                (static_cast<std::size_t>(lc.mh) * cfg.mk + lc.kk) * it_pad;
+      a.phi_k = phi_k_face_.data() +
+                (static_cast<std::size_t>(lc.mh) * g.jt + j) * it_pad;
+      a.phi_i = phi_i_face_.data() +
+                (static_cast<std::size_t>(lc.mh) * cfg.mk + lc.kk) * g.jt +
+                lc.jj;
     }
-    flush();
 
-    if (observer && nlines_on_diag > 0) {
-      observer(DiagonalWork{iq, ab, kb, d, nlines_on_diag, g.it, fixup,
+    const auto run_chunk = [&](int c, int worker) {
+      const ChunkDesc& ch = plan.chunks()[c];
+      KernelStats& ks = worker_stats_[worker];
+      if (cfg.kernel == KernelKind::kSimd) {
+        sweep_bundle_simd(diag_args_.data() + ch.first_line, ch.nlines,
+                          fixup, *scratch_[worker], &ks);
+      } else {
+        for (int b = 0; b < ch.nlines; ++b)
+          sweep_line_scalar(diag_args_[ch.first_line + b], fixup, &ks);
+      }
+    };
+    const int nchunks = static_cast<int>(plan.chunks().size());
+    if (pool_) {
+      pool_->parallel_for(nchunks, run_chunk);
+    } else {
+      for (int c = 0; c < nchunks; ++c) run_chunk(c, 0);
+    }
+
+    stats.chunks += nchunks;
+    stats.lines += plan.nlines();
+    if (observer) {
+      observer(DiagonalWork{iq, ab, kb, d, plan.nlines(), g.it, fixup,
                             cfg.kernel});
     }
-    stats.lines += nlines_on_diag;
   }
-
-  stats.cells += kstats.cells;
-  stats.fixup_cells += kstats.fixups_applied;
 
   // Block outflows.
   if (boundary_ != nullptr) {
@@ -368,6 +374,19 @@ SweepRunStats SweepState<Real>::sweep(const SweepConfig& cfg, bool fixup,
   cfg.validate(g.kt, mm);
   current_mmi_ = cfg.mmi;
 
+  // Host executor: one scratch and stats slot per worker. The pool is
+  // kept across sweeps and rebuilt only when the thread count changes.
+  const int threads = cfg.threads;
+  if (threads == 1) {
+    pool_.reset();
+  } else if (!pool_ || pool_->size() != threads) {
+    pool_ = std::make_unique<util::ThreadPool>(threads);
+  }
+  while (static_cast<int>(scratch_.size()) < threads)
+    scratch_.push_back(
+        std::make_unique<BundleScratch<Real>>(flux_.it_padded()));
+  worker_stats_.assign(threads, KernelStats{});
+
   flux_.fill(Real(0));
   SweepRunStats stats;
   const int it_pad = flux_.it_padded();
@@ -435,6 +454,13 @@ SweepRunStats SweepState<Real>::sweep(const SweepConfig& cfg, bool fixup,
         tally_k_leakage(iq, ab);
       }
     }
+  }
+
+  // Fold the per-worker kernel counters (fixed order, so totals are
+  // deterministic regardless of the parallel schedule).
+  for (const KernelStats& ks : worker_stats_) {
+    stats.cells += ks.cells;
+    stats.fixup_cells += ks.fixups_applied;
   }
   return stats;
 }

@@ -6,10 +6,15 @@
 // subroutine: blocks of MK K-planes and MMI angles are processed as
 // JK-diagonals, and all I-lines on one diagonal are independent -- the
 // property the Cell port's thread-level parallelization relies on
-// (Section 4, level 2). A DiagonalObserver hook exposes each diagonal's
-// work list so the Cell orchestrator (src/core) can replay the same
-// stream through the machine model; a BoundaryIO hook injects/extracts
-// block inflows/outflows so the MPI-level decomposition (src/sweep/
+// (Section 4, level 2). Each diagonal's decomposition into chunks comes
+// from the shared ChunkPlan layer (sweep/plan.h); with
+// SweepConfig::threads > 1 the chunks of a diagonal execute in parallel
+// on a host thread pool (every I-line writes disjoint flux cells and
+// face entries, so the result is bitwise identical to the serial run).
+// A DiagonalObserver hook exposes each diagonal's work list so the Cell
+// orchestrator (src/core) can replay the same stream through the
+// machine model; a BoundaryIO hook injects/extracts block
+// inflows/outflows so the MPI-level decomposition (src/sweep/
 // mpi_sweeper) reuses this driver unchanged.
 #pragma once
 
@@ -23,6 +28,7 @@
 #include "sweep/kernel_simd.h"
 #include "sweep/problem.h"
 #include "sweep/quadrature.h"
+#include "util/thread_pool.h"
 
 namespace cellsweep::sweep {
 
@@ -47,6 +53,11 @@ struct SweepConfig {
   /// scattering ratio) is extrapolated away. Big win on strongly
   /// scattering problems; off by default to match the classic deck.
   bool accelerate = false;
+  /// Host threads executing a diagonal's chunks in the functional
+  /// sweep (1 = serial). Purely a host-side execution knob: results
+  /// are bitwise identical for any value, and simulated Cell timing
+  /// never depends on it.
+  int threads = 1;
 
   void validate(int kt, int mm) const;
 };
@@ -204,7 +215,14 @@ class SweepState {
   LeakageTally leakage_;
   int current_mmi_ = 1;  // mmi of the sweep in progress (for K tally)
 
-  std::unique_ptr<BundleScratch<Real>> scratch_;
+  // Host execution resources, sized by SweepConfig::threads at sweep()
+  // entry. Each worker owns its BundleScratch: SIMD bundles must never
+  // share scratch across threads, and per-worker KernelStats keep the
+  // counters race-free (summed into SweepRunStats after the sweep).
+  std::unique_ptr<util::ThreadPool> pool_;  // null when threads == 1
+  std::vector<std::unique_ptr<BundleScratch<Real>>> scratch_;
+  std::vector<KernelStats> worker_stats_;
+  std::vector<LineArgs<Real>> diag_args_;  // one diagonal's line args
 };
 
 /// Result of a source-iteration solve.

@@ -1,0 +1,79 @@
+#include "util/thread_pool.h"
+
+namespace cellsweep::util {
+
+ThreadPool::ThreadPool(int threads) : size_(threads < 1 ? 1 : threads) {
+  workers_.reserve(size_ - 1);
+  for (int w = 1; w < size_; ++w)
+    workers_.emplace_back([this, w] { worker_loop(w); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::run_slice(int worker) noexcept {
+  // Static partition: contiguous slice per worker, remainder spread
+  // over the leading workers by the w*n/size rounding.
+  const int begin = static_cast<int>(
+      static_cast<std::int64_t>(worker) * n_ / size_);
+  const int end = static_cast<int>(
+      static_cast<std::int64_t>(worker + 1) * n_ / size_);
+  try {
+    for (int i = begin; i < end; ++i) (*fn_)(i, worker);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!error_) error_ = std::current_exception();
+  }
+}
+
+void ThreadPool::worker_loop(int worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    run_slice(worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::parallel_for(int n,
+                              const std::function<void(int, int)>& fn) {
+  if (n <= 0) return;
+  if (size_ == 1) {
+    for (int i = 0; i < n; ++i) fn(i, 0);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    n_ = n;
+    fn_ = &fn;
+    error_ = nullptr;
+    pending_ = size_ - 1;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+
+  run_slice(0);  // the calling thread is worker 0
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return pending_ == 0; });
+  fn_ = nullptr;
+  if (error_) std::rethrow_exception(error_);
+}
+
+}  // namespace cellsweep::util

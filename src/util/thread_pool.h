@@ -1,0 +1,61 @@
+// Static-partition fork/join executor for the functional sweep.
+//
+// The work it runs -- the chunks of one JK-diagonal -- is embarrassingly
+// parallel with near-uniform cost (every chunk is at most kBundleLines
+// I-lines of the same length), so a static contiguous partition of the
+// index range is both optimal and, unlike work stealing, leaves the
+// mapping of chunk to worker deterministic. Workers are spawned once
+// and parked on a condition variable between fork points; the calling
+// thread doubles as worker 0, so a pool of size N uses N-1 extra
+// threads and size 1 degenerates to an inline loop with no threads and
+// no locking at all.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cellsweep::util {
+
+class ThreadPool {
+ public:
+  /// Spawns @p threads - 1 workers; @p threads < 1 is clamped to 1.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Workers available, including the calling thread.
+  int size() const noexcept { return size_; }
+
+  /// Invokes fn(index, worker) for every index in [0, n), blocking
+  /// until all calls have returned. Worker w executes the contiguous
+  /// slice [w*n/size, (w+1)*n/size); worker 0 is the calling thread.
+  /// The first exception thrown by any invocation is rethrown here
+  /// (remaining slices still run to completion).
+  void parallel_for(int n, const std::function<void(int index, int worker)>& fn);
+
+ private:
+  void worker_loop(int worker);
+  void run_slice(int worker) noexcept;
+
+  int size_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;  // bumped per parallel_for; wakes workers
+  int pending_ = 0;               // helper workers still running this gen
+  int n_ = 0;
+  const std::function<void(int, int)>* fn_ = nullptr;
+  std::exception_ptr error_;
+  bool stop_ = false;
+};
+
+}  // namespace cellsweep::util

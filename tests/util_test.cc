@@ -1,14 +1,19 @@
 // Unit tests for src/util: aligned allocation, RNG, statistics,
-// formatting, tables and the CLI parser.
+// formatting, tables, the CLI parser and the thread pool.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "util/aligned.h"
 #include "util/cli.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 #include "util/units.h"
 
 namespace cellsweep::util {
@@ -209,6 +214,76 @@ TEST(Cli, PositionalArguments) {
   ASSERT_TRUE(cli.parse(3, argv));
   ASSERT_EQ(cli.positional().size(), 2u);
   EXPECT_EQ(cli.positional()[0], "input.dat");
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 7}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.size(), threads);
+    for (int n : {0, 1, 3, threads, 10 * threads + 3}) {
+      std::vector<std::atomic<int>> hits(n);
+      pool.parallel_for(n, [&](int i, int worker) {
+        EXPECT_GE(worker, 0);
+        EXPECT_LT(worker, threads);
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      });
+      for (int i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+    }
+  }
+}
+
+TEST(ThreadPool, StaticPartitionIsContiguousPerWorker) {
+  ThreadPool pool(3);
+  const int n = 11;
+  std::vector<int> owner(n, -1);
+  pool.parallel_for(n, [&](int i, int worker) { owner[i] = worker; });
+  // Worker indices are non-decreasing over the range: contiguous slices.
+  for (int i = 1; i < n; ++i) EXPECT_GE(owner[i], owner[i - 1]) << i;
+  EXPECT_EQ(owner.front(), 0);
+  EXPECT_EQ(owner.back(), 2);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(16,
+                        [&](int i, int) {
+                          if (i == 9) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool must still be usable after a throwing round.
+  std::atomic<int> sum{0};
+  pool.parallel_for(8, [&](int i, int) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 28);
+}
+
+TEST(ThreadPool, SizeOneRunsInline) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  pool.parallel_for(5, [&](int, int worker) {
+    EXPECT_EQ(worker, 0);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ThreadPool, ReusableAcrossManyRounds) {
+  ThreadPool pool(4);
+  long total = 0;
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<long> sum{0};
+    pool.parallel_for(round % 9, [&](int i, int) {
+      sum.fetch_add(i + 1, std::memory_order_relaxed);
+    });
+    total += sum.load();
+  }
+  long expected = 0;
+  for (int round = 0; round < 200; ++round) {
+    const int n = round % 9;
+    expected += static_cast<long>(n) * (n + 1) / 2;
+  }
+  EXPECT_EQ(total, expected);
 }
 
 }  // namespace
