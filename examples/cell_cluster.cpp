@@ -33,9 +33,15 @@ int main(int argc, char** argv) {
     std::cout << cli.usage(argv[0]);
     return 0;
   }
-  const int n = static_cast<int>(cli.get_int("cube"));
-  const int px = static_cast<int>(cli.get_int("px"));
-  const int py = static_cast<int>(cli.get_int("py"));
+  int n, px, py;
+  try {
+    n = static_cast<int>(cli.get_int("cube"));
+    px = static_cast<int>(cli.get_int("px"));
+    py = static_cast<int>(cli.get_int("py"));
+  } catch (const util::CliError& e) {
+    std::cerr << e.what() << "\n" << cli.usage(argv[0]);
+    return 1;
+  }
   if (n % px != 0 || n % py != 0) {
     std::cerr << "px and py must divide the cube size\n";
     return 1;

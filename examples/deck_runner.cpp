@@ -3,11 +3,17 @@
 //
 //   $ ./deck_runner examples/decks/benchmark50.deck
 //   $ ./deck_runner examples/decks/shield_reflected.deck --stage=simd
+//   $ ./deck_runner examples/decks/benchmark50.deck --trace trace.json \
+//         --metrics metrics.json     # chrome://tracing + JSON metrics
+#include <fstream>
 #include <iostream>
 
+#include "core/metrics.h"
 #include "core/orchestrator.h"
+#include "sim/trace.h"
 #include "sweep/deck.h"
 #include "util/cli.h"
+#include "util/table.h"
 #include "util/units.h"
 
 using namespace cellsweep;
@@ -21,6 +27,12 @@ int main(int argc, char** argv) {
   cli.add_flag("threads", "1",
                "host threads for the functional sweep (results are "
                "bitwise identical for any value)");
+  cli.add_flag("trace", "",
+               "write a Chrome trace-event JSON of the simulated run "
+               "(load in chrome://tracing or ui.perfetto.dev)");
+  cli.add_flag("metrics", "",
+               "write run metrics (timing, stall breakdown, DMA "
+               "histograms) as JSON");
   if (!cli.parse(argc, argv)) {
     std::cerr << cli.error() << "\n" << cli.usage(argv[0]);
     return 1;
@@ -52,7 +64,15 @@ int main(int argc, char** argv) {
             << deck.sn_order << ", " << deck.nm_cap << " moments, MK="
             << deck.sweep.mk << " MMI=" << deck.sweep.mmi << "\n";
 
-  deck.sweep.threads = static_cast<int>(cli.get_int("threads"));
+  std::string trace_path, metrics_path;
+  try {
+    deck.sweep.threads = static_cast<int>(cli.get_int("threads"));
+    trace_path = cli.get_string("trace");
+    metrics_path = cli.get_string("metrics");
+  } catch (const util::CliError& e) {
+    std::cerr << "deck_runner: " << e.what() << "\n" << cli.usage(argv[0]);
+    return 1;
+  }
   if (deck.sweep.threads < 1) {
     std::cerr << "deck_runner: --threads must be a positive integer\n";
     return 1;
@@ -71,10 +91,12 @@ int main(int argc, char** argv) {
               << r.totals.fixup_cells << "\n";
   }
 
+  sim::ChromeTraceWriter writer;
   core::CellSweepConfig cfg = core::CellSweepConfig::from_stage(stage);
   cfg.sweep = deck.sweep;
   cfg.sweep.kernel = cfg.kernel;
   cfg.sweep.epsilon = 0.0;  // the timing model replays a fixed count
+  if (!trace_path.empty()) cfg.trace_sink = &writer;
   core::CellSweep3D runner(deck.problem, cfg, deck.sn_order, 2, deck.nm_cap);
   const core::RunReport rep = runner.run(core::RunMode::kTraceDriven);
   std::cout << "Cell (" << core::stage_name(stage)
@@ -82,5 +104,47 @@ int main(int argc, char** argv) {
             << util::format_bytes(rep.traffic_bytes) << " traffic, grind "
             << util::format_seconds(rep.grind_seconds) << "/solve, "
             << util::format_flops(rep.achieved_flops_per_s) << "\n";
+
+  // Per-SPE stall breakdown: where the simulated time went.
+  if (!rep.spe_stalls.empty()) {
+    util::TextTable table(
+        {"SPE", "busy [s]", "DMA wait [s]", "sync wait [s]", "idle [s]"});
+    char buf[32];
+    auto f = [&](double v) {
+      std::snprintf(buf, sizeof buf, "%.3f", v);
+      return std::string(buf);
+    };
+    for (std::size_t s = 0; s < rep.spe_stalls.size(); ++s) {
+      const core::SpeStallSummary& st = rep.spe_stalls[s];
+      table.add_row({"SPE" + std::to_string(s), f(st.busy_s),
+                     f(st.dma_wait_s), f(st.sync_wait_s), f(st.idle_s)});
+    }
+    table.print(std::cout);
+    std::cout << "MIC utilization " << util::format_percent(rep.mic_utilization)
+              << ", EIB utilization "
+              << util::format_percent(rep.eib_utilization) << "\n";
+  }
+
+  if (!trace_path.empty()) {
+    std::ofstream os(trace_path);
+    if (!os) {
+      std::cerr << "deck_runner: cannot write trace file " << trace_path
+                << "\n";
+      return 1;
+    }
+    writer.write(os);
+    std::cout << "Trace: " << writer.event_count() << " events on "
+              << writer.track_count() << " tracks -> " << trace_path << "\n";
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream os(metrics_path);
+    if (!os) {
+      std::cerr << "deck_runner: cannot write metrics file " << metrics_path
+                << "\n";
+      return 1;
+    }
+    core::write_metrics_json(os, rep);
+    std::cout << "Metrics -> " << metrics_path << "\n";
+  }
   return 0;
 }

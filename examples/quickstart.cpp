@@ -30,7 +30,14 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const int cube = static_cast<int>(cli.get_int("cube"));
+  int cube, iterations;
+  try {
+    cube = static_cast<int>(cli.get_int("cube"));
+    iterations = static_cast<int>(cli.get_int("iterations"));
+  } catch (const util::CliError& e) {
+    std::cerr << e.what() << "\n" << cli.usage(argv[0]);
+    return 1;
+  }
   const std::string stage_name = cli.get_string("stage");
   core::OptimizationStage stage = core::OptimizationStage::kSpeLsPoke;
   if (stage_name == "ppe") stage = core::OptimizationStage::kPpeXlc;
@@ -42,7 +49,7 @@ int main(int argc, char** argv) {
 
   // 2. Pick a Cell configuration (one of the Figure 5 ladder stages).
   core::CellSweepConfig cfg = core::CellSweepConfig::from_stage(stage);
-  cfg.sweep.max_iterations = static_cast<int>(cli.get_int("iterations"));
+  cfg.sweep.max_iterations = iterations;
   cfg.sweep.fixup_from_iteration = cfg.sweep.max_iterations - 2;
   int mk = 1;
   for (int d = 1; d <= cfg.sweep.mk; ++d)

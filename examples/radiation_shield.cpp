@@ -33,7 +33,15 @@ int main(int argc, char** argv) {
     std::cout << cli.usage(argv[0]);
     return 0;
   }
-  const int n = static_cast<int>(cli.get_int("cube"));
+  int n;
+  double epsilon;
+  try {
+    n = static_cast<int>(cli.get_int("cube"));
+    epsilon = cli.get_double("epsilon");
+  } catch (const util::CliError& e) {
+    std::cerr << e.what() << "\n" << cli.usage(argv[0]);
+    return 1;
+  }
 
   const sweep::Problem problem = sweep::Problem::shield(n);
   std::cout << "Shield problem: " << n << "^3 cells; materials:\n";
@@ -47,7 +55,7 @@ int main(int argc, char** argv) {
       core::CellSweepConfig::from_stage(core::OptimizationStage::kSpeLsPoke);
   cfg.sweep.max_iterations = 60;
   cfg.sweep.fixup_from_iteration = 0;
-  cfg.sweep.epsilon = cli.get_double("epsilon");
+  cfg.sweep.epsilon = epsilon;
   int mk = 1;
   for (int d = 1; d <= cfg.sweep.mk; ++d)
     if (n % d == 0) mk = d;

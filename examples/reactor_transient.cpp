@@ -32,9 +32,16 @@ int main(int argc, char** argv) {
     std::cout << cli.usage(argv[0]);
     return 0;
   }
-  const int n = static_cast<int>(cli.get_int("cube"));
-  const int steps = static_cast<int>(cli.get_int("steps"));
-  const double decay = cli.get_double("decay");
+  int n, steps;
+  double decay;
+  try {
+    n = static_cast<int>(cli.get_int("cube"));
+    steps = static_cast<int>(cli.get_int("steps"));
+    decay = cli.get_double("decay");
+  } catch (const util::CliError& e) {
+    std::cerr << e.what() << "\n" << cli.usage(argv[0]);
+    return 1;
+  }
 
   const sweep::Problem base = sweep::Problem::reactor(n);
   std::cout << "Reactor problem: " << n << "^3 cells, scattering ratio "

@@ -19,26 +19,44 @@ Mfc::Mfc(const CellSpec& spec, Eib* eib, Mic* mic, std::string name)
 
 void Mfc::validate(const DmaRequest& req) const {
   std::ostringstream why;
+  auto append = [&](const std::string& what) {
+    if (!why.str().empty()) why << "; ";
+    why << what;
+  };
+  // The CBEA size rules apply to every transfer the MFC performs: full
+  // elements and the trailing partial element alike.
+  auto check_size = [&](std::size_t bytes, const char* what) {
+    if (bytes < 16) {
+      // Sub-quadword transfers must be naturally aligned powers of two.
+      const bool pow2 = (bytes & (bytes - 1)) == 0;
+      if (!pow2 || bytes > 8)
+        append(std::string(what) + " below 16 bytes must be 1, 2, 4 or 8 bytes");
+      else if (req.alignment % bytes != 0)
+        append(std::string("sub-quadword ") + what +
+               " must be naturally aligned");
+    } else if (bytes % 16 != 0) {
+      append(std::string(what) + " of 16 bytes or more must be multiples of 16");
+    } else if (bytes > spec_.dma_max_bytes) {
+      append("single transfer exceeds 16 KB");
+    }
+  };
+
   const std::size_t bytes = req.element_bytes;
   if (req.total_bytes == 0 || bytes == 0) {
-    why << "zero-length transfer";
-  } else if (bytes < 16) {
-    // Sub-quadword transfers must be naturally aligned powers of two.
-    const bool pow2 = (bytes & (bytes - 1)) == 0;
-    if (!pow2 || bytes > 8)
-      why << "transfers below 16 bytes must be 1, 2, 4 or 8 bytes";
-    else if (req.alignment % bytes != 0)
-      why << "sub-quadword transfer must be naturally aligned";
-  } else if (bytes % 16 != 0) {
-    why << "transfers of 16 bytes or more must be multiples of 16";
-  } else if (bytes > spec_.dma_max_bytes) {
-    why << "single transfer exceeds 16 KB";
+    append("zero-length transfer");
+  } else {
+    check_size(bytes, "transfers");
+    // A request whose payload is not a whole number of elements ends in
+    // a partial element of total_bytes % element_bytes -- itself a real
+    // MFC transfer, so it obeys the same size rules.
+    const std::size_t rem = req.total_bytes % bytes;
+    if (rem != 0 && req.total_bytes > bytes)
+      check_size(rem, "trailing partial transfers");
   }
   if (req.as_list && req.elements() > spec_.dma_list_max_elements)
-    why << (why.str().empty() ? "" : "; ")
-        << "DMA list must have 1..2048 elements";
+    append("DMA list must have 1..2048 elements");
   if (req.alignment == 0 || (req.alignment & (req.alignment - 1)) != 0)
-    why << (why.str().empty() ? "" : "; ") << "alignment must be a power of two";
+    append("alignment must be a power of two");
 
   const std::string msg = why.str();
   if (!msg.empty()) throw DmaError("illegal DMA command: " + msg);
@@ -55,6 +73,23 @@ double Mfc::transfer_efficiency(std::size_t bytes,
   const std::size_t bursts = (bytes + line - 1) / line + (aligned ? 0 : 1);
   const double eff =
       static_cast<double>(bytes) / static_cast<double>(bursts * line);
+  return std::clamp(eff, spec_.dma_min_efficiency, 1.0);
+}
+
+double Mfc::request_efficiency(const DmaRequest& req) const {
+  if (req.element_bytes == 0 || req.total_bytes == 0) return 1.0;
+  // The last element carries total % element bytes; it occupies DRAM
+  // bursts for its *own* size, not the nominal element size. Weight the
+  // efficiencies by port occupancy: occupancy(b) = b / eff(b).
+  const std::size_t elem = std::min(req.element_bytes, req.total_bytes);
+  const std::size_t full = req.total_bytes / elem;
+  const std::size_t rem = req.total_bytes % elem;
+  double occupancy = static_cast<double>(full * elem) /
+                     transfer_efficiency(elem, req.alignment);
+  if (rem != 0)
+    occupancy +=
+        static_cast<double>(rem) / transfer_efficiency(rem, req.alignment);
+  const double eff = static_cast<double>(req.total_bytes) / occupancy;
   return std::clamp(eff, spec_.dma_min_efficiency, 1.0);
 }
 
@@ -76,6 +111,13 @@ DmaCompletion Mfc::submit(sim::Tick now, const DmaRequest& req) {
   auto slot = std::min_element(slots_.begin(), slots_.begin() + depth_);
   const sim::Tick start = std::max(issue_done, *slot);
 
+  // Occupancy at entry: commands still outstanding when this one was
+  // issued (observation only; feeds the stall-accounting histogram).
+  int occupied = 0;
+  for (int i = 0; i < depth_; ++i)
+    if (slots_[i] > issue_done) ++occupied;
+  ++occupancy_hist_[std::min(occupied, depth_ - 1)];
+
   // Memory-side startup: full per-command cost for individual commands,
   // reduced per-element cost inside a list.
   const sim::Tick overhead =
@@ -92,8 +134,8 @@ DmaCompletion Mfc::submit(sim::Tick now, const DmaRequest& req) {
     // no DRAM behavior.
     done = std::max(eib_->submit(start, payload), start + overhead);
   } else {
-    const double eff = transfer_efficiency(req.element_bytes, req.alignment) *
-                       mic_->bank_efficiency(req.banks_touched);
+    const double eff =
+        request_efficiency(req) * mic_->bank_efficiency(req.banks_touched);
     // The payload crosses the EIB and drains into (or out of) the MIC;
     // completion is bounded by the slower of the two shared resources.
     const sim::Tick eib_done = eib_->submit(start, payload);
@@ -108,7 +150,7 @@ DmaCompletion Mfc::submit(sim::Tick now, const DmaRequest& req) {
   commands_ += req.as_list ? 1 : static_cast<std::uint64_t>(elements);
   transfers_ += static_cast<std::uint64_t>(elements);
   bytes_ += payload;
-  return DmaCompletion{issue_done, done};
+  return DmaCompletion{issue_done, done, start};
 }
 
 sim::Tick Mfc::wait_all(sim::Tick now) const {
@@ -122,6 +164,7 @@ void Mfc::reset() noexcept {
   commands_ = 0;
   transfers_ = 0;
   bytes_ = 0.0;
+  occupancy_hist_.fill(0);
 }
 
 }  // namespace cellsweep::cell

@@ -67,6 +67,10 @@ struct DmaRequest {
 struct DmaCompletion {
   sim::Tick issue_done;  ///< when the SPU may continue (command queued)
   sim::Tick done;        ///< when the payload transfer completes
+  /// When the command left the MFC queue and its payload started
+  /// moving; issue_done..start is queue back-pressure wait. Observation
+  /// only (the trace layer splits issue/queue/transfer phases on it).
+  sim::Tick start = 0;
 };
 
 /// Per-SPE DMA engine.
@@ -90,10 +94,25 @@ class Mfc {
   /// aligned, >=128-byte transfers run at 1.0.
   double transfer_efficiency(std::size_t bytes, std::size_t alignment) const;
 
+  /// Burst efficiency of a whole request: full elements at their own
+  /// rate plus the trailing partial element (total_bytes %
+  /// element_bytes) at *its* real size -- a 16-byte tail does not ride
+  /// at a 512-byte element's efficiency.
+  double request_efficiency(const DmaRequest& req) const;
+
   std::uint64_t commands() const noexcept { return commands_; }
   std::uint64_t transfers() const noexcept { return transfers_; }
   double bytes_requested() const noexcept { return bytes_; }
   const std::string& name() const noexcept { return name_; }
+
+  /// Queue occupancy histogram: occupancy_histogram()[k] counts
+  /// commands that found k earlier commands still outstanding when they
+  /// entered the queue (k ranges 0..depth-1; a full queue blocks until
+  /// a slot frees, so depth-1 is the maximum observable).
+  const std::array<std::uint64_t, 32>& occupancy_histogram() const noexcept {
+    return occupancy_hist_;
+  }
+  int queue_depth() const noexcept { return depth_; }
 
   void reset() noexcept;
 
@@ -108,6 +127,7 @@ class Mfc {
   std::uint64_t commands_ = 0;
   std::uint64_t transfers_ = 0;
   double bytes_ = 0.0;
+  std::array<std::uint64_t, 32> occupancy_hist_{};
 };
 
 }  // namespace cellsweep::cell

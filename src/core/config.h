@@ -13,6 +13,10 @@
 #include "cellsim/sync.h"
 #include "sweep/sweeper.h"
 
+namespace cellsweep::sim {
+class TraceSink;
+}
+
 namespace cellsweep::core {
 
 /// Numeric precision of the kernels and DMA payloads.
@@ -62,6 +66,11 @@ struct CellSweepConfig {
   std::size_t dma_granularity = 512;
   /// Cell revision (fully pipelined DP for kFuturePipelinedDp).
   cell::CellSpec chip{};
+  /// Observability hook (non-owning, may be null): the timing engine
+  /// emits simulated-time spans -- kernels, DMA phases, sync waits,
+  /// dispatch -- into this sink. Pure observation: enabling it changes
+  /// no simulated tick (pinned by a test).
+  sim::TraceSink* trace_sink = nullptr;
 
   /// Blocking parameters forwarded to the sweep driver.
   sweep::SweepConfig sweep;

@@ -1,0 +1,96 @@
+#include "core/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "core/orchestrator.h"
+#include "util/stats.h"
+
+namespace cellsweep::core {
+namespace {
+
+/// JSON has no NaN/Infinity literals; the empty-stats contract (all
+/// moments NaN) and any degenerate ratio serialize as null.
+void num(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  os << buf;
+}
+
+void stats_object(std::ostream& os, const util::RunningStats& s) {
+  os << "{\"count\": " << s.count() << ", \"mean\": ";
+  num(os, s.mean());
+  os << ", \"min\": ";
+  num(os, s.min());
+  os << ", \"max\": ";
+  num(os, s.max());
+  os << ", \"stddev\": ";
+  num(os, s.stddev());
+  os << "}";
+}
+
+}  // namespace
+
+void write_metrics_json(std::ostream& os, const RunReport& r) {
+  os << "{\n  \"seconds\": ";
+  num(os, r.seconds);
+  os << ",\n  \"grind_seconds\": ";
+  num(os, r.grind_seconds);
+  os << ",\n  \"achieved_flops_per_s\": ";
+  num(os, r.achieved_flops_per_s);
+  os << ",\n  \"traffic_bytes\": ";
+  num(os, r.traffic_bytes);
+  os << ",\n  \"flops\": " << r.flops;
+  os << ",\n  \"cell_solves\": " << r.cell_solves;
+  os << ",\n  \"chunks\": " << r.chunks;
+  os << ",\n  \"ls_high_water_bytes\": " << r.ls_high_water;
+  os << ",\n  \"bounds\": {\"memory_s\": ";
+  num(os, r.memory_bound_s);
+  os << ", \"compute_s\": ";
+  num(os, r.compute_bound_s);
+  os << "},\n  \"utilization\": {\"mic\": ";
+  num(os, r.mic_utilization);
+  os << ", \"eib\": ";
+  num(os, r.eib_utilization);
+  os << "},\n  \"dma\": {\"commands\": " << r.dma_commands
+     << ", \"transfers\": " << r.dma_transfers
+     << ", \"queue_occupancy_histogram\": [";
+  for (std::size_t k = 0; k < r.mfc_queue_occupancy.size(); ++k)
+    os << (k ? ", " : "") << r.mfc_queue_occupancy[k];
+  os << "]},\n  \"spe_stalls\": [";
+  // Aggregate moments across SPEs per bucket; for PPE-only runs these
+  // accumulators stay empty and serialize their NaN moments as null.
+  util::RunningStats busy, dma, sync, idle;
+  for (std::size_t s = 0; s < r.spe_stalls.size(); ++s) {
+    const SpeStallSummary& st = r.spe_stalls[s];
+    busy.add(st.busy_s);
+    dma.add(st.dma_wait_s);
+    sync.add(st.sync_wait_s);
+    idle.add(st.idle_s);
+    os << (s ? ",\n    " : "\n    ") << "{\"spe\": " << s << ", \"busy_s\": ";
+    num(os, st.busy_s);
+    os << ", \"dma_wait_s\": ";
+    num(os, st.dma_wait_s);
+    os << ", \"sync_wait_s\": ";
+    num(os, st.sync_wait_s);
+    os << ", \"idle_s\": ";
+    num(os, st.idle_s);
+    os << "}";
+  }
+  os << "\n  ],\n  \"stall_stats\": {\"busy_s\": ";
+  stats_object(os, busy);
+  os << ", \"dma_wait_s\": ";
+  stats_object(os, dma);
+  os << ", \"sync_wait_s\": ";
+  stats_object(os, sync);
+  os << ", \"idle_s\": ";
+  stats_object(os, idle);
+  os << "}\n}\n";
+}
+
+}  // namespace cellsweep::core

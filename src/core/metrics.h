@@ -1,0 +1,21 @@
+// Machine-readable run metrics.
+//
+// Serializes a RunReport -- top-line timing, the Section 6 bounds, DMA
+// counters, the MFC queue-occupancy histogram and the per-SPE stall
+// breakdown (busy / DMA-wait / sync-wait / idle) -- as a single JSON
+// object, so runs can be diffed, plotted and regression-tracked without
+// scraping the human-readable tables. Non-finite values (the empty
+// RunningStats contract returns NaN for all moments) serialize as JSON
+// null.
+#pragma once
+
+#include <iosfwd>
+
+namespace cellsweep::core {
+
+struct RunReport;
+
+/// Writes @p r as one JSON object to @p os.
+void write_metrics_json(std::ostream& os, const RunReport& r);
+
+}  // namespace cellsweep::core

@@ -23,7 +23,16 @@ TimingEngine::TimingEngine(const CellSweepConfig& cfg,
       nm_(nm),
       machine_(cfg.chip),
       kernels_(cfg.chip),
-      spes_(cfg.chip.num_spes) {
+      spes_(cfg.chip.num_spes),
+      sink_(cfg.trace_sink) {
+  if (sink_) {
+    ppe_track_ = sink_->track("PPE");
+    spe_tracks_.reserve(spes_.size());
+    for (std::size_t s = 0; s < spes_.size(); ++s)
+      spe_tracks_.push_back(sink_->track("SPE" + std::to_string(s)));
+    eib_track_ = sink_->track("EIB");
+    mic_track_ = sink_->track("MIC");
+  }
   // Validate the local-store budget: the largest chunk's working set
   // times the buffer count (plus resident constants) must fit in every
   // SPE's 256 KB. Throws cell::LocalStoreOverflow otherwise.
@@ -47,7 +56,55 @@ void TimingEngine::iteration_boundary() {
   const double bytes = (2.0 * nm_ + 1.0) *
                        static_cast<double>(grid_.cells()) *
                        static_cast<double>(real_bytes_of(cfg_.precision));
+  const sim::Tick before = next_barrier_;
   next_barrier_ = machine_.mic().submit(next_barrier_, bytes, 0, 1.0);
+  if (sink_) {
+    sink_->span(mic_track_, "source-rebuild", "memory", before, next_barrier_);
+    sink_->counter(mic_track_, "traffic-gb", next_barrier_,
+                   machine_.mic().bytes_moved() / 1e9);
+  }
+}
+
+void TimingEngine::account_wait(int spe_index, sim::Tick base,
+                                sim::Tick dma_ready, sim::Tick sync_ready) {
+  // The SPU stalls over [base, max(dma_ready, sync_ready)). Split the
+  // interval at the earlier constraint's resolution: time up to it is
+  // charged to that bucket, the rest to the later (binding) one. The
+  // two buckets partition the wait exactly, so per-SPE busy + dma_wait
+  // + sync_wait + idle always sums to the run length.
+  SpeClock& spe = spes_[spe_index];
+  const sim::Tick first = std::max(base, std::min(dma_ready, sync_ready));
+  const sim::Tick ready = std::max(base, std::max(dma_ready, sync_ready));
+  const bool dma_first = dma_ready <= sync_ready;
+  (dma_first ? spe.dma_wait : spe.sync_wait) += first - base;
+  (dma_first ? spe.sync_wait : spe.dma_wait) += ready - first;
+  if (sink_) {
+    const int t = spe_tracks_[spe_index];
+    const char* sync_name = cfg_.sync == cell::SyncProtocol::kAtomicDistributed
+                                ? "atomic-wait"
+                            : cfg_.sync == cell::SyncProtocol::kMailbox
+                                ? "mailbox-wait"
+                                : "ls-poke-wait";
+    const char* a = dma_first ? "dma-wait" : sync_name;
+    const char* b = dma_first ? sync_name : "dma-wait";
+    if (first > base) sink_->span(t, a, dma_first ? "dma" : "sync", base, first);
+    if (ready > first)
+      sink_->span(t, b, dma_first ? "sync" : "dma", first, ready);
+  }
+}
+
+void TimingEngine::trace_dma(int spe_index, const char* name,
+                             sim::Tick submitted, const cell::DmaCompletion& c,
+                             bool to_memory) {
+  if (!sink_) return;
+  const int t = spe_tracks_[spe_index];
+  // SPU-side channel phase, MFC queue back-pressure phase, then the
+  // payload streaming through the shared fabric.
+  sink_->span(t, "dma-issue", "dma", submitted, c.issue_done);
+  if (c.start > c.issue_done)
+    sink_->span(t, "dma-queue", "dma", c.issue_done, c.start);
+  sink_->span(to_memory ? mic_track_ : eib_track_, name, "dma", c.start,
+              c.done);
 }
 
 void TimingEngine::on_diagonal(const sweep::DiagonalWork& w) {
@@ -69,6 +126,7 @@ void TimingEngine::on_diagonal(const sweep::DiagonalWork& w) {
     barrier_ = next_barrier_;
     prev_diag_completion_.clear();
     prev_diag_compute_end_.clear();
+    if (sink_) sink_->instant(ppe_track_, "block-barrier", "sync", barrier_);
   }
 
   // Dispatch release: with centralized scheduling the PPE must observe
@@ -109,6 +167,7 @@ void TimingEngine::on_diagonal(const sweep::DiagonalWork& w) {
     int nlines;
     int spe;
     int index;
+    sim::Tick grant = 0;
     sim::Tick get_done = 0;
     sim::Tick get_issue_done = 0;
     sim::Tick compute_end = 0;
@@ -167,27 +226,35 @@ void TimingEngine::on_diagonal(const sweep::DiagonalWork& w) {
         plan_chunk(ChunkShape{c.nlines, w.it, nm_, rb, cfg_.aligned_rows});
     cell::Mfc& mfc = machine_.spe(c.spe).mfc();
 
-    const sim::Tick grant = machine_.dispatch().acquire_work(
-        std::max(spe.request_at, release), cfg_.sync);
+    const sim::Tick dispatch_from = std::max(spe.request_at, release);
+    const sim::Tick grant =
+        machine_.dispatch().acquire_work(dispatch_from, cfg_.sync);
+    c.grant = grant;
+    if (sink_ && grant > dispatch_from)
+      sink_->span(ppe_track_, cell::sync_protocol_name(cfg_.sync), "dispatch",
+                  dispatch_from, grant);
 
     const sim::Tick dep = dependency_ready(c.index);
     if (cfg_.buffers >= 2) {
       const cell::DmaCompletion bulk = mfc.submit(
           spe.request_at,
           make_request(plan, cell::DmaDir::kGet, plan.bulk_get_bytes()));
+      trace_dma(c.spe, "dma-get-bulk", spe.request_at, bulk, true);
       cell::DmaRequest face_req =
           make_request(plan, cell::DmaDir::kGet, plan.face_get_bytes());
       face_req.ls_to_ls = !centralized;  // SPE-to-SPE face forwarding
-      const cell::DmaCompletion face =
-          mfc.submit(std::max(grant, dep), face_req);
+      const sim::Tick face_from = std::max(grant, dep);
+      const cell::DmaCompletion face = mfc.submit(face_from, face_req);
+      trace_dma(c.spe, "dma-get-face", face_from, face, centralized);
       c.get_done = std::max(bulk.done, face.done);
       c.get_issue_done = std::max(bulk.issue_done, face.issue_done);
     } else {
       // Synchronous staging: the single buffer is only free after the
       // previous put, and everything waits for the go signal.
+      const sim::Tick get_from = std::max(grant, dep);
       const cell::DmaCompletion get = mfc.submit(
-          std::max(grant, dep),
-          make_request(plan, cell::DmaDir::kGet, plan.get_bytes()));
+          get_from, make_request(plan, cell::DmaDir::kGet, plan.get_bytes()));
+      trace_dma(c.spe, "dma-get", get_from, get, true);
       c.get_done = get.done;
       c.get_issue_done = get.issue_done;
     }
@@ -201,10 +268,21 @@ void TimingEngine::on_diagonal(const sweep::DiagonalWork& w) {
     sim::Tick ready =
         std::max({spe.compute_free, c.get_done, dependency_ready(c.index)});
     if (cfg_.buffers < 2) ready = std::max(ready, spe.put_done);
+    // Stall attribution: the grant is a sync constraint even though it
+    // reaches the SPU through get_done (the get is submitted after the
+    // grant), so dispatch serialization lands in the sync bucket, not
+    // the DMA one. grant <= get_done always, so `ready` is unchanged.
+    sim::Tick dma_ready = c.get_done;
+    if (cfg_.buffers < 2) dma_ready = std::max(dma_ready, spe.put_done);
+    account_wait(c.spe, spe.compute_free, dma_ready,
+                 std::max(dependency_ready(c.index), c.grant));
     const ChunkCost& cost =
         kernels_.chunk_cost(w.kernel, cfg_.precision, c.nlines, w.it, nm_,
                             w.fixup, cfg_.gotos_eliminated);
     c.compute_end = machine_.spe(c.spe).compute(ready, cost.cycles);
+    if (sink_)
+      sink_->span(spe_tracks_[c.spe], w.fixup ? "kernel+fixup" : "kernel",
+                  "compute", ready, c.compute_end);
     spe.compute_free = c.compute_end;
     if (cfg_.buffers >= 2)
       spe.request_at = std::max(spe.request_at, ready);
@@ -224,12 +302,15 @@ void TimingEngine::on_diagonal(const sweep::DiagonalWork& w) {
     const cell::DmaCompletion put = machine_.spe(c.spe).mfc().submit(
         c.compute_end,
         make_request(plan, cell::DmaDir::kPut, plan.put_bytes()));
+    trace_dma(c.spe, "dma-put", c.compute_end, put, true);
     // The SPE signals completion only after its writeback DMA has
     // drained (tag-group wait), so the PPE sees the report after
     // put.done -- which serializes the next diagonal's grants behind
     // this diagonal's memory traffic under centralized dispatch.
     const sim::Tick report =
         machine_.dispatch().report_done(put.done, cfg_.sync);
+    if (sink_ && report > put.done)
+      sink_->span(spe_tracks_[c.spe], "report", "sync", put.done, report);
     const sim::Tick completion = std::max(put.done, report);
     c.completion = completion;
     next_barrier_ = std::max(next_barrier_, completion);
@@ -264,15 +345,40 @@ RunReport TimingEngine::finish() {
 
   double busy = 0;
   std::uint64_t cmds = 0, xfers = 0;
+  r.spe_stalls.resize(machine_.num_spes());
+  r.mfc_queue_occupancy.assign(machine_.spec().mfc_queue_depth, 0);
   for (int s = 0; s < machine_.num_spes(); ++s) {
-    busy += sim::seconds_from_ticks(machine_.spe(s).busy_ticks());
+    const sim::Tick spe_busy = machine_.spe(s).busy_ticks();
+    busy += sim::seconds_from_ticks(spe_busy);
     cmds += machine_.spe(s).mfc().commands();
     xfers += machine_.spe(s).mfc().transfers();
+
+    // Stall breakdown: what the accounting didn't classify as compute,
+    // DMA wait or sync wait is idle (no work assigned to this SPE yet,
+    // or the run's tail after its last chunk).
+    SpeStallSummary& st = r.spe_stalls[s];
+    st.busy_s = sim::seconds_from_ticks(spe_busy);
+    st.dma_wait_s = sim::seconds_from_ticks(spes_[s].dma_wait);
+    st.sync_wait_s = sim::seconds_from_ticks(spes_[s].sync_wait);
+    const sim::Tick accounted = spe_busy + spes_[s].dma_wait +
+                                spes_[s].sync_wait;
+    st.idle_s = accounted < end ? sim::seconds_from_ticks(end - accounted)
+                                : 0.0;
+
+    const auto& hist = machine_.spe(s).mfc().occupancy_histogram();
+    for (std::size_t k = 0; k < r.mfc_queue_occupancy.size(); ++k)
+      r.mfc_queue_occupancy[k] += hist[k];
   }
   r.compute_busy_s = busy / machine_.num_spes();
   r.dma_commands = cmds;
   r.dma_transfers = xfers;
   r.mic_busy_s = sim::seconds_from_ticks(machine_.mic().busy_ticks());
+  if (end > 0) {
+    r.mic_utilization = static_cast<double>(machine_.mic().busy_ticks()) /
+                        static_cast<double>(end);
+    r.eib_utilization = static_cast<double>(machine_.eib().busy_ticks()) /
+                        static_cast<double>(end);
+  }
 
   const cell::CellSpec& spec = machine_.spec();
   r.memory_bound_s = r.traffic_bytes / spec.mic_bytes_per_s;

@@ -25,8 +25,10 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "cellsim/cell_processor.h"
+#include "sim/trace.h"
 #include "core/config.h"
 #include "core/kernel_timing.h"
 #include "core/workload.h"
@@ -36,6 +38,17 @@ namespace cellsweep::core {
 
 /// How the workload stream is produced.
 enum class RunMode : std::uint8_t { kFunctional, kTraceDriven };
+
+/// Where one SPE's simulated time went, in seconds. The four buckets
+/// partition the run: busy (kernel cycles) + dma_wait (SPU stalled on
+/// its own gets/puts) + sync_wait (stalled on wavefront dependencies,
+/// dispatch grants and barriers) + idle (no work assigned) = seconds.
+struct SpeStallSummary {
+  double busy_s = 0;
+  double dma_wait_s = 0;
+  double sync_wait_s = 0;
+  double idle_s = 0;
+};
 
 /// Everything a run reports; the benches print from this.
 struct RunReport {
@@ -57,6 +70,13 @@ struct RunReport {
   double memory_bound_s = 0;    ///< Section 6 traffic bound
   double compute_bound_s = 0;   ///< Section 6 compute bound
   std::size_t ls_high_water = 0;  ///< LS bytes used per SPE
+  // --- stall accounting (SPE stages only; empty for PPE runs) ----------
+  std::vector<SpeStallSummary> spe_stalls;  ///< one entry per SPE
+  /// Aggregate MFC queue-occupancy histogram: [k] counts DMA commands
+  /// that entered their MFC queue behind k outstanding commands.
+  std::vector<std::uint64_t> mfc_queue_occupancy;
+  double mic_utilization = 0;   ///< MIC port busy fraction of the run
+  double eib_utilization = 0;   ///< EIB busy fraction of the run
   // --- functional results (kFunctional only) ---------------------------
   std::optional<sweep::SolveResult> solve;
   double absorption = 0;
@@ -98,9 +118,21 @@ class TimingEngine {
     sim::Tick request_at = 0;   ///< ready to ask for the next chunk
     sim::Tick compute_free = 0; ///< SPU free for the next kernel
     sim::Tick put_done = 0;     ///< last writeback completed
+    // Stall accounting (ticks; observation only, never read back into
+    // the clocks above).
+    sim::Tick busy = 0;
+    sim::Tick dma_wait = 0;
+    sim::Tick sync_wait = 0;
   };
 
   void iteration_boundary();
+  /// Splits the SPU wait [base, max(dma_ready, sync_ready)) between the
+  /// DMA-wait and sync-wait buckets of @p spe and emits wait spans.
+  void account_wait(int spe_index, sim::Tick base, sim::Tick dma_ready,
+                    sim::Tick sync_ready);
+  /// Emits issue/queue/transfer spans for one DMA command.
+  void trace_dma(int spe_index, const char* name, sim::Tick submitted,
+                 const cell::DmaCompletion& c, bool to_memory);
 
   CellSweepConfig cfg_;
   sweep::Grid grid_;
@@ -121,6 +153,14 @@ class TimingEngine {
   std::vector<sim::Tick> prev_diag_compute_end_;
   long long current_block_key_ = -1;
   std::size_t ls_high_water_ = 0;
+
+  // Observability (null sink: tracks stay empty, every emit is one
+  // branch).
+  sim::TraceSink* sink_ = nullptr;
+  int ppe_track_ = 0;
+  int eib_track_ = 0;
+  int mic_track_ = 0;
+  std::vector<int> spe_tracks_;
 
   std::uint64_t flops_ = 0;
   std::uint64_t cell_solves_ = 0;

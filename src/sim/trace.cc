@@ -1,0 +1,125 @@
+#include "sim/trace.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace cellsweep::sim {
+
+namespace {
+
+/// Simulated ticks (femtoseconds) to the trace format's microseconds.
+double ticks_to_us(Tick t) {
+  return static_cast<double>(t) / 1e9;
+}
+
+void write_us(std::ostream& os, Tick t) {
+  // Fixed-point with nanosecond resolution: avoids exponent notation,
+  // which some trace viewers reject in the "ts" field.
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f", ticks_to_us(t));
+  os << buf;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+int ChromeTraceWriter::track(const std::string& name) {
+  for (std::size_t i = 0; i < tracks_.size(); ++i)
+    if (tracks_[i] == name) return static_cast<int>(i);
+  tracks_.push_back(name);
+  return static_cast<int>(tracks_.size()) - 1;
+}
+
+void ChromeTraceWriter::span(int track, const char* name,
+                             const char* category, Tick start, Tick end) {
+  events_.push_back(Event{Phase::kSpan, track, name, category, start,
+                          end >= start ? end - start : 0, 0.0});
+}
+
+void ChromeTraceWriter::instant(int track, const char* name,
+                                const char* category, Tick at) {
+  events_.push_back(Event{Phase::kInstant, track, name, category, at, 0, 0.0});
+}
+
+void ChromeTraceWriter::counter(int track, const char* name, Tick at,
+                                double value) {
+  events_.push_back(Event{Phase::kCounter, track, name, nullptr, at, 0, value});
+}
+
+void ChromeTraceWriter::write(std::ostream& os) const {
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+
+  // Metadata: one process, one named thread per track, sorted in
+  // declaration order (PPE first, then SPEs, then the shared fabric).
+  sep();
+  os << "{\"ph\": \"M\", \"pid\": 0, \"tid\": 0, \"name\": \"process_name\", "
+        "\"args\": {\"name\": \"cellsweep machine model\"}}";
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    sep();
+    os << "{\"ph\": \"M\", \"pid\": 0, \"tid\": " << i
+       << ", \"name\": \"thread_name\", \"args\": {\"name\": \""
+       << json_escape(tracks_[i]) << "\"}}";
+    sep();
+    os << "{\"ph\": \"M\", \"pid\": 0, \"tid\": " << i
+       << ", \"name\": \"thread_sort_index\", \"args\": {\"sort_index\": "
+       << i << "}}";
+  }
+
+  for (const Event& e : events_) {
+    sep();
+    switch (e.phase) {
+      case Phase::kSpan:
+        os << "{\"ph\": \"X\", \"pid\": 0, \"tid\": " << e.track
+           << ", \"name\": \"" << json_escape(e.name) << "\", \"cat\": \""
+           << json_escape(e.category) << "\", \"ts\": ";
+        write_us(os, e.start);
+        os << ", \"dur\": ";
+        write_us(os, e.duration);
+        os << "}";
+        break;
+      case Phase::kInstant:
+        os << "{\"ph\": \"i\", \"pid\": 0, \"tid\": " << e.track
+           << ", \"s\": \"t\", \"name\": \"" << json_escape(e.name)
+           << "\", \"cat\": \"" << json_escape(e.category) << "\", \"ts\": ";
+        write_us(os, e.start);
+        os << "}";
+        break;
+      case Phase::kCounter:
+        os << "{\"ph\": \"C\", \"pid\": 0, \"tid\": " << e.track
+           << ", \"name\": \"" << json_escape(e.name) << "\", \"ts\": ";
+        write_us(os, e.start);
+        os << ", \"args\": {\"value\": " << e.value << "}}";
+        break;
+    }
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace cellsweep::sim

@@ -1,0 +1,97 @@
+// Observability layer for the machine model: simulated-time tracing.
+//
+// The paper's whole argument is a time-breakdown one -- Fig. 5's ladder
+// and the Section 6 bounds only persuade because every simulated second
+// can be attributed to compute, DMA or synchronization. TraceSink is
+// the attribution interface: the timing engine emits *complete spans*
+// (named intervals of simulated time on a named track -- one track per
+// SPE, the PPE, the EIB and the MIC) and counter samples (MFC queue
+// occupancy) as it advances its clocks. Sinks only observe; no
+// simulated tick may ever depend on a sink, so enabling tracing is
+// guaranteed not to perturb the model (a test pins this).
+//
+// ChromeTraceWriter renders the stream as Chrome trace-event JSON
+// (the chrome://tracing / Perfetto "JSON Array Format"): ts/dur are
+// simulated microseconds, tracks map to thread ids. Load the file in
+// chrome://tracing or https://ui.perfetto.dev to see the whole machine
+// -- kernel spans, DMA issue/queue/transfer phases, sync waits and
+// barrier stalls -- on one timeline.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace cellsweep::sim {
+
+/// Receiver for simulated-time trace events. All hooks are observation
+/// only: implementations must not feed anything back into the model.
+/// Instrumented code guards every call on a null check, so "no sink"
+/// costs one branch per event.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// Declares a named track (timeline row: "SPE0", "PPE", "MIC", ...)
+  /// and returns its id for later span()/counter() calls. Declaring the
+  /// same name twice returns the same id.
+  virtual int track(const std::string& name) = 0;
+
+  /// Records a complete span [start, end) on @p track. @p name is the
+  /// activity ("kernel", "dma-get", ...), @p category groups activities
+  /// for filtering ("compute", "dma", "sync"). Both must point to
+  /// storage outliving the sink (string literals in practice).
+  virtual void span(int track, const char* name, const char* category,
+                    Tick start, Tick end) = 0;
+
+  /// Records an instantaneous event (barrier crossings and the like).
+  virtual void instant(int track, const char* name, const char* category,
+                       Tick at) = 0;
+
+  /// Records a counter sample (e.g. MFC queue occupancy over time).
+  virtual void counter(int track, const char* name, Tick at,
+                       double value) = 0;
+};
+
+/// TraceSink that accumulates events and writes Chrome trace-event
+/// JSON. Events are kept in arrival order; write() may be called any
+/// time (typically once, after the run).
+class ChromeTraceWriter : public TraceSink {
+ public:
+  int track(const std::string& name) override;
+  void span(int track, const char* name, const char* category, Tick start,
+            Tick end) override;
+  void instant(int track, const char* name, const char* category,
+               Tick at) override;
+  void counter(int track, const char* name, Tick at, double value) override;
+
+  /// Serializes everything as a JSON object {"traceEvents": [...]}
+  /// loadable by chrome://tracing and Perfetto.
+  void write(std::ostream& os) const;
+
+  std::size_t event_count() const noexcept { return events_.size(); }
+  std::size_t track_count() const noexcept { return tracks_.size(); }
+
+ private:
+  enum class Phase : std::uint8_t { kSpan, kInstant, kCounter };
+  struct Event {
+    Phase phase;
+    int track;
+    const char* name;
+    const char* category;  // null for counters
+    Tick start;
+    Tick duration;  // spans only
+    double value;   // counters only
+  };
+
+  std::vector<std::string> tracks_;
+  std::vector<Event> events_;
+};
+
+/// Escapes a string for embedding in a JSON string literal.
+std::string json_escape(const std::string& s);
+
+}  // namespace cellsweep::sim

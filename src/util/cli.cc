@@ -1,5 +1,6 @@
 #include "util/cli.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <sstream>
 #include <stdexcept>
@@ -40,12 +41,16 @@ bool CliParser::parse(int argc, const char* const* argv) {
       return false;
     }
     if (!has_value) {
-      // Boolean flags may appear bare; typed flags consume the next arg.
+      // Boolean flags may appear bare; typed flags consume the next
+      // arg -- unless that arg is itself a flag ("--deck --trace x"
+      // must not set deck="--trace"). Single-dash tokens stay eligible
+      // so negative numbers ("--offset -5") keep working.
       const bool is_bool = it->second.default_value == "true" ||
                            it->second.default_value == "false";
       if (is_bool) {
         value = "true";
-      } else if (i + 1 < argc) {
+      } else if (i + 1 < argc &&
+                 std::string(argv[i + 1]).rfind("--", 0) != 0) {
         value = argv[++i];
       } else {
         error_ = "flag --" + name + " expects a value";
@@ -65,11 +70,27 @@ std::string CliParser::get_string(const std::string& name) const {
 }
 
 long CliParser::get_int(const std::string& name) const {
-  return std::strtol(get_string(name).c_str(), nullptr, 10);
+  const std::string v = get_string(name);
+  errno = 0;
+  char* end = nullptr;
+  const long x = std::strtol(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0')
+    throw CliError("flag --" + name + ": '" + v + "' is not an integer");
+  if (errno == ERANGE)
+    throw CliError("flag --" + name + ": '" + v + "' is out of range");
+  return x;
 }
 
 double CliParser::get_double(const std::string& name) const {
-  return std::strtod(get_string(name).c_str(), nullptr);
+  const std::string v = get_string(name);
+  errno = 0;
+  char* end = nullptr;
+  const double x = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0')
+    throw CliError("flag --" + name + ": '" + v + "' is not a number");
+  if (errno == ERANGE)
+    throw CliError("flag --" + name + ": '" + v + "' is out of range");
+  return x;
 }
 
 bool CliParser::get_bool(const std::string& name) const {

@@ -6,10 +6,18 @@
 
 #include <map>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace cellsweep::util {
+
+/// Thrown by the typed accessors when a flag's value does not parse as
+/// the requested type (e.g. --threads=abc read through get_int()).
+class CliError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// Declarative flag set: register flags with defaults and help text,
 /// then parse(argc, argv).
@@ -26,6 +34,9 @@ class CliParser {
   bool parse(int argc, const char* const* argv);
 
   std::string get_string(const std::string& name) const;
+  /// Strict numeric accessors: the whole value must parse and be in
+  /// range, otherwise they throw CliError ("--threads=abc" is an error,
+  /// not a silent 0).
   long get_int(const std::string& name) const;
   double get_double(const std::string& name) const;
   bool get_bool(const std::string& name) const;

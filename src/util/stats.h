@@ -9,6 +9,13 @@
 namespace cellsweep::util {
 
 /// Single-pass mean / variance / min / max accumulator.
+///
+/// Empty-accumulator contract: with no samples, every moment (mean,
+/// variance, stddev, min, max) is quiet NaN -- uniformly, so callers
+/// can detect "no data" with std::isnan regardless of which moment
+/// they read. count() and sum() stay 0 (the empty sum). JSON
+/// serializers must map the NaNs to null (JSON has no NaN literal);
+/// core::write_metrics_json does.
 class RunningStats {
  public:
   void add(double x) noexcept {
@@ -23,8 +30,12 @@ class RunningStats {
 
   std::uint64_t count() const noexcept { return n_; }
   double sum() const noexcept { return sum_; }
-  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double mean() const noexcept {
+    return n_ ? mean_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  /// Sample variance (n-1 denominator); 0.0 for a single sample.
   double variance() const noexcept {
+    if (n_ == 0) return std::numeric_limits<double>::quiet_NaN();
     return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
   }
   double stddev() const noexcept { return std::sqrt(variance()); }

@@ -88,6 +88,81 @@ TEST_F(MfcTest, PeakEfficiencyNeeds128ByteMultiples) {
   EXPECT_GE(mfc_.transfer_efficiency(16, 16), spec_.dma_min_efficiency);
 }
 
+TEST_F(MfcTest, ValidatesTrailingPartialElement) {
+  // The trailing element is total % element bytes and must itself be a
+  // legal CBEA transfer size: 1/2/4/8 or a multiple of 16. A 515-byte
+  // transfer in 512-byte elements ends in an illegal 3-byte DMA that the
+  // old validator let through silently.
+  EXPECT_THROW(mfc_.validate(legal(512 + 3, 512)), DmaError);
+  EXPECT_THROW(mfc_.validate(legal(512 + 12, 512)), DmaError);
+  // Legal remainders: naturally-aligned scalars and quadword multiples.
+  EXPECT_NO_THROW(mfc_.validate(legal(512 + 8, 512)));
+  EXPECT_NO_THROW(mfc_.validate(legal(512 + 16, 512)));
+  EXPECT_NO_THROW(mfc_.validate(legal(512 + 240, 512)));
+}
+
+TEST_F(MfcTest, TrailingPartialElementLowersEfficiency) {
+  // Full 512-byte elements at 128-byte alignment run at peak; a 240-byte
+  // trailing element occupies two 128-byte bursts for 240 bytes, so the
+  // blended request efficiency must drop below 1 but stay above the
+  // trailing element's own efficiency.
+  DmaRequest exact = legal(2 * 512, 512);
+  exact.alignment = 128;
+  EXPECT_DOUBLE_EQ(mfc_.request_efficiency(exact), 1.0);
+
+  DmaRequest ragged = legal(2 * 512 + 240, 512);
+  ragged.alignment = 128;
+  const double eff = mfc_.request_efficiency(ragged);
+  EXPECT_LT(eff, 1.0);
+  EXPECT_GT(eff, mfc_.transfer_efficiency(240, 128));
+  // Exact blend: 1024 B at cost 1024 + 240 B at cost 256.
+  EXPECT_NEAR(eff, 1264.0 / (1024.0 + 256.0), 1e-12);
+}
+
+TEST_F(MfcTest, RaggedTailCostsFullBursts) {
+  // The real-time consequence of the efficiency fix: a 240-byte tail
+  // occupies two full 128-byte bursts, so a 4336-byte ragged request
+  // costs exactly as much bus time as a 4352-byte one with the same
+  // element count.
+  DmaRequest ragged = legal(8 * 512 + 240, 512);
+  ragged.alignment = 128;
+  DmaRequest padded = legal(8 * 512 + 256, 512);
+  padded.alignment = 128;
+  ASSERT_EQ(ragged.elements(), padded.elements());
+  Eib eib2(spec_);
+  Mic mic2(spec_);
+  Mfc other(spec_, &eib2, &mic2, "mfc1");
+  const sim::Tick t_ragged = mfc_.submit(0, ragged).done;
+  const sim::Tick t_padded = other.submit(0, padded).done;
+  EXPECT_EQ(t_ragged, t_padded);
+}
+
+TEST_F(MfcTest, QueueOccupancyHistogram) {
+  EXPECT_EQ(mfc_.queue_depth(), spec_.mfc_queue_depth);
+  for (int i = 0; i < 4; ++i) mfc_.submit(0, legal(16 * 1024, 16 * 1024));
+  const auto& hist = mfc_.occupancy_histogram();
+  std::uint64_t total = 0;
+  for (std::size_t d = 0; d < hist.size(); ++d) total += hist[d];
+  EXPECT_EQ(total, mfc_.commands());
+  // Back-to-back submissions at t=0 see 0,1,2,3 prior commands in flight.
+  EXPECT_EQ(hist[0], 1u);
+  EXPECT_EQ(hist[1], 1u);
+  EXPECT_EQ(hist[2], 1u);
+  EXPECT_EQ(hist[3], 1u);
+  mfc_.reset();
+  std::uint64_t after = 0;
+  for (std::size_t d = 0; d < hist.size(); ++d) after += hist[d];
+  EXPECT_EQ(after, 0u);
+}
+
+TEST_F(MfcTest, CompletionReportsQueueExit) {
+  // `start` is when the command left the queue and began moving data:
+  // never before issue and never after completion.
+  const DmaCompletion c = mfc_.submit(0, legal(16 * 1024, 16 * 1024));
+  EXPECT_GE(c.start, c.issue_done);
+  EXPECT_LT(c.start, c.done);
+}
+
 TEST_F(MfcTest, ListIssueCheaperThanIndividual) {
   DmaRequest list = legal(64 * 512, 512);
   list.as_list = true;

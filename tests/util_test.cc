@@ -102,11 +102,34 @@ TEST(Stats, Basics) {
   EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
 }
 
-TEST(Stats, EmptyIsSafe) {
+TEST(Stats, EmptyIsUniformlyNaN) {
+  // The empty-accumulator contract: every moment is NaN, so "no data"
+  // is detectable from any of them; count and the empty sum stay 0.
   RunningStats s;
   EXPECT_EQ(s.count(), 0u);
-  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.sum(), 0.0);
+  EXPECT_TRUE(std::isnan(s.mean()));
+  EXPECT_TRUE(std::isnan(s.variance()));
+  EXPECT_TRUE(std::isnan(s.stddev()));
   EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+}
+
+TEST(Stats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(Stats, ResetRestoresEmptyContract) {
+  RunningStats s;
+  s.add(1.0);
+  s.reset();
+  EXPECT_TRUE(std::isnan(s.mean()));
+  EXPECT_TRUE(std::isnan(s.max()));
 }
 
 TEST(Stats, MergeMatchesSequential) {
@@ -206,6 +229,73 @@ TEST(Cli, MissingValueFails) {
   cli.add_flag("size", "50", "cube size");
   const char* argv[] = {"prog", "--size"};
   EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, RejectsNonNumericValues) {
+  CliParser cli("test");
+  cli.add_flag("size", "50", "cube size");
+  cli.add_flag("eps", "1e-6", "tolerance");
+  {
+    const char* argv[] = {"prog", "--size=abc"};
+    ASSERT_TRUE(cli.parse(2, argv));
+    EXPECT_THROW(cli.get_int("size"), CliError);
+  }
+  {
+    const char* argv[] = {"prog", "--eps=fast"};
+    ASSERT_TRUE(cli.parse(2, argv));
+    EXPECT_THROW(cli.get_double("eps"), CliError);
+  }
+}
+
+TEST(Cli, RejectsTrailingGarbage) {
+  // "32x" used to parse as 32 via atoi; the strict parser must consume
+  // the whole string.
+  CliParser cli("test");
+  cli.add_flag("size", "50", "cube size");
+  cli.add_flag("eps", "1e-6", "tolerance");
+  const char* argv[] = {"prog", "--size=32x", "--eps=0.5q"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_THROW(cli.get_int("size"), CliError);
+  EXPECT_THROW(cli.get_double("eps"), CliError);
+  try {
+    cli.get_int("size");
+    FAIL() << "expected CliError";
+  } catch (const CliError& e) {
+    EXPECT_NE(std::string(e.what()).find("size"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("32x"), std::string::npos);
+  }
+}
+
+TEST(Cli, RejectsOutOfRangeValues) {
+  CliParser cli("test");
+  cli.add_flag("size", "50", "cube size");
+  cli.add_flag("eps", "1e-6", "tolerance");
+  const char* argv[] = {"prog", "--size=99999999999999999999999999",
+                        "--eps=1e999"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_THROW(cli.get_int("size"), CliError);
+  EXPECT_THROW(cli.get_double("eps"), CliError);
+}
+
+TEST(Cli, AcceptsNegativeAndExponentValues) {
+  CliParser cli("test");
+  cli.add_flag("offset", "0", "signed offset");
+  cli.add_flag("eps", "1e-6", "tolerance");
+  const char* argv[] = {"prog", "--offset", "-5", "--eps", "2.5e-3"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  EXPECT_EQ(cli.get_int("offset"), -5);
+  EXPECT_DOUBLE_EQ(cli.get_double("eps"), 2.5e-3);
+}
+
+TEST(Cli, FlagDoesNotSwallowNextFlag) {
+  // "--deck --trace out.json" must fail loudly, not set deck="--trace".
+  CliParser cli("test");
+  cli.add_flag("deck", "", "input deck");
+  cli.add_flag("trace", "", "trace output");
+  const char* argv[] = {"prog", "--deck", "--trace", "out.json"};
+  EXPECT_FALSE(cli.parse(4, argv));
+  EXPECT_NE(cli.error().find("deck"), std::string::npos);
+  EXPECT_NE(cli.error().find("expects a value"), std::string::npos);
 }
 
 TEST(Cli, PositionalArguments) {
