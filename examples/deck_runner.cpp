@@ -5,9 +5,14 @@
 //   $ ./deck_runner examples/decks/shield_reflected.deck --stage=simd
 //   $ ./deck_runner examples/decks/benchmark50.deck --trace trace.json \
 //         --metrics metrics.json     # chrome://tracing + JSON metrics
+//   $ ./deck_runner examples/decks/benchmark50.deck --check   # hazard check
+//   $ ./deck_runner lint examples/decks/*.deck                # static lint
 #include <fstream>
 #include <iostream>
 
+#include "analysis/diagnostics.h"
+#include "analysis/hazard.h"
+#include "analysis/lint.h"
 #include "core/metrics.h"
 #include "core/orchestrator.h"
 #include "sim/trace.h"
@@ -18,10 +23,51 @@
 
 using namespace cellsweep;
 
+namespace {
+
+core::OptimizationStage stage_from_name(const std::string& name) {
+  if (name == "ppe") return core::OptimizationStage::kPpeXlc;
+  if (name == "initial") return core::OptimizationStage::kSpeInitial;
+  if (name == "simd") return core::OptimizationStage::kSpeSimd;
+  return core::OptimizationStage::kSpeLsPoke;
+}
+
+/// `deck_runner lint <deck>...`: statically validate decks (chunk shape
+/// vs. LS budget, quadrature/grid consistency, DMA legality) without
+/// running any simulation. Exit code is the number of failing decks.
+int run_lint(const std::vector<std::string>& paths,
+             core::OptimizationStage stage) {
+  int failed = 0;
+  for (const std::string& path : paths) {
+    try {
+      const sweep::Deck deck = sweep::load_deck(path);
+      core::CellSweepConfig cfg = core::CellSweepConfig::from_stage(stage);
+      cfg.sweep = deck.sweep;
+      const analysis::Diagnostics diags = analysis::lint_deck(deck, cfg);
+      for (const analysis::Diagnostic& d : diags.entries())
+        std::cerr << deck.source << ": " << d.to_string() << "\n";
+      if (diags.has_errors()) {
+        ++failed;
+      } else {
+        std::cout << deck.source << ": ok\n";
+      }
+    } catch (const sweep::DeckError& e) {
+      std::cerr << path << ": error[parse]: " << e.what() << "\n";
+      ++failed;
+    }
+  }
+  return failed;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   util::CliParser cli("Run a CellSweep input deck");
   cli.add_flag("stage", "final",
                "optimization stage: ppe | initial | simd | final");
+  cli.add_flag("check", "false",
+               "attach the machine-model hazard checker; protocol "
+               "violations become hard errors");
   cli.add_flag("functional", "true",
                "solve the physics (false: timing only)");
   cli.add_flag("threads", "1",
@@ -39,8 +85,22 @@ int main(int argc, char** argv) {
   }
   if (cli.help_requested() || cli.positional().empty()) {
     std::cout << cli.usage(argv[0]) << "\nUsage: " << argv[0]
-              << " <deck file> [flags]\n";
+              << " <deck file> [flags]\n       " << argv[0]
+              << " lint <deck file>...\n";
     return cli.help_requested() ? 0 : 1;
+  }
+
+  const core::OptimizationStage stage =
+      stage_from_name(cli.get_string("stage"));
+
+  if (cli.positional()[0] == "lint") {
+    std::vector<std::string> paths(cli.positional().begin() + 1,
+                                   cli.positional().end());
+    if (paths.empty()) {
+      std::cerr << "deck_runner lint: no deck files given\n";
+      return 1;
+    }
+    return run_lint(paths, stage);
   }
 
   sweep::Deck deck = [&] {
@@ -51,12 +111,6 @@ int main(int argc, char** argv) {
       std::exit(1);
     }
   }();
-
-  const std::string stage_name = cli.get_string("stage");
-  core::OptimizationStage stage = core::OptimizationStage::kSpeLsPoke;
-  if (stage_name == "ppe") stage = core::OptimizationStage::kPpeXlc;
-  else if (stage_name == "initial") stage = core::OptimizationStage::kSpeInitial;
-  else if (stage_name == "simd") stage = core::OptimizationStage::kSpeSimd;
 
   const auto& g = deck.problem.grid();
   std::cout << "Deck: " << g.it << "x" << g.jt << "x" << g.kt << ", "
@@ -97,8 +151,32 @@ int main(int argc, char** argv) {
   cfg.sweep.kernel = cfg.kernel;
   cfg.sweep.epsilon = 0.0;  // the timing model replays a fixed count
   if (!trace_path.empty()) cfg.trace_sink = &writer;
+
+  // --check: lint the deck, then observe the run with the hazard
+  // checker; any finding is a hard error.
+  analysis::Diagnostics diags;
+  analysis::HazardChecker checker(&diags, cfg.chip);
+  const bool check = cli.get_bool("check");
+  if (check) {
+    const analysis::Diagnostics lint = analysis::lint_deck(deck, cfg);
+    for (const analysis::Diagnostic& d : lint.entries())
+      std::cerr << deck.source << ": " << d.to_string() << "\n";
+    if (lint.has_errors()) return 1;
+    cfg.hazard = &checker;
+  }
+
   core::CellSweep3D runner(deck.problem, cfg, deck.sn_order, 2, deck.nm_cap);
   const core::RunReport rep = runner.run(core::RunMode::kTraceDriven);
+  if (check) {
+    for (const analysis::Diagnostic& d : diags.entries())
+      std::cerr << deck.source << ": " << d.to_string() << "\n";
+    if (diags.has_errors()) {
+      std::cerr << "deck_runner: hazard check failed with "
+                << diags.error_count() << " error(s)\n";
+      return 1;
+    }
+    std::cout << "Hazard check: clean\n";
+  }
   std::cout << "Cell (" << core::stage_name(stage)
             << "): " << util::format_seconds(rep.seconds) << ", "
             << util::format_bytes(rep.traffic_bytes) << " traffic, grind "

@@ -1,0 +1,53 @@
+#include "analysis/diagnostics.h"
+
+#include <sstream>
+
+namespace cellsweep::analysis {
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream os;
+  os << (severity == Severity::kError ? "error" : "warning") << "[" << rule
+     << "]";
+  if (has_time) os << " at " << sim::seconds_from_ticks(at) * 1e6 << " us";
+  os << ": " << where << ": " << message;
+  return os.str();
+}
+
+void Diagnostics::error(std::string rule, std::string where, sim::Tick at,
+                        std::string message) {
+  report(Diagnostic{Diagnostic::Severity::kError, std::move(rule),
+                    std::move(where), at, true, std::move(message)});
+}
+
+void Diagnostics::error(std::string rule, std::string where,
+                        std::string message) {
+  report(Diagnostic{Diagnostic::Severity::kError, std::move(rule),
+                    std::move(where), 0, false, std::move(message)});
+}
+
+void Diagnostics::warn(std::string rule, std::string where, sim::Tick at,
+                       std::string message) {
+  report(Diagnostic{Diagnostic::Severity::kWarning, std::move(rule),
+                    std::move(where), at, true, std::move(message)});
+}
+
+void Diagnostics::warn(std::string rule, std::string where,
+                       std::string message) {
+  report(Diagnostic{Diagnostic::Severity::kWarning, std::move(rule),
+                    std::move(where), 0, false, std::move(message)});
+}
+
+std::size_t Diagnostics::error_count() const noexcept {
+  std::size_t n = 0;
+  for (const Diagnostic& d : entries_)
+    if (d.severity == Diagnostic::Severity::kError) ++n;
+  return n;
+}
+
+std::string Diagnostics::summary() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : entries_) os << d.to_string() << "\n";
+  return os.str();
+}
+
+}  // namespace cellsweep::analysis

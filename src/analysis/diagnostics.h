@@ -1,0 +1,74 @@
+// Diagnostics sink for the machine-model hazard checker and the deck
+// linter: a flat, ordered list of findings, each carrying the rule that
+// fired, where in the machine it fired (SPE / LS region / deck key) and
+// -- for runtime hazards -- the simulated timestamp. Checkers append;
+// callers decide severity policy (deck_runner --check and the
+// CELLSWEEP_HAZARD_CHECK CI mode turn errors into hard failures).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace cellsweep::analysis {
+
+/// Thrown when a strict-mode run finishes with hazard errors.
+class HazardError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One finding.
+struct Diagnostic {
+  enum class Severity { kWarning, kError };
+
+  Severity severity = Severity::kError;
+  /// Stable rule identifier, e.g. "read-before-get-complete".
+  std::string rule;
+  /// Machine location, e.g. "SPE3 chunk-buffer-1" or a deck key.
+  std::string where;
+  /// Simulated time of the violation; meaningful only when has_time
+  /// (static lint findings have no timestamp).
+  sim::Tick at = 0;
+  bool has_time = false;
+  /// Human-readable description.
+  std::string message;
+
+  /// "error[rule] at <t> us: SPE3 chunk-buffer-1: message" rendering.
+  std::string to_string() const;
+};
+
+/// Ordered collection of findings.
+class Diagnostics {
+ public:
+  void report(Diagnostic d) { entries_.push_back(std::move(d)); }
+
+  /// Convenience: append an error finding at simulated time @p at.
+  void error(std::string rule, std::string where, sim::Tick at,
+             std::string message);
+  /// Convenience: append a timestamp-free (static) error finding.
+  void error(std::string rule, std::string where, std::string message);
+  /// Convenience: append a warning finding at simulated time @p at.
+  void warn(std::string rule, std::string where, sim::Tick at,
+            std::string message);
+  /// Convenience: append a timestamp-free (static) warning finding.
+  void warn(std::string rule, std::string where, std::string message);
+
+  const std::vector<Diagnostic>& entries() const noexcept { return entries_; }
+  bool empty() const noexcept { return entries_.empty(); }
+  std::size_t error_count() const noexcept;
+  bool has_errors() const noexcept { return error_count() > 0; }
+
+  /// All findings, one per line (empty string when clean).
+  std::string summary() const;
+
+  void clear() noexcept { entries_.clear(); }
+
+ private:
+  std::vector<Diagnostic> entries_;
+};
+
+}  // namespace cellsweep::analysis

@@ -1,0 +1,282 @@
+#include "analysis/hazard.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cellsweep::analysis {
+
+namespace {
+
+bool overlaps(std::size_t alo, std::size_t ahi, std::size_t blo,
+              std::size_t bhi) {
+  return alo < bhi && blo < ahi;
+}
+
+std::string range_str(std::size_t lo, std::size_t hi) {
+  std::ostringstream os;
+  os << "LS[" << lo << "," << hi << ")";
+  return os.str();
+}
+
+}  // namespace
+
+HazardChecker::HazardChecker(Diagnostics* diags, const cell::CellSpec& spec)
+    : diags_(diags), spec_(spec) {}
+
+HazardChecker::SpeState& HazardChecker::spe_state(int spe) {
+  if (spe < 0) spe = 0;
+  if (static_cast<std::size_t>(spe) >= spes_.size())
+    spes_.resize(static_cast<std::size_t>(spe) + 1);
+  return spes_[static_cast<std::size_t>(spe)];
+}
+
+std::string HazardChecker::where(int spe, std::size_t lo,
+                                 std::size_t hi) const {
+  std::ostringstream os;
+  os << "SPE" << spe << " ";
+  if (static_cast<std::size_t>(spe) < spes_.size()) {
+    for (const cell::LocalStore::Region& r :
+         spes_[static_cast<std::size_t>(spe)].regions) {
+      if (lo >= r.offset && hi <= r.offset + r.bytes) {
+        os << r.name;
+        return os.str();
+      }
+    }
+  }
+  os << range_str(lo, hi);
+  return os.str();
+}
+
+void HazardChecker::on_ls_reset(int spe) {
+  SpeState& s = spe_state(spe);
+  s.regions.clear();
+  s.dmas.clear();
+}
+
+void HazardChecker::on_ls_alloc(int spe, const cell::LocalStore::Region& region,
+                                std::size_t ls_capacity) {
+  SpeState& s = spe_state(spe);
+  s.capacity = ls_capacity;
+  std::ostringstream loc;
+  loc << "SPE" << spe << " " << region.name;
+  if (spec_.dma_align_sweet_spot != 0 &&
+      region.offset % spec_.dma_align_sweet_spot != 0)
+    diags_->error("ls-alignment", loc.str(),
+                  "allocation offset " + std::to_string(region.offset) +
+                      " is not 128-byte aligned");
+  if (region.offset + region.bytes > ls_capacity)
+    diags_->error(
+        "ls-overflow", loc.str(),
+        "allocation " + range_str(region.offset, region.offset + region.bytes) +
+            " exceeds the " + std::to_string(ls_capacity) +
+            "-byte local store");
+  for (const cell::LocalStore::Region& other : s.regions) {
+    if (overlaps(region.offset, region.offset + region.bytes, other.offset,
+                 other.offset + other.bytes)) {
+      diags_->error("ls-overlap", loc.str(),
+                    "allocation overlaps region \"" + other.name + "\" " +
+                        range_str(other.offset, other.offset + other.bytes));
+    }
+  }
+  s.regions.push_back(region);
+}
+
+void HazardChecker::on_dma(int spe, const cell::DmaRequest& req,
+                           sim::Tick submitted,
+                           const cell::DmaCompletion& completion,
+                           std::uint64_t token) {
+  if (req.ls_bytes == 0) return;  // unannotated: nothing to check against
+  SpeState& s = spe_state(spe);
+  const std::size_t lo = req.ls_offset;
+  const std::size_t hi = req.ls_offset + req.ls_bytes;
+  const std::string loc = where(spe, lo, hi);
+
+  // The LS range must sit inside one allocated region.
+  bool contained = false;
+  for (const cell::LocalStore::Region& r : s.regions) {
+    if (lo >= r.offset && hi <= r.offset + r.bytes) {
+      contained = true;
+      break;
+    }
+  }
+  if (!contained)
+    diags_->error("dma-outside-region", "SPE" + std::to_string(spe),
+                  submitted,
+                  "DMA targets " + range_str(lo, hi) +
+                      " which is not inside any allocated region");
+
+  const bool is_get = req.dir == cell::DmaDir::kGet;
+  for (const Dma& e : s.dmas) {
+    if (!overlaps(lo, hi, e.lo, e.hi)) continue;
+    const bool e_put = e.dir == cell::DmaDir::kPut;
+    if (e.done > submitted) {
+      // Still in flight at submission time.
+      if (is_get && e_put) {
+        diags_->error("overwrite-in-flight-put", loc, submitted,
+                      "get overwrites bytes an in-flight put (tag " +
+                          std::to_string(e.tag) + ", completes at " +
+                          std::to_string(e.done) + " ticks) is still reading");
+      } else if (is_get || !e_put) {
+        // get+get, put+get: concurrent DMAs with at least one writer.
+        diags_->error("overlapping-dma", loc, submitted,
+                      "concurrent DMA commands overlap on " +
+                          range_str(std::max(lo, e.lo), std::min(hi, e.hi)) +
+                          " and at least one writes the local store");
+      }
+    } else if (is_get && e_put &&
+               (!e.observed || e.observed_at > submitted)) {
+      // The put finished in simulated time, but the SPU never confirmed
+      // that via a tag wait before reusing the buffer -- on hardware
+      // this is a race even when the timing happens to work out.
+      diags_->error("reuse-before-tag-wait", loc, submitted,
+                    "buffer reused without a tag-group wait covering the "
+                    "prior put (tag " +
+                        std::to_string(e.tag) + ")");
+    }
+  }
+
+  // A fresh get supersedes drained, observed puts over the same bytes;
+  // dropping them here bounds tracked state to the live buffer set.
+  if (is_get) {
+    std::erase_if(s.dmas, [&](const Dma& e) {
+      return e.dir == cell::DmaDir::kPut && overlaps(lo, hi, e.lo, e.hi) &&
+             e.done <= submitted && e.observed && e.observed_at <= submitted;
+    });
+  }
+
+  s.dmas.push_back(Dma{req.dir, req.tag, lo, hi, submitted, completion.done,
+                       token, false, 0});
+}
+
+void HazardChecker::on_tag_wait(int spe, unsigned tag, sim::Tick at) {
+  SpeState& s = spe_state(spe);
+  for (Dma& e : s.dmas) {
+    if (e.tag != tag) continue;
+    if (e.done > at) {
+      diags_->error("tag-wait-incomplete", where(spe, e.lo, e.hi), at,
+                    "tag-group " + std::to_string(tag) +
+                        " wait resolved before a member command completes at " +
+                        std::to_string(e.done) + " ticks");
+    }
+    if (!e.observed || at < e.observed_at) {
+      e.observed = true;
+      e.observed_at = at;
+    }
+  }
+}
+
+void HazardChecker::on_kernel(int spe, std::size_t ls_offset,
+                              std::size_t ls_bytes, sim::Tick start,
+                              sim::Tick end, std::uint64_t token) {
+  (void)end;
+  SpeState& s = spe_state(spe);
+  const std::size_t lo = ls_offset;
+  const std::size_t hi = ls_offset + ls_bytes;
+  const std::string loc = where(spe, lo, hi);
+
+  bool staged = false;
+  for (const Dma& e : s.dmas) {
+    if (!overlaps(lo, hi, e.lo, e.hi)) continue;
+    if (e.dir == cell::DmaDir::kGet) {
+      if (e.token == token) {
+        staged = true;
+        if (e.done > start)
+          diags_->error("read-before-get-complete", loc, start,
+                        "kernel reads " + range_str(e.lo, e.hi) +
+                            " before its staging get completes at " +
+                            std::to_string(e.done) + " ticks");
+        else if (!e.observed || e.observed_at > start)
+          diags_->error("use-before-tag-wait", loc, start,
+                        "kernel reads " + range_str(e.lo, e.hi) +
+                            " without a tag-group " + std::to_string(e.tag) +
+                            " wait observing the staging get");
+      } else if (e.token > token) {
+        diags_->error("buffer-overwritten-before-use", loc, start,
+                      "bytes " + range_str(e.lo, e.hi) +
+                          " were re-staged for chunk " +
+                          std::to_string(e.token) +
+                          " before the kernel for chunk " +
+                          std::to_string(token) + " consumed them");
+      }
+    } else if (e.done > start) {
+      diags_->error("kernel-overlaps-put", loc, start,
+                    "kernel updates " + range_str(e.lo, e.hi) +
+                        " while a put draining until " +
+                        std::to_string(e.done) + " ticks still reads it");
+    }
+  }
+  if (!staged)
+    diags_->error("kernel-reads-unstaged", loc, start,
+                  "no staging get for chunk " + std::to_string(token) +
+                      " covers the kernel's buffer");
+
+  // The kernel consumed this chunk's (and any stale earlier) gets.
+  std::erase_if(s.dmas, [&](const Dma& e) {
+    return e.dir == cell::DmaDir::kGet && e.token <= token &&
+           overlaps(lo, hi, e.lo, e.hi) && e.done <= start;
+  });
+}
+
+void HazardChecker::on_grant(int spe, cell::SyncProtocol protocol,
+                             sim::Tick requested, sim::Tick granted,
+                             std::uint64_t sequence) {
+  const std::string loc =
+      "SPE" + std::to_string(spe) + " " + cell::sync_protocol_name(protocol);
+  if (granted < requested)
+    diags_->error("grant-before-request", loc, granted,
+                  "work granted at " + std::to_string(granted) +
+                      " ticks, before it was requested at " +
+                      std::to_string(requested));
+  if (saw_grant_) {
+    if (sequence != last_sequence_ + 1)
+      diags_->error("work-counter-non-monotone", loc, granted,
+                    "grant sequence " + std::to_string(sequence) +
+                        " does not follow " + std::to_string(last_sequence_) +
+                        " (the shared work counter must advance by one per "
+                        "fetch-and-add)");
+    if (granted < last_grant_)
+      diags_->error("dispatch-serialization", loc, granted,
+                    "grant completes at " + std::to_string(granted) +
+                        " ticks, before the previous grant at " +
+                        std::to_string(last_grant_) +
+                        " (the dispatch point serializes grants)");
+  }
+  saw_grant_ = true;
+  last_sequence_ = sequence;
+  last_grant_ = std::max(last_grant_, granted);
+}
+
+void HazardChecker::on_report(int spe, cell::SyncProtocol protocol,
+                              sim::Tick at, std::uint64_t token) {
+  (void)protocol;
+  SpeState& s = spe_state(spe);
+  for (const Dma& e : s.dmas) {
+    if (e.dir != cell::DmaDir::kPut || e.token != token) continue;
+    if (e.done > at)
+      diags_->error("report-before-writeback", where(spe, e.lo, e.hi), at,
+                    "chunk " + std::to_string(token) +
+                        " reported complete while its writeback drains until " +
+                        std::to_string(e.done) + " ticks");
+    else if (!e.observed || e.observed_at > at)
+      diags_->error("report-before-writeback", where(spe, e.lo, e.hi), at,
+                    "chunk " + std::to_string(token) +
+                        " reported complete without a tag-group " +
+                        std::to_string(e.tag) +
+                        " wait observing its writeback");
+  }
+}
+
+void HazardChecker::on_run_end(sim::Tick at) {
+  for (std::size_t spe = 0; spe < spes_.size(); ++spe) {
+    for (const Dma& e : spes_[spe].dmas) {
+      if (!e.observed)
+        diags_->error("completion-never-observed",
+                      where(static_cast<int>(spe), e.lo, e.hi), at,
+                      "DMA submitted at " + std::to_string(e.submitted) +
+                          " ticks (tag " + std::to_string(e.tag) +
+                          ") was never covered by a tag-group wait");
+    }
+  }
+}
+
+}  // namespace cellsweep::analysis

@@ -1,0 +1,113 @@
+// Machine-model hazard checker: a cell::MachineObserver that replays
+// the CBEA streaming discipline over the orchestrator's event stream
+// and reports violations through a Diagnostics sink.
+//
+// The paper's hardest bugs (Sections 2 and 5) are protocol bugs, not
+// flop-count bugs: reusing a double buffer before its tag group
+// drained, blowing the 256 KB local-store budget with one chunk shape,
+// or racing DMA against the kernel. The timing engine *prices* those
+// mechanisms; this checker *verifies* them, so a refactor that silently
+// breaks the streaming protocol fails structurally instead of shipping
+// a model that reads buffers whose `get` never completed.
+//
+// Enforced invariants (each maps to a diagnostic rule id):
+//   read-before-get-complete   kernel reads an LS range whose staging
+//                              get has not completed
+//   buffer-overwritten-before-use  the range was re-staged for a later
+//                              chunk before this kernel consumed it
+//   use-before-tag-wait        dependent use without an observed MFC
+//                              tag-group wait covering the DMA
+//   overwrite-in-flight-put    a get targets a range an in-flight put
+//                              is still reading
+//   reuse-before-tag-wait      the prior put completed but was never
+//                              tag-waited before the range was reused
+//   overlapping-dma            two concurrent DMAs touch the same LS
+//                              bytes and at least one writes
+//   kernel-overlaps-put        a writeback is still draining from a
+//                              range the kernel is updating
+//   kernel-reads-unstaged      a kernel ran over a range nothing staged
+//   dma-outside-region         a DMA's LS range is not inside any
+//                              allocated region
+//   ls-alignment / ls-overflow / ls-overlap   allocation discipline
+//   grant-before-request, dispatch-serialization,
+//   work-counter-non-monotone  dispatch-fabric protocol invariants
+//   report-before-writeback    completion reported before the
+//                              writeback's tag group drained
+//   tag-wait-incomplete        a tag wait resolved before every command
+//                              in the group completed
+//   completion-never-observed  a DMA's completion was never observed by
+//                              any tag wait (end-of-run check)
+//
+// Observation only: the checker never feeds anything back into the
+// model; attaching it leaves every simulated tick bit-identical (a test
+// pins this).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "cellsim/observer.h"
+#include "cellsim/spec.h"
+
+namespace cellsweep::analysis {
+
+/// See file comment. One checker instance covers one run of one chip.
+class HazardChecker : public cell::MachineObserver {
+ public:
+  /// @p diags receives the findings (not owned, must outlive the
+  /// checker). @p spec provides LS capacity and alignment rules.
+  HazardChecker(Diagnostics* diags, const cell::CellSpec& spec);
+
+  // -- cell::MachineObserver ------------------------------------------
+  void on_ls_reset(int spe) override;
+  void on_ls_alloc(int spe, const cell::LocalStore::Region& region,
+                   std::size_t ls_capacity) override;
+  void on_dma(int spe, const cell::DmaRequest& req, sim::Tick submitted,
+              const cell::DmaCompletion& completion,
+              std::uint64_t token) override;
+  void on_tag_wait(int spe, unsigned tag, sim::Tick at) override;
+  void on_kernel(int spe, std::size_t ls_offset, std::size_t ls_bytes,
+                 sim::Tick start, sim::Tick end, std::uint64_t token) override;
+  void on_grant(int spe, cell::SyncProtocol protocol, sim::Tick requested,
+                sim::Tick granted, std::uint64_t sequence) override;
+  void on_report(int spe, cell::SyncProtocol protocol, sim::Tick at,
+                 std::uint64_t token) override;
+  void on_run_end(sim::Tick at) override;
+
+  const Diagnostics& diagnostics() const noexcept { return *diags_; }
+
+ private:
+  /// One tracked DMA command.
+  struct Dma {
+    cell::DmaDir dir;
+    unsigned tag = 0;
+    std::size_t lo = 0, hi = 0;  ///< LS byte range [lo, hi)
+    sim::Tick submitted = 0;
+    sim::Tick done = 0;
+    std::uint64_t token = 0;
+    bool observed = false;      ///< a tag wait has covered it
+    sim::Tick observed_at = 0;  ///< earliest covering wait
+  };
+
+  struct SpeState {
+    std::size_t capacity = 0;
+    std::vector<cell::LocalStore::Region> regions;
+    std::vector<Dma> dmas;
+  };
+
+  SpeState& spe_state(int spe);
+  /// "SPE<k> <region name>" for the range [lo, hi).
+  std::string where(int spe, std::size_t lo, std::size_t hi) const;
+
+  Diagnostics* diags_;
+  cell::CellSpec spec_;
+  std::vector<SpeState> spes_;
+  // Dispatch-fabric state (shared across SPEs).
+  bool saw_grant_ = false;
+  std::uint64_t last_sequence_ = 0;
+  sim::Tick last_grant_ = 0;
+};
+
+}  // namespace cellsweep::analysis

@@ -1,0 +1,155 @@
+#include "analysis/lint.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "cellsim/mfc.h"
+#include "core/workload.h"
+#include "sweep/kernel_simd.h"
+#include "sweep/quadrature.h"
+#include "util/aligned.h"
+
+namespace cellsweep::analysis {
+
+namespace {
+
+/// Mirrors TimingEngine's request construction for one transfer class,
+/// so Mfc::validate judges exactly the commands the run would submit.
+cell::DmaRequest lint_request(const core::CellSweepConfig& cfg,
+                              const core::TransferPlan& plan,
+                              cell::DmaDir dir, std::size_t bytes_total) {
+  cell::DmaRequest req;
+  req.dir = dir;
+  req.alignment = cfg.aligned_rows ? 128 : 16;
+  req.banks_touched =
+      cfg.bank_offsets ? cfg.chip.memory_banks : cfg.chip.banks_without_offsets;
+  req.total_bytes =
+      util::round_up(std::max<std::size_t>(bytes_total, 16), 16);
+  if (!cfg.dma_lists) {
+    req.as_list = false;
+    req.element_bytes = plan.row_bytes;
+  } else {
+    req.as_list = true;
+    // At least one row, at most the 16 KB command cap; when a row
+    // itself exceeds the cap, keep the row size so Mfc::validate
+    // rejects the shape instead of silently shrinking it.
+    req.element_bytes = util::round_up(
+        std::max(std::min<std::size_t>(cfg.dma_granularity,
+                                       cfg.chip.dma_max_bytes),
+                 plan.row_bytes),
+        16);
+  }
+  return req;
+}
+
+}  // namespace
+
+Diagnostics lint_deck(const sweep::Deck& deck,
+                      const core::CellSweepConfig& cfg) {
+  Diagnostics diags;
+  const sweep::Grid& grid = deck.problem.grid();
+
+  if (grid.it < 1 || grid.jt < 1 || grid.kt < 1) {
+    diags.error("grid", "it/jt/kt",
+                "grid extents must be positive (got " +
+                    std::to_string(grid.it) + " x " + std::to_string(grid.jt) +
+                    " x " + std::to_string(grid.kt) + ")");
+    return diags;  // nothing downstream is meaningful
+  }
+
+  // Quadrature / moment consistency. The LQn builder accepts the
+  // orders Sweep3D supports; everything after needs the angle count.
+  int mm = 0;
+  int nm = deck.nm_cap;
+  try {
+    const sweep::SnQuadrature quad(deck.sn_order);
+    mm = quad.angles_per_octant();
+    // Runners build the moment table at the benchmark convention of
+    // P2 scattering (or higher if the deck's materials demand it).
+    const int l_max = std::max(2, deck.problem.max_scattering_order());
+    nm = sweep::MomentTable(quad, l_max, deck.nm_cap).nm();
+  } catch (const std::exception& e) {
+    diags.error("quadrature", "sn " + std::to_string(deck.sn_order),
+                e.what());
+  }
+
+  // Blocking factors (MK | KT, MMI | angle count, iteration counts).
+  if (mm > 0) {
+    try {
+      deck.sweep.validate(grid.kt, mm);
+    } catch (const std::exception& e) {
+      diags.error("blocking",
+                  "mk " + std::to_string(deck.sweep.mk) + " / mmi " +
+                      std::to_string(deck.sweep.mmi),
+                  std::string(e.what()));
+    }
+  }
+
+  if (nm < 1) {
+    diags.error("moments", "moments " + std::to_string(deck.nm_cap),
+                "at least one flux moment is required");
+    return diags;
+  }
+
+  // Local-store budget: the largest chunk's staging buffer, times the
+  // buffer count, plus the resident constants and the code reserve,
+  // must fit in one SPE's local store -- the budget the paper's port
+  // had to respect by hand (Section 2: 256 KB for code AND data).
+  const std::size_t real_bytes =
+      cfg.precision == core::Precision::kDouble ? 8 : 4;
+  const core::TransferPlan plan = core::plan_chunk(core::ChunkShape{
+      sweep::kBundleLines, grid.it, nm, real_bytes, cfg.aligned_rows});
+  const int buffers = std::max(cfg.buffers, 1);
+  const std::size_t code_reserve = 48 * 1024;
+  const std::size_t constants = 4 * 1024;
+  const std::size_t per_buffer = util::round_up(plan.ls_buffer_bytes, 128);
+  const std::size_t need = code_reserve + constants +
+                           static_cast<std::size_t>(buffers) * per_buffer;
+  if (need > cfg.chip.local_store_bytes)
+    diags.error("ls-budget", "it " + std::to_string(grid.it),
+                std::to_string(buffers) + " staging buffer(s) of " +
+                    std::to_string(per_buffer) + " bytes plus " +
+                    std::to_string(code_reserve + constants) +
+                    " resident bytes need " + std::to_string(need) +
+                    " bytes; the local store holds " +
+                    std::to_string(cfg.chip.local_store_bytes));
+
+  // MFC tag budget: gets use tags [0, buffers), puts [buffers,
+  // 2*buffers) -- the rotation must fit the CBEA's tag-group space.
+  if (2 * static_cast<unsigned>(buffers) > cell::kMfcTagGroups)
+    diags.error("tag-budget", "buffers " + std::to_string(buffers),
+                "buffer rotation needs " + std::to_string(2 * buffers) +
+                    " MFC tag groups; the CBEA provides " +
+                    std::to_string(cell::kMfcTagGroups));
+
+  // DMA command legality, judged by the real MFC validator on the same
+  // requests the timing engine would submit for the largest chunk.
+  if (cfg.dma_granularity % 16 != 0)
+    diags.error("dma-granularity",
+                "dma_granularity " + std::to_string(cfg.dma_granularity),
+                "DMA granularity must be a multiple of 16 bytes");
+  cell::Eib eib(cfg.chip);
+  cell::Mic mic(cfg.chip);
+  cell::Mfc mfc(cfg.chip, &eib, &mic, "lint");
+  const struct {
+    const char* name;
+    cell::DmaDir dir;
+    std::size_t bytes;
+  } classes[] = {
+      {"bulk-get", cell::DmaDir::kGet, plan.bulk_get_bytes()},
+      {"face-get", cell::DmaDir::kGet, plan.face_get_bytes()},
+      {"put", cell::DmaDir::kPut, plan.put_bytes()},
+  };
+  for (const auto& c : classes) {
+    try {
+      mfc.validate(lint_request(cfg, plan, c.dir, c.bytes));
+    } catch (const cell::DmaError& e) {
+      diags.error("dma-shape", std::string(c.name), e.what());
+    }
+  }
+
+  return diags;
+}
+
+}  // namespace cellsweep::analysis

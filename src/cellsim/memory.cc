@@ -24,7 +24,7 @@ double Mic::bank_efficiency(int banks_touched) const {
 }
 
 sim::Tick Mic::submit(sim::Tick now, double bytes, sim::Tick overhead,
-                      double efficiency, int elements) {
+                      double efficiency, std::uint64_t elements) {
   if (efficiency <= 0.0 || efficiency > 1.0)
     throw std::invalid_argument("Mic::submit: efficiency out of (0,1]");
   if (elements < 1) elements = 1;

@@ -33,10 +33,11 @@ class Mic {
   /// Submits a transfer of @p bytes that starts no earlier than @p now,
   /// pays @p overhead of fixed startup, and streams with
   /// @p efficiency in (0,1]. @p elements transfer elements each charge
-  /// one DRAM burst-turnaround gap of port occupancy. Returns the
+  /// one DRAM burst-turnaround gap of port occupancy (64-bit: a
+  /// multi-GB request in quadword elements overflows int). Returns the
   /// completion time.
   sim::Tick submit(sim::Tick now, double bytes, sim::Tick overhead,
-                   double efficiency, int elements = 1);
+                   double efficiency, std::uint64_t elements = 1);
 
   /// Logical payload bytes (the Section 6 "17.6 Gbytes" audit counts
   /// these, not the efficiency-inflated port occupancy).

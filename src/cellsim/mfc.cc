@@ -53,10 +53,18 @@ void Mfc::validate(const DmaRequest& req) const {
     if (rem != 0 && req.total_bytes > bytes)
       check_size(rem, "trailing partial transfers");
   }
-  if (req.as_list && req.elements() > spec_.dma_list_max_elements)
+  if (req.as_list &&
+      req.elements() > static_cast<std::size_t>(spec_.dma_list_max_elements))
     append("DMA list must have 1..2048 elements");
   if (req.alignment == 0 || (req.alignment & (req.alignment - 1)) != 0)
     append("alignment must be a power of two");
+  if (req.banks_touched < 1 || req.banks_touched > spec_.memory_banks) {
+    std::ostringstream bank;
+    bank << "banks_touched must be in 1.." << spec_.memory_banks << ", got "
+         << req.banks_touched;
+    append(bank.str());
+  }
+  if (req.tag >= kMfcTagGroups) append("tag group must be 0..31");
 
   const std::string msg = why.str();
   if (!msg.empty()) throw DmaError("illegal DMA command: " + msg);
@@ -95,16 +103,17 @@ double Mfc::request_efficiency(const DmaRequest& req) const {
 
 DmaCompletion Mfc::submit(sim::Tick now, const DmaRequest& req) {
   validate(req);
-  const int elements = req.elements();
+  const std::size_t elements = req.elements();
 
   // SPU-side channel cost: a list pays one command issue plus a small
   // per-element list-build cost; a batch of individual commands pays
   // the full issue cost per row. This asymmetry is what makes
   // "convert individual DMAs to DMA lists" pay off (Fig. 5).
   const double issue_cycles =
-      req.as_list
-          ? spec_.dma_issue_cycles + spec_.dma_list_build_cycles * elements
-          : spec_.dma_issue_cycles * elements;
+      req.as_list ? spec_.dma_issue_cycles +
+                        spec_.dma_list_build_cycles *
+                            static_cast<double>(elements)
+                  : spec_.dma_issue_cycles * static_cast<double>(elements);
   const sim::Tick issue_done = now + spec_.cycles(issue_cycles);
 
   // Queue back-pressure: reuse the slot that frees earliest.
@@ -121,10 +130,11 @@ DmaCompletion Mfc::submit(sim::Tick now, const DmaRequest& req) {
   // Memory-side startup: full per-command cost for individual commands,
   // reduced per-element cost inside a list.
   const sim::Tick overhead =
-      req.as_list ? spec_.dma_cmd_overhead +
-                        static_cast<sim::Tick>(elements - 1) *
-                            spec_.dma_list_element_overhead
-                  : static_cast<sim::Tick>(elements) * spec_.dma_cmd_overhead;
+      req.as_list
+          ? spec_.dma_cmd_overhead +
+                static_cast<sim::Tick>(elements - 1) *
+                    spec_.dma_list_element_overhead
+          : static_cast<sim::Tick>(elements) * spec_.dma_cmd_overhead;
 
   const double payload = static_cast<double>(req.total_bytes);
 
@@ -145,6 +155,7 @@ DmaCompletion Mfc::submit(sim::Tick now, const DmaRequest& req) {
   }
 
   *slot = done;
+  tag_done_[req.tag] = std::max(tag_done_[req.tag], done);
   // A list is one MFC command; a batch of individual transfers is one
   // command each.
   commands_ += req.as_list ? 1 : static_cast<std::uint64_t>(elements);
@@ -159,8 +170,14 @@ sim::Tick Mfc::wait_all(sim::Tick now) const {
   return latest;
 }
 
+sim::Tick Mfc::wait_tag(sim::Tick now, unsigned tag) const {
+  if (tag >= kMfcTagGroups) throw DmaError("wait_tag: tag group must be 0..31");
+  return std::max(now, tag_done_[tag]);
+}
+
 void Mfc::reset() noexcept {
   slots_.fill(0);
+  tag_done_.fill(0);
   commands_ = 0;
   transfers_ = 0;
   bytes_ = 0.0;

@@ -37,6 +37,10 @@ class DmaError : public std::invalid_argument {
 /// Direction of a transfer relative to the local store.
 enum class DmaDir : std::uint8_t { kGet, kPut };
 
+/// Tag groups per MFC (CBEA: a 5-bit tag identifies the group a
+/// command joins; tag-status waits resolve per group).
+inline constexpr unsigned kMfcTagGroups = 32;
+
 /// One DMA request as the orchestrator sees it: @p total_bytes of
 /// payload moved in elements of (at most) @p element_bytes. With
 /// as_list=true this is a single DMA-list command; with as_list=false
@@ -55,11 +59,23 @@ struct DmaRequest {
   /// MIC, sustains the EIB's much higher rate. Used by the distributed
   /// variant to forward wavefront faces directly between SPEs.
   bool ls_to_ls = false;
+  /// Tag group this command joins (0..31). Commands sharing a tag
+  /// complete as a group under wait_tag() -- the CBEA discipline the
+  /// double-buffer protocol relies on.
+  unsigned tag = 0;
+  /// Local-store region identity: the LS byte range this command reads
+  /// (put) or writes (get). Pure annotation consumed by the hazard
+  /// checker; ls_bytes == 0 means unannotated (timing is unaffected
+  /// either way).
+  std::size_t ls_offset = 0;
+  std::size_t ls_bytes = 0;
 
-  int elements() const {
+  /// Transfer elements in this request, including a trailing partial
+  /// one. Returns std::size_t: a multi-GB request in quadword elements
+  /// exceeds INT_MAX elements, which the old int return truncated.
+  std::size_t elements() const {
     if (element_bytes == 0) return 1;
-    return static_cast<int>((total_bytes + element_bytes - 1) /
-                            element_bytes);
+    return (total_bytes + element_bytes - 1) / element_bytes;
   }
 };
 
@@ -88,6 +104,11 @@ class Mfc {
 
   /// Blocks until all outstanding commands complete ("tag wait").
   sim::Tick wait_all(sim::Tick now) const;
+
+  /// Blocks until every command submitted under @p tag has completed
+  /// (MFC tag-status wait for one group). Returns @p now when the
+  /// group is already drained (or never used).
+  sim::Tick wait_tag(sim::Tick now, unsigned tag) const;
 
   /// Transfer efficiency for a single transfer of @p bytes with
   /// @p alignment: fraction of peak DRAM burst utilization. 128-byte
@@ -123,6 +144,9 @@ class Mfc {
   std::string name_;
   /// Completion times of outstanding commands (bounded by queue depth).
   std::array<sim::Tick, 32> slots_{};
+  /// Latest completion time per tag group (monotone: a group's wait
+  /// must cover every command ever submitted under it).
+  std::array<sim::Tick, kMfcTagGroups> tag_done_{};
   int depth_;
   std::uint64_t commands_ = 0;
   std::uint64_t transfers_ = 0;

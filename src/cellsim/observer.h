@@ -1,0 +1,81 @@
+// Machine-level observation interface: the event stream a protocol
+// checker (src/analysis) consumes.
+//
+// The timing engine already exposes *where simulated time went* through
+// sim::TraceSink. That stream is deliberately lossy: spans carry names,
+// not machine state, so it cannot answer "which local-store bytes did
+// this DMA write" or "was this tag group waited on before the kernel
+// read the buffer". MachineObserver is the lossless sibling: the
+// orchestrator narrates every machine-model action -- LS allocations,
+// DMA submissions with their LS region and tag group, tag waits,
+// kernel buffer accesses, dispatch grants and completion reports -- in
+// the same pass that advances the clocks.
+//
+// The contract is identical to TraceSink's: observers only observe.
+// No simulated tick may ever depend on an observer, so attaching one
+// is guaranteed not to perturb the model (a test pins bit-identical
+// timing with a checker attached vs. detached). Every hook has an
+// empty default body; instrumented code guards emission on a null
+// check, so "no observer" costs one branch per event.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "cellsim/local_store.h"
+#include "cellsim/mfc.h"
+#include "cellsim/sync.h"
+#include "sim/time.h"
+
+namespace cellsweep::cell {
+
+/// Receiver for machine-model protocol events (see file comment).
+/// `token` arguments identify the work item (chunk) an event belongs
+/// to, so a checker can bind a kernel to the exact DMA that staged its
+/// buffer -- a timestamp alone cannot distinguish "read the data that
+/// was fetched for me" from "read a buffer someone already refilled".
+class MachineObserver {
+ public:
+  virtual ~MachineObserver() = default;
+
+  /// An SPE's local store was cleared back to the code reservation.
+  virtual void on_ls_reset(int /*spe*/) {}
+
+  /// A named region was allocated in an SPE's local store.
+  virtual void on_ls_alloc(int /*spe*/, const LocalStore::Region& /*region*/,
+                           std::size_t /*ls_capacity*/) {}
+
+  /// A DMA command was submitted on an SPE's MFC. @p req carries the
+  /// direction, tag group and LS region annotation; @p completion the
+  /// modeled issue/start/done times.
+  virtual void on_dma(int /*spe*/, const DmaRequest& /*req*/,
+                      sim::Tick /*submitted*/,
+                      const DmaCompletion& /*completion*/,
+                      std::uint64_t /*token*/) {}
+
+  /// The SPU observed completion of tag group @p tag at @p at (the
+  /// resolution point of an MFC tag-status wait).
+  virtual void on_tag_wait(int /*spe*/, unsigned /*tag*/, sim::Tick /*at*/) {}
+
+  /// A kernel read (and updated in place) the LS bytes
+  /// [ls_offset, ls_offset + ls_bytes) over [start, end).
+  virtual void on_kernel(int /*spe*/, std::size_t /*ls_offset*/,
+                         std::size_t /*ls_bytes*/, sim::Tick /*start*/,
+                         sim::Tick /*end*/, std::uint64_t /*token*/) {}
+
+  /// The dispatch fabric granted a work item. @p sequence is the
+  /// fabric's running grant count (the atomic work counter under the
+  /// distributed protocol); it must be strictly monotone.
+  virtual void on_grant(int /*spe*/, SyncProtocol /*protocol*/,
+                        sim::Tick /*requested*/, sim::Tick /*granted*/,
+                        std::uint64_t /*sequence*/) {}
+
+  /// An SPE's completion report for @p token was absorbed at @p at.
+  virtual void on_report(int /*spe*/, SyncProtocol /*protocol*/,
+                         sim::Tick /*at*/, std::uint64_t /*token*/) {}
+
+  /// The run drained; no further events follow.
+  virtual void on_run_end(sim::Tick /*at*/) {}
+};
+
+}  // namespace cellsweep::cell

@@ -17,6 +17,10 @@ namespace cellsweep::sim {
 class TraceSink;
 }
 
+namespace cellsweep::cell {
+class MachineObserver;
+}
+
 namespace cellsweep::core {
 
 /// Numeric precision of the kernels and DMA payloads.
@@ -71,6 +75,16 @@ struct CellSweepConfig {
   /// dispatch -- into this sink. Pure observation: enabling it changes
   /// no simulated tick (pinned by a test).
   sim::TraceSink* trace_sink = nullptr;
+  /// Protocol observability hook (non-owning, may be null): the timing
+  /// engine narrates machine-model actions -- LS allocations, DMA
+  /// submissions with region and tag group, tag waits, kernel buffer
+  /// accesses, dispatch grants/reports -- into this observer. Same
+  /// contract as trace_sink: pure observation, no simulated tick ever
+  /// depends on it (pinned by a test). The hazard checker
+  /// (src/analysis) attaches here; setting CELLSWEEP_HAZARD_CHECK in
+  /// the environment attaches an engine-owned checker that turns
+  /// violations into hard errors at finish().
+  cell::MachineObserver* hazard = nullptr;
 
   /// Blocking parameters forwarded to the sweep driver.
   sweep::SweepConfig sweep;

@@ -1,8 +1,11 @@
 #include "core/orchestrator.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
 
+#include "analysis/hazard.h"
+#include "cellsim/observer.h"
 #include "perfmodel/processors.h"
 #include "sweep/plan.h"
 #include "util/aligned.h"
@@ -33,6 +36,21 @@ TimingEngine::TimingEngine(const CellSweepConfig& cfg,
     eib_track_ = sink_->track("EIB");
     mic_track_ = sink_->track("MIC");
   }
+  // Chunks rotate through `buffers` staging buffers; a degenerate
+  // config below 1 behaves as synchronous single buffering.
+  if (cfg_.buffers < 1) cfg_.buffers = 1;
+
+  // Protocol observer: an externally attached checker wins; otherwise
+  // CELLSWEEP_HAZARD_CHECK in the environment arms an engine-owned one
+  // whose errors finish() escalates (the CI hazard-checked suite mode).
+  observer_ = cfg.hazard;
+  if (!observer_ && std::getenv("CELLSWEEP_HAZARD_CHECK") != nullptr) {
+    owned_diags_ = std::make_unique<analysis::Diagnostics>();
+    owned_checker_ =
+        std::make_unique<analysis::HazardChecker>(owned_diags_.get(), cfg.chip);
+    observer_ = owned_checker_.get();
+  }
+
   // Validate the local-store budget: the largest chunk's working set
   // times the buffer count (plus resident constants) must fit in every
   // SPE's 256 KB. Throws cell::LocalStoreOverflow otherwise.
@@ -42,12 +60,21 @@ TimingEngine::TimingEngine(const CellSweepConfig& cfg,
   for (int s = 0; s < machine_.num_spes(); ++s) {
     cell::LocalStore& ls = machine_.spe(s).local_store();
     ls.reset();
+    if (observer_) observer_->on_ls_reset(s);
     ls.allocate("angle-constants", 4 * 1024);
-    for (int b = 0; b < cfg.buffers; ++b)
-      ls.allocate("chunk-buffer-" + std::to_string(b), plan.ls_buffer_bytes);
+    if (observer_) observer_->on_ls_alloc(s, ls.regions().back(), ls.capacity());
+    for (int b = 0; b < cfg.buffers; ++b) {
+      const std::size_t off =
+          ls.allocate("chunk-buffer-" + std::to_string(b), plan.ls_buffer_bytes);
+      if (observer_)
+        observer_->on_ls_alloc(s, ls.regions().back(), ls.capacity());
+      if (s == 0) buffer_offsets_.push_back(off);
+    }
   }
   ls_high_water_ = machine_.spe(0).local_store().high_water();
 }
+
+TimingEngine::~TimingEngine() = default;
 
 void TimingEngine::iteration_boundary() {
   // Source-moment rebuild: one streaming pass over flux + source + the
@@ -161,22 +188,31 @@ void TimingEngine::on_diagonal(const sweep::DiagonalWork& w) {
 
   // Chunk list of this diagonal -- the same ChunkPlan the functional
   // sweeper executes (the plan constructor throws on functional/timing
-  // drift) -- assigned to SPEs in the paper's cyclic manner.
+  // drift) -- assigned to SPEs in the paper's cyclic manner. Each
+  // chunk streams through one of the SPE's rotating staging buffers;
+  // the token is the global chunk sequence number binding its grant,
+  // DMAs, kernel and report together for the protocol checker.
   const sweep::ChunkPlan plan(cfg_.sweep, grid_.jt, w);
   struct Chunk {
     int nlines;
     int spe;
     int index;
+    int buf;
+    std::uint64_t token;
     sim::Tick grant = 0;
     sim::Tick get_done = 0;
     sim::Tick get_issue_done = 0;
     sim::Tick compute_end = 0;
     sim::Tick completion = 0;
+    std::size_t staged_bytes = 0;  ///< LS bytes the kernel consumes
   };
   std::vector<Chunk> chunks;
   chunks.reserve(plan.chunks().size());
   for (const sweep::ChunkDesc& pc : plan.chunks()) {
-    chunks.push_back(Chunk{pc.nlines, rr_spe_, pc.index});
+    SpeClock& spe = spes_[rr_spe_];
+    const int buf = static_cast<int>(spe.served % cfg_.buffers);
+    ++spe.served;
+    chunks.push_back(Chunk{pc.nlines, rr_spe_, pc.index, buf, token_seq_++});
     rr_spe_ = (rr_spe_ + 1) % static_cast<int>(spes_.size());
   }
 
@@ -186,7 +222,7 @@ void TimingEngine::on_diagonal(const sweep::DiagonalWork& w) {
       cfg_.bank_offsets ? spec.memory_banks : spec.banks_without_offsets;
   const std::size_t align = cfg_.aligned_rows ? 128 : 16;
 
-  auto make_request = [&](const TransferPlan& plan, cell::DmaDir dir,
+  auto make_request = [&](const TransferPlan& tplan, cell::DmaDir dir,
                           std::size_t bytes_total) {
     cell::DmaRequest req;
     req.dir = dir;
@@ -197,128 +233,193 @@ void TimingEngine::on_diagonal(const sweep::DiagonalWork& w) {
     if (!cfg_.dma_lists) {
       // One MFC command per row (the pre-"DMA lists" implementation).
       req.as_list = false;
-      req.element_bytes = plan.row_bytes;
+      req.element_bytes = tplan.row_bytes;
     } else {
       // One DMA-list command; element size is the configured
       // granularity (512-byte rows shipped; Fig. 10 raises it).
       req.as_list = true;
       req.element_bytes = util::round_up(
-          std::clamp<std::size_t>(cfg_.dma_granularity, plan.row_bytes,
+          std::clamp<std::size_t>(cfg_.dma_granularity, tplan.row_bytes,
                                   spec.dma_max_bytes),
           16);
     }
     return req;
   };
 
-  // Phase A: grants + working-set gets, in grant order. Shared
-  // resources (dispatch fabric, MIC) see near-monotone request times,
-  // which the FIFO contention model requires.
-  //
-  // With double buffering the *bulk* working set (source/flux/sigma
-  // rows -- no wavefront dependency; chunk assignment is cyclic, so the
-  // SPE knows its next chunk) prefetches as soon as the SPE has a free
-  // buffer, overlapping the previous diagonal entirely. The *face* rows
-  // were written by the previous diagonal and can only stream after the
-  // dispatch release.
-  for (Chunk& c : chunks) {
-    SpeClock& spe = spes_[c.spe];
-    const TransferPlan plan =
-        plan_chunk(ChunkShape{c.nlines, w.it, nm_, rb, cfg_.aligned_rows});
-    cell::Mfc& mfc = machine_.spe(c.spe).mfc();
+  // The chunks stream in waves of `buffers` chunks per SPE. Within a
+  // wave, phase A (grants + working-set gets, in grant order) runs for
+  // every chunk, then phase B (kernels), then phase C (writebacks +
+  // reports): shared resources (dispatch fabric, MIC) see near-monotone
+  // request times, which the FIFO contention model requires. The wave
+  // bound keeps the model honest about buffer rotation: an SPE
+  // prefetches at most one chunk ahead per staging buffer -- the
+  // lookahead double buffering actually grants -- instead of racing a
+  // whole diagonal's gets past unconsumed data.
+  const std::size_t wave =
+      spes_.size() * static_cast<std::size_t>(cfg_.buffers);
+  for (std::size_t w0 = 0; w0 < chunks.size(); w0 += wave) {
+    const std::size_t w1 = std::min(chunks.size(), w0 + wave);
 
-    const sim::Tick dispatch_from = std::max(spe.request_at, release);
-    const sim::Tick grant =
-        machine_.dispatch().acquire_work(dispatch_from, cfg_.sync);
-    c.grant = grant;
-    if (sink_ && grant > dispatch_from)
-      sink_->span(ppe_track_, cell::sync_protocol_name(cfg_.sync), "dispatch",
-                  dispatch_from, grant);
+    // Phase A. With double buffering the *bulk* working set
+    // (source/flux/sigma rows -- no wavefront dependency; chunk
+    // assignment is cyclic, so the SPE knows its next chunk) prefetches
+    // as soon as the buffer's previous writeback has drained (MFC
+    // tag-group wait -- the double-buffer reuse discipline),
+    // overlapping the previous diagonal. The *face* rows were written
+    // by the previous diagonal and can only stream after the dispatch
+    // release.
+    for (std::size_t i = w0; i < w1; ++i) {
+      Chunk& c = chunks[i];
+      SpeClock& spe = spes_[c.spe];
+      const TransferPlan tplan =
+          plan_chunk(ChunkShape{c.nlines, w.it, nm_, rb, cfg_.aligned_rows});
+      cell::Mfc& mfc = machine_.spe(c.spe).mfc();
+      const unsigned get_tag = static_cast<unsigned>(c.buf);
+      const unsigned put_tag = static_cast<unsigned>(cfg_.buffers + c.buf);
+      const std::size_t buf_off = buffer_offsets_[static_cast<std::size_t>(
+          c.buf)];
 
-    const sim::Tick dep = dependency_ready(c.index);
-    if (cfg_.buffers >= 2) {
-      const cell::DmaCompletion bulk = mfc.submit(
-          spe.request_at,
-          make_request(plan, cell::DmaDir::kGet, plan.bulk_get_bytes()));
-      trace_dma(c.spe, "dma-get-bulk", spe.request_at, bulk, true);
-      cell::DmaRequest face_req =
-          make_request(plan, cell::DmaDir::kGet, plan.face_get_bytes());
-      face_req.ls_to_ls = !centralized;  // SPE-to-SPE face forwarding
-      const sim::Tick face_from = std::max(grant, dep);
-      const cell::DmaCompletion face = mfc.submit(face_from, face_req);
-      trace_dma(c.spe, "dma-get-face", face_from, face, centralized);
-      c.get_done = std::max(bulk.done, face.done);
-      c.get_issue_done = std::max(bulk.issue_done, face.issue_done);
-    } else {
-      // Synchronous staging: the single buffer is only free after the
-      // previous put, and everything waits for the go signal.
-      const sim::Tick get_from = std::max(grant, dep);
-      const cell::DmaCompletion get = mfc.submit(
-          get_from, make_request(plan, cell::DmaDir::kGet, plan.get_bytes()));
-      trace_dma(c.spe, "dma-get", get_from, get, true);
-      c.get_done = get.done;
-      c.get_issue_done = get.issue_done;
+      const sim::Tick dispatch_from = std::max(spe.request_at, release);
+      const sim::Tick grant =
+          machine_.dispatch().acquire_work(dispatch_from, cfg_.sync);
+      c.grant = grant;
+      if (sink_ && grant > dispatch_from)
+        sink_->span(ppe_track_, cell::sync_protocol_name(cfg_.sync),
+                    "dispatch", dispatch_from, grant);
+      if (observer_)
+        observer_->on_grant(c.spe, cfg_.sync, dispatch_from, grant,
+                            machine_.dispatch().grants());
+
+      const sim::Tick dep = dependency_ready(c.index);
+      if (cfg_.buffers >= 2) {
+        const sim::Tick bulk_from = mfc.wait_tag(spe.request_at, put_tag);
+        if (observer_) observer_->on_tag_wait(c.spe, put_tag, bulk_from);
+        cell::DmaRequest bulk_req =
+            make_request(tplan, cell::DmaDir::kGet, tplan.bulk_get_bytes());
+        bulk_req.tag = get_tag;
+        bulk_req.ls_offset = buf_off;
+        bulk_req.ls_bytes = bulk_req.total_bytes;
+        const cell::DmaCompletion bulk = mfc.submit(bulk_from, bulk_req);
+        trace_dma(c.spe, "dma-get-bulk", bulk_from, bulk, true);
+        if (observer_)
+          observer_->on_dma(c.spe, bulk_req, bulk_from, bulk, c.token);
+        cell::DmaRequest face_req =
+            make_request(tplan, cell::DmaDir::kGet, tplan.face_get_bytes());
+        face_req.ls_to_ls = !centralized;  // SPE-to-SPE face forwarding
+        face_req.tag = get_tag;
+        face_req.ls_offset = buf_off + bulk_req.total_bytes;
+        face_req.ls_bytes = face_req.total_bytes;
+        const sim::Tick face_from = std::max({grant, dep, bulk_from});
+        const cell::DmaCompletion face = mfc.submit(face_from, face_req);
+        trace_dma(c.spe, "dma-get-face", face_from, face, centralized);
+        if (observer_)
+          observer_->on_dma(c.spe, face_req, face_from, face, c.token);
+        c.get_done = std::max(bulk.done, face.done);
+        c.get_issue_done = std::max(bulk.issue_done, face.issue_done);
+        c.staged_bytes = bulk_req.total_bytes + face_req.total_bytes;
+      } else {
+        // Synchronous staging: the single buffer is only free after the
+        // previous put (the tag wait resolves immediately: request_at
+        // already trails the previous completion), and everything waits
+        // for the go signal.
+        const sim::Tick get_from =
+            mfc.wait_tag(std::max(grant, dep), put_tag);
+        if (observer_) observer_->on_tag_wait(c.spe, put_tag, get_from);
+        cell::DmaRequest get_req =
+            make_request(tplan, cell::DmaDir::kGet, tplan.get_bytes());
+        get_req.tag = get_tag;
+        get_req.ls_offset = buf_off;
+        get_req.ls_bytes = get_req.total_bytes;
+        const cell::DmaCompletion get = mfc.submit(get_from, get_req);
+        trace_dma(c.spe, "dma-get", get_from, get, true);
+        if (observer_)
+          observer_->on_dma(c.spe, get_req, get_from, get, c.token);
+        c.get_done = get.done;
+        c.get_issue_done = get.issue_done;
+        c.staged_bytes = get_req.total_bytes;
+      }
+      spe.request_at = std::max(spe.request_at, c.get_issue_done);
     }
-    spe.request_at = std::max(spe.request_at, c.get_issue_done);
-  }
 
-  // Phase B: kernels. Per-SPE in-order execution; the wavefront
-  // barrier gates the start.
-  for (Chunk& c : chunks) {
-    SpeClock& spe = spes_[c.spe];
-    sim::Tick ready =
-        std::max({spe.compute_free, c.get_done, dependency_ready(c.index)});
-    if (cfg_.buffers < 2) ready = std::max(ready, spe.put_done);
-    // Stall attribution: the grant is a sync constraint even though it
-    // reaches the SPU through get_done (the get is submitted after the
-    // grant), so dispatch serialization lands in the sync bucket, not
-    // the DMA one. grant <= get_done always, so `ready` is unchanged.
-    sim::Tick dma_ready = c.get_done;
-    if (cfg_.buffers < 2) dma_ready = std::max(dma_ready, spe.put_done);
-    account_wait(c.spe, spe.compute_free, dma_ready,
-                 std::max(dependency_ready(c.index), c.grant));
-    const ChunkCost& cost =
-        kernels_.chunk_cost(w.kernel, cfg_.precision, c.nlines, w.it, nm_,
-                            w.fixup, cfg_.gotos_eliminated);
-    c.compute_end = machine_.spe(c.spe).compute(ready, cost.cycles);
-    if (sink_)
-      sink_->span(spe_tracks_[c.spe], w.fixup ? "kernel+fixup" : "kernel",
-                  "compute", ready, c.compute_end);
-    spe.compute_free = c.compute_end;
-    if (cfg_.buffers >= 2)
-      spe.request_at = std::max(spe.request_at, ready);
+    // Phase B: kernels. Per-SPE in-order execution; the wavefront
+    // barrier gates the start.
+    for (std::size_t i = w0; i < w1; ++i) {
+      Chunk& c = chunks[i];
+      SpeClock& spe = spes_[c.spe];
+      sim::Tick ready =
+          std::max({spe.compute_free, c.get_done, dependency_ready(c.index)});
+      if (cfg_.buffers < 2) ready = std::max(ready, spe.put_done);
+      // Stall attribution: the grant is a sync constraint even though
+      // it reaches the SPU through get_done (the get is submitted after
+      // the grant), so dispatch serialization lands in the sync bucket,
+      // not the DMA one. grant <= get_done always, so `ready` is
+      // unchanged.
+      sim::Tick dma_ready = c.get_done;
+      if (cfg_.buffers < 2) dma_ready = std::max(dma_ready, spe.put_done);
+      account_wait(c.spe, spe.compute_free, dma_ready,
+                   std::max(dependency_ready(c.index), c.grant));
+      if (observer_)
+        observer_->on_tag_wait(c.spe, static_cast<unsigned>(c.buf), ready);
+      const ChunkCost& cost =
+          kernels_.chunk_cost(w.kernel, cfg_.precision, c.nlines, w.it, nm_,
+                              w.fixup, cfg_.gotos_eliminated);
+      c.compute_end = machine_.spe(c.spe).compute(ready, cost.cycles);
+      if (sink_)
+        sink_->span(spe_tracks_[c.spe], w.fixup ? "kernel+fixup" : "kernel",
+                    "compute", ready, c.compute_end);
+      if (observer_)
+        observer_->on_kernel(c.spe,
+                             buffer_offsets_[static_cast<std::size_t>(c.buf)],
+                             c.staged_bytes, ready, c.compute_end, c.token);
+      spe.compute_free = c.compute_end;
+      if (cfg_.buffers >= 2)
+        spe.request_at = std::max(spe.request_at, ready);
 
-    flops_ += cost.flops;
-    total_compute_cycles_ += cost.cycles;
-    cell_solves_ += static_cast<std::uint64_t>(c.nlines) * w.it;
-    ++chunks_;
-    machine_.spe(c.spe).count_work_item();
-  }
+      flops_ += cost.flops;
+      total_compute_cycles_ += cost.cycles;
+      cell_solves_ += static_cast<std::uint64_t>(c.nlines) * w.it;
+      ++chunks_;
+      machine_.spe(c.spe).count_work_item();
+    }
 
-  // Phase C: writebacks + completion reports, in compute-end order.
-  for (Chunk& c : chunks) {
-    SpeClock& spe = spes_[c.spe];
-    const TransferPlan plan =
-        plan_chunk(ChunkShape{c.nlines, w.it, nm_, rb, cfg_.aligned_rows});
-    const cell::DmaCompletion put = machine_.spe(c.spe).mfc().submit(
-        c.compute_end,
-        make_request(plan, cell::DmaDir::kPut, plan.put_bytes()));
-    trace_dma(c.spe, "dma-put", c.compute_end, put, true);
-    // The SPE signals completion only after its writeback DMA has
-    // drained (tag-group wait), so the PPE sees the report after
-    // put.done -- which serializes the next diagonal's grants behind
-    // this diagonal's memory traffic under centralized dispatch.
-    const sim::Tick report =
-        machine_.dispatch().report_done(put.done, cfg_.sync);
-    if (sink_ && report > put.done)
-      sink_->span(spe_tracks_[c.spe], "report", "sync", put.done, report);
-    const sim::Tick completion = std::max(put.done, report);
-    c.completion = completion;
-    next_barrier_ = std::max(next_barrier_, completion);
-    reports_horizon_ = std::max(reports_horizon_, report);
-    spe.put_done = put.done;
-    spe.compute_free = std::max(spe.compute_free, put.issue_done);
-    if (cfg_.buffers < 2)
-      spe.request_at = std::max(spe.request_at, completion);
+    // Phase C: writebacks + completion reports, in compute-end order.
+    for (std::size_t i = w0; i < w1; ++i) {
+      Chunk& c = chunks[i];
+      SpeClock& spe = spes_[c.spe];
+      const TransferPlan tplan =
+          plan_chunk(ChunkShape{c.nlines, w.it, nm_, rb, cfg_.aligned_rows});
+      const unsigned put_tag = static_cast<unsigned>(cfg_.buffers + c.buf);
+      cell::DmaRequest put_req =
+          make_request(tplan, cell::DmaDir::kPut, tplan.put_bytes());
+      put_req.tag = put_tag;
+      put_req.ls_offset = buffer_offsets_[static_cast<std::size_t>(c.buf)];
+      put_req.ls_bytes = put_req.total_bytes;
+      const cell::DmaCompletion put =
+          machine_.spe(c.spe).mfc().submit(c.compute_end, put_req);
+      trace_dma(c.spe, "dma-put", c.compute_end, put, true);
+      if (observer_)
+        observer_->on_dma(c.spe, put_req, c.compute_end, put, c.token);
+      // The SPE signals completion only after its writeback DMA has
+      // drained (tag-group wait), so the PPE sees the report after
+      // put.done -- which serializes the next diagonal's grants behind
+      // this diagonal's memory traffic under centralized dispatch.
+      if (observer_) observer_->on_tag_wait(c.spe, put_tag, put.done);
+      const sim::Tick report =
+          machine_.dispatch().report_done(put.done, cfg_.sync);
+      if (sink_ && report > put.done)
+        sink_->span(spe_tracks_[c.spe], "report", "sync", put.done, report);
+      if (observer_)
+        observer_->on_report(c.spe, cfg_.sync, std::max(put.done, report),
+                             c.token);
+      const sim::Tick completion = std::max(put.done, report);
+      c.completion = completion;
+      next_barrier_ = std::max(next_barrier_, completion);
+      reports_horizon_ = std::max(reports_horizon_, report);
+      spe.put_done = put.done;
+      spe.compute_free = std::max(spe.compute_free, put.issue_done);
+      if (cfg_.buffers < 2)
+        spe.request_at = std::max(spe.request_at, completion);
+    }
   }
 
   // Publish this diagonal's chunk completions for the next diagonal's
@@ -334,6 +435,13 @@ void TimingEngine::on_diagonal(const sweep::DiagonalWork& w) {
 RunReport TimingEngine::finish() {
   RunReport r;
   const sim::Tick end = next_barrier_;
+  if (observer_) observer_->on_run_end(end);
+  // CELLSWEEP_HAZARD_CHECK strict mode: the engine owns the checker, so
+  // it owns the escalation too (externally attached observers leave the
+  // severity policy to their caller, e.g. deck_runner --check).
+  if (owned_diags_ && owned_diags_->has_errors())
+    throw analysis::HazardError("machine-model hazard check failed:\n" +
+                                owned_diags_->summary());
   r.seconds = sim::seconds_from_ticks(end);
   r.traffic_bytes = machine_.mic().bytes_moved();
   r.flops = flops_;

@@ -34,6 +34,11 @@
 #include "core/workload.h"
 #include "sweep/sweeper.h"
 
+namespace cellsweep::analysis {
+class Diagnostics;
+class HazardChecker;
+}
+
 namespace cellsweep::core {
 
 /// How the workload stream is produced.
@@ -87,12 +92,15 @@ struct RunReport {
 class TimingEngine {
  public:
   TimingEngine(const CellSweepConfig& cfg, const sweep::Grid& grid, int nm);
+  ~TimingEngine();
 
   /// Feed one diagonal of independent I-lines.
   void on_diagonal(const sweep::DiagonalWork& w);
 
   /// Drains outstanding work and the final iteration's source pass;
-  /// returns the completed report (timing fields only).
+  /// returns the completed report (timing fields only). Under
+  /// CELLSWEEP_HAZARD_CHECK (and only with the engine-owned checker)
+  /// throws analysis::HazardError when protocol violations were found.
   RunReport finish();
 
   /// Current completion horizon (simulated seconds); monotone across
@@ -118,6 +126,9 @@ class TimingEngine {
     sim::Tick request_at = 0;   ///< ready to ask for the next chunk
     sim::Tick compute_free = 0; ///< SPU free for the next kernel
     sim::Tick put_done = 0;     ///< last writeback completed
+    /// Chunks ever assigned to this SPE; chunk k streams through LS
+    /// buffer k % buffers (the double-buffer rotation).
+    std::uint64_t served = 0;
     // Stall accounting (ticks; observation only, never read back into
     // the clocks above).
     sim::Tick busy = 0;
@@ -153,6 +164,19 @@ class TimingEngine {
   std::vector<sim::Tick> prev_diag_compute_end_;
   long long current_block_key_ = -1;
   std::size_t ls_high_water_ = 0;
+  /// LS offset of each chunk staging buffer (identical on every SPE;
+  /// the hazard annotations use them to name DMA targets).
+  std::vector<std::size_t> buffer_offsets_;
+  /// Global chunk sequence: the token binding a chunk's grant, DMAs,
+  /// kernel and report together for the protocol checker.
+  std::uint64_t token_seq_ = 0;
+
+  // Protocol observability (null observer: every emit is one branch).
+  cell::MachineObserver* observer_ = nullptr;
+  /// CELLSWEEP_HAZARD_CHECK strict mode: engine-owned checker + sink
+  /// (finish() turns its errors into analysis::HazardError).
+  std::unique_ptr<analysis::Diagnostics> owned_diags_;
+  std::unique_ptr<analysis::HazardChecker> owned_checker_;
 
   // Observability (null sink: tracks stay empty, every emit is one
   // branch).

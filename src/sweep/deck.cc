@@ -166,7 +166,9 @@ Deck parse_deck_string(const std::string& text) {
 Deck load_deck(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw DeckError("deck: cannot open '" + path + "'");
-  return parse_deck(in);
+  Deck deck = parse_deck(in);
+  deck.source = path;
+  return deck;
 }
 
 }  // namespace cellsweep::sweep

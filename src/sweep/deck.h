@@ -31,6 +31,9 @@ struct Deck {
   SweepConfig sweep;
   int sn_order = 6;
   int nm_cap = kBenchmarkMoments;
+  /// Where the deck came from ("<string>" unless loaded from a file);
+  /// diagnostics (e.g. the deck linter) prefix findings with it.
+  std::string source = "<string>";
 };
 
 /// Thrown with a line number and description on malformed decks.

@@ -66,5 +66,46 @@ TEST(LocalStore, DescribeListsRegions) {
   EXPECT_NE(d.find("(code+stack)"), std::string::npos);
 }
 
+TEST(LocalStore, DescribeListsEveryRegion) {
+  LocalStore ls(256 * 1024);
+  ls.allocate("chunk-buffer-0", 32 * 1024);
+  ls.allocate("chunk-buffer-1", 32 * 1024);
+  ls.allocate("constants", 4 * 1024);
+  const std::string d = ls.describe();
+  for (const char* name :
+       {"chunk-buffer-0", "chunk-buffer-1", "constants", "(code+stack)"})
+    EXPECT_NE(d.find(name), std::string::npos) << name << " in:\n" << d;
+}
+
+TEST(LocalStore, HighWaterIsMonotone) {
+  LocalStore ls(256 * 1024, 0);
+  EXPECT_EQ(ls.high_water(), 0u);
+  ls.allocate("big", 100 * 1024);
+  EXPECT_EQ(ls.high_water(), 100u * 1024u);
+  ls.reset();
+  // A smaller configuration never lowers the mark...
+  ls.allocate("small", 10 * 1024);
+  EXPECT_EQ(ls.high_water(), 100u * 1024u);
+  ls.reset();
+  // ...and a bigger one raises it.
+  ls.allocate("bigger", 150 * 1024);
+  EXPECT_EQ(ls.high_water(), 150u * 1024u);
+}
+
+TEST(LocalStore, ResetAllowsFullReuse) {
+  // Between sweep configurations the orchestrator resets and
+  // reallocates; offsets must restart right after the code reserve.
+  LocalStore ls(256 * 1024, 48 * 1024);
+  const std::size_t first = ls.allocate("a", 64 * 1024);
+  ls.allocate("b", 64 * 1024);
+  ls.reset();
+  EXPECT_EQ(ls.available(), 208u * 1024u);
+  const std::size_t again = ls.allocate("c", 64 * 1024);
+  EXPECT_EQ(again, first);
+  EXPECT_EQ(ls.regions().size(), 2u);  // code reserve + "c"
+  EXPECT_EQ(ls.regions().back().name, "c");
+  EXPECT_EQ(ls.regions().back().bytes, 64u * 1024u);
+}
+
 }  // namespace
 }  // namespace cellsweep::cell

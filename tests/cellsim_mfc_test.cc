@@ -2,6 +2,8 @@
 // back-pressure, list vs individual commands, transfer efficiency.
 #include <gtest/gtest.h>
 
+#include <climits>
+
 #include "cellsim/mfc.h"
 #include "cellsim/memory.h"
 #include "cellsim/spec.h"
@@ -70,9 +72,62 @@ TEST_F(MfcTest, RejectsNonPowerOfTwoAlignment) {
 
 TEST_F(MfcTest, ElementsComputed) {
   DmaRequest r = legal(1024, 512);
-  EXPECT_EQ(r.elements(), 2);
+  EXPECT_EQ(r.elements(), 2u);
   r = legal(1025, 512);  // partial trailing element
-  EXPECT_EQ(r.elements(), 3);
+  EXPECT_EQ(r.elements(), 3u);
+}
+
+TEST_F(MfcTest, ElementsDoNotTruncateHugeRequests) {
+  // 40 GB in quadword elements is ~2.7e9 elements -- more than INT_MAX.
+  // The old int-returning elements() truncated this; pin the exact
+  // std::size_t count.
+  const std::size_t total = 40ull * 1024 * 1024 * 1024;
+  DmaRequest r = legal(total, 16);
+  EXPECT_EQ(r.elements(), total / 16);
+  EXPECT_GT(r.elements(), static_cast<std::size_t>(INT_MAX));
+}
+
+TEST_F(MfcTest, RejectsBankCountOutOfRange) {
+  // banks_touched feeds Mic::bank_efficiency; 0, negative or more banks
+  // than the chip has must be rejected, not priced.
+  for (int bad : {0, -1, 17}) {
+    DmaRequest r = legal();
+    r.banks_touched = bad;
+    EXPECT_THROW(mfc_.validate(r), DmaError) << bad;
+  }
+  DmaRequest r = legal();
+  r.banks_touched = 16;
+  EXPECT_NO_THROW(mfc_.validate(r));
+  r.banks_touched = 1;
+  EXPECT_NO_THROW(mfc_.validate(r));
+}
+
+TEST_F(MfcTest, RejectsTagOutOfRange) {
+  DmaRequest r = legal();
+  r.tag = kMfcTagGroups;  // 5-bit tag: 0..31
+  EXPECT_THROW(mfc_.validate(r), DmaError);
+  r.tag = kMfcTagGroups - 1;
+  EXPECT_NO_THROW(mfc_.validate(r));
+}
+
+TEST_F(MfcTest, WaitTagCoversOnlyItsGroup) {
+  DmaRequest slow = legal(16 * 1024, 16 * 1024);
+  slow.tag = 3;
+  DmaRequest fast = legal(16, 16);
+  fast.tag = 4;
+  const DmaCompletion a = mfc_.submit(0, slow);
+  const DmaCompletion b = mfc_.submit(0, fast);
+  // Each group waits for its own members only (the shared MIC port
+  // serializes the transfers, so the groups drain at different times).
+  EXPECT_EQ(mfc_.wait_tag(0, 3), a.done);
+  EXPECT_EQ(mfc_.wait_tag(0, 4), b.done);
+  EXPECT_NE(a.done, b.done);
+  // A drained (or never used) group returns the caller's clock.
+  EXPECT_EQ(mfc_.wait_tag(a.done + 7, 3), a.done + 7);
+  EXPECT_EQ(mfc_.wait_tag(123, 9), 123u);
+  // Groups are monotone: reset clears them.
+  mfc_.reset();
+  EXPECT_EQ(mfc_.wait_tag(0, 3), 0u);
 }
 
 TEST_F(MfcTest, PeakEfficiencyNeeds128ByteMultiples) {

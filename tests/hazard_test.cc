@@ -1,0 +1,288 @@
+// Tests for the machine-model hazard checker: the observation-only
+// contract (bit-identical timing with the checker attached), a clean
+// bill of health for every ladder stage's streaming protocol, and
+// negative tests that feed deliberately broken event streams and
+// assert the diagnostic carries the rule, the region name and the
+// simulated timestamp.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/diagnostics.h"
+#include "analysis/hazard.h"
+#include "core/orchestrator.h"
+
+namespace cellsweep {
+namespace {
+
+core::RunReport run_cube(int cube, cell::MachineObserver* observer,
+                         core::OptimizationStage stage =
+                             core::OptimizationStage::kSpeLsPoke) {
+  const sweep::Problem p = sweep::Problem::benchmark_cube(cube);
+  core::CellSweepConfig cfg = core::CellSweepConfig::from_stage(stage);
+  cfg.sweep.max_iterations = 2;
+  cfg.sweep.fixup_from_iteration = 1;
+  cfg.sweep.mk = std::min(cfg.sweep.mk, cube);
+  while (cube % cfg.sweep.mk != 0) --cfg.sweep.mk;
+  cfg.hazard = observer;
+  core::CellSweep3D runner(p, cfg);
+  return runner.run(core::RunMode::kTraceDriven);
+}
+
+TEST(Hazard, CheckerDoesNotPerturbSimulatedTime) {
+  // The central contract, same as TraceSink's: checking is observation
+  // only. The same run with the checker attached must produce
+  // bit-identical timing -- and must find nothing to report.
+  const core::RunReport plain = run_cube(12, nullptr);
+  analysis::Diagnostics diags;
+  analysis::HazardChecker checker(&diags, cell::CellSpec{});
+  const core::RunReport checked = run_cube(12, &checker);
+
+  EXPECT_EQ(plain.seconds, checked.seconds);
+  EXPECT_EQ(plain.traffic_bytes, checked.traffic_bytes);
+  EXPECT_EQ(plain.dma_commands, checked.dma_commands);
+  EXPECT_EQ(plain.dma_transfers, checked.dma_transfers);
+  EXPECT_EQ(plain.chunks, checked.chunks);
+  EXPECT_EQ(plain.flops, checked.flops);
+  EXPECT_TRUE(diags.empty()) << diags.summary();
+}
+
+TEST(Hazard, EveryLadderStageStreamsCleanly) {
+  // Single buffering, double buffering, DMA lists, LS-poke dispatch and
+  // the distributed Fig. 10 variant all obey the CBEA discipline.
+  const core::OptimizationStage stages[] = {
+      core::OptimizationStage::kSpeInitial,
+      core::OptimizationStage::kSpeBuffered,
+      core::OptimizationStage::kSpeDmaLists,
+      core::OptimizationStage::kSpeLsPoke,
+      core::OptimizationStage::kFutureBigDma,
+      core::OptimizationStage::kFutureDistributed,
+      core::OptimizationStage::kFutureSingle,
+  };
+  for (const core::OptimizationStage stage : stages) {
+    analysis::Diagnostics diags;
+    analysis::HazardChecker checker(&diags, cell::CellSpec{});
+    run_cube(12, &checker, stage);
+    EXPECT_TRUE(diags.empty())
+        << core::stage_name(stage) << ":\n"
+        << diags.summary();
+  }
+}
+
+// ---- negative tests: synthetic event streams ------------------------
+
+class HazardRules : public ::testing::Test {
+ protected:
+  HazardRules() : checker_(&diags_, spec_) {
+    buffer0_ = cell::LocalStore::Region{"chunk-buffer-0", 0, 64 * 1024};
+    checker_.on_ls_alloc(0, buffer0_, spec_.local_store_bytes);
+  }
+
+  cell::DmaRequest request(cell::DmaDir dir, unsigned tag, std::size_t offset,
+                           std::size_t bytes) {
+    cell::DmaRequest req;
+    req.dir = dir;
+    req.tag = tag;
+    req.total_bytes = bytes;
+    req.element_bytes = 512;
+    req.ls_offset = offset;
+    req.ls_bytes = bytes;
+    return req;
+  }
+
+  cell::DmaCompletion completes(sim::Tick done) {
+    return cell::DmaCompletion{done, done, done};
+  }
+
+  /// The single finding, asserted to carry @p rule, the region name and
+  /// a simulated timestamp.
+  const analysis::Diagnostic& only(const std::string& rule) {
+    EXPECT_EQ(diags_.entries().size(), 1u) << diags_.summary();
+    const analysis::Diagnostic& d = diags_.entries().front();
+    EXPECT_EQ(d.rule, rule);
+    EXPECT_NE(d.where.find("chunk-buffer-0"), std::string::npos) << d.where;
+    EXPECT_TRUE(d.has_time);
+    EXPECT_NE(d.to_string().find(" us"), std::string::npos) << d.to_string();
+    return d;
+  }
+
+  cell::CellSpec spec_;
+  analysis::Diagnostics diags_;
+  analysis::HazardChecker checker_;
+  cell::LocalStore::Region buffer0_;
+};
+
+TEST_F(HazardRules, KernelReadBeforeGetCompletes) {
+  checker_.on_dma(0, request(cell::DmaDir::kGet, 0, 0, 1024), 100,
+                  completes(5000), 0);
+  checker_.on_tag_wait(0, 0, 5000);
+  checker_.on_kernel(0, 0, 1024, 2000, 3000, 0);
+  // The wait resolved at 5000 but the kernel started at 2000: the get
+  // was still in flight under it.
+  ASSERT_FALSE(diags_.empty());
+  EXPECT_EQ(diags_.entries().front().rule, "read-before-get-complete");
+  EXPECT_NE(diags_.entries().front().where.find("chunk-buffer-0"),
+            std::string::npos);
+  EXPECT_EQ(diags_.entries().front().at, 2000u);
+}
+
+TEST_F(HazardRules, KernelUseWithoutTagWait) {
+  checker_.on_dma(0, request(cell::DmaDir::kGet, 0, 0, 1024), 100,
+                  completes(1000), 0);
+  checker_.on_kernel(0, 0, 1024, 2000, 3000, 0);  // no tag wait issued
+  only("use-before-tag-wait");
+}
+
+TEST_F(HazardRules, SkippedPutWaitIsCaught) {
+  // The paper's double-buffer bug: the put under tag 2 drains by t=1000,
+  // but the SPU never waits on the tag group before re-staging the
+  // buffer -- a race on real hardware even when the timing works out.
+  checker_.on_dma(0, request(cell::DmaDir::kPut, 2, 0, 2048), 0,
+                  completes(1000), 0);
+  checker_.on_dma(0, request(cell::DmaDir::kGet, 0, 0, 2048), 2000,
+                  completes(2500), 1);
+  const analysis::Diagnostic& d = only("reuse-before-tag-wait");
+  EXPECT_EQ(d.at, 2000u);
+  EXPECT_NE(d.message.find("tag 2"), std::string::npos) << d.message;
+}
+
+TEST_F(HazardRules, GetOverwritesInFlightPut) {
+  checker_.on_dma(0, request(cell::DmaDir::kPut, 2, 0, 2048), 0,
+                  completes(5000), 0);
+  checker_.on_dma(0, request(cell::DmaDir::kGet, 0, 0, 2048), 1000,
+                  completes(3000), 1);
+  only("overwrite-in-flight-put");
+}
+
+TEST_F(HazardRules, ConcurrentOverlappingGets) {
+  checker_.on_dma(0, request(cell::DmaDir::kGet, 0, 0, 2048), 0,
+                  completes(5000), 0);
+  checker_.on_dma(0, request(cell::DmaDir::kGet, 1, 1024, 2048), 1000,
+                  completes(6000), 1);
+  only("overlapping-dma");
+}
+
+TEST_F(HazardRules, TagWaitResolvingEarly) {
+  checker_.on_dma(0, request(cell::DmaDir::kGet, 3, 0, 1024), 0,
+                  completes(5000), 0);
+  checker_.on_tag_wait(0, 3, 3000);
+  only("tag-wait-incomplete");
+}
+
+TEST_F(HazardRules, BufferRestagedBeforeKernelConsumedIt) {
+  checker_.on_dma(0, request(cell::DmaDir::kGet, 0, 0, 1024), 0,
+                  completes(100), 0);
+  checker_.on_tag_wait(0, 0, 150);
+  checker_.on_dma(0, request(cell::DmaDir::kGet, 1, 0, 1024), 200,
+                  completes(300), 1);
+  checker_.on_tag_wait(0, 1, 350);
+  checker_.on_kernel(0, 0, 1024, 400, 500, 0);  // chunk 0's kernel, too late
+  only("buffer-overwritten-before-use");
+}
+
+TEST_F(HazardRules, KernelOverDrainingPut) {
+  checker_.on_dma(0, request(cell::DmaDir::kGet, 0, 0, 1024), 0,
+                  completes(100), 1);
+  checker_.on_tag_wait(0, 0, 100);
+  checker_.on_dma(0, request(cell::DmaDir::kPut, 2, 512, 512), 150,
+                  completes(5000), 0);
+  checker_.on_kernel(0, 0, 1024, 200, 300, 1);
+  only("kernel-overlaps-put");
+}
+
+TEST_F(HazardRules, KernelWithNothingStaged) {
+  checker_.on_kernel(0, 0, 1024, 100, 200, 0);
+  only("kernel-reads-unstaged");
+}
+
+TEST_F(HazardRules, ReportBeforeWritebackDrains) {
+  checker_.on_dma(0, request(cell::DmaDir::kPut, 2, 0, 1024), 0,
+                  completes(5000), 7);
+  checker_.on_report(0, cell::SyncProtocol::kAtomicDistributed, 1000, 7);
+  only("report-before-writeback");
+}
+
+TEST_F(HazardRules, CompletionNeverObserved) {
+  checker_.on_dma(0, request(cell::DmaDir::kGet, 0, 0, 1024), 0,
+                  completes(100), 0);
+  checker_.on_run_end(10'000);
+  only("completion-never-observed");
+}
+
+TEST_F(HazardRules, DmaOutsideAnyRegion) {
+  checker_.on_dma(0, request(cell::DmaDir::kGet, 0, 128 * 1024, 1024), 0,
+                  completes(100), 0);
+  ASSERT_FALSE(diags_.empty());
+  EXPECT_EQ(diags_.entries().front().rule, "dma-outside-region");
+}
+
+TEST_F(HazardRules, AllocationDiscipline) {
+  checker_.on_ls_alloc(1, {"misaligned", 64, 1024}, spec_.local_store_bytes);
+  checker_.on_ls_alloc(1, {"huge", 128 * 1024, spec_.local_store_bytes},
+                       spec_.local_store_bytes);
+  checker_.on_ls_alloc(2, {"a", 0, 4096}, spec_.local_store_bytes);
+  checker_.on_ls_alloc(2, {"b", 2048, 4096}, spec_.local_store_bytes);
+  ASSERT_EQ(diags_.entries().size(), 3u) << diags_.summary();
+  EXPECT_EQ(diags_.entries()[0].rule, "ls-alignment");
+  EXPECT_EQ(diags_.entries()[1].rule, "ls-overflow");
+  EXPECT_EQ(diags_.entries()[2].rule, "ls-overlap");
+  EXPECT_NE(diags_.entries()[2].message.find("\"a\""), std::string::npos);
+}
+
+TEST_F(HazardRules, DispatchProtocolInvariants) {
+  const cell::SyncProtocol proto = cell::SyncProtocol::kMailbox;
+  checker_.on_grant(0, proto, 100, 50, 1);  // granted before requested
+  ASSERT_EQ(diags_.entries().size(), 1u);
+  EXPECT_EQ(diags_.entries()[0].rule, "grant-before-request");
+  diags_.clear();
+
+  checker_.on_grant(1, proto, 100, 200, 3);  // sequence skips 2
+  ASSERT_EQ(diags_.entries().size(), 1u);
+  EXPECT_EQ(diags_.entries()[0].rule, "work-counter-non-monotone");
+  diags_.clear();
+
+  checker_.on_grant(2, proto, 90, 150, 4);  // completes before grant at 200
+  ASSERT_EQ(diags_.entries().size(), 1u);
+  EXPECT_EQ(diags_.entries()[0].rule, "dispatch-serialization");
+}
+
+TEST_F(HazardRules, CleanProtocolReportsNothing) {
+  // A full, disciplined stage/compute/writeback/report round trip.
+  checker_.on_dma(0, request(cell::DmaDir::kGet, 0, 0, 2048), 0,
+                  completes(1000), 0);
+  checker_.on_tag_wait(0, 0, 1000);
+  checker_.on_kernel(0, 0, 2048, 1000, 2000, 0);
+  checker_.on_dma(0, request(cell::DmaDir::kPut, 2, 0, 1024), 2000,
+                  completes(3000), 0);
+  checker_.on_tag_wait(0, 2, 3000);
+  checker_.on_report(0, cell::SyncProtocol::kLsPoke, 3000, 0);
+  checker_.on_dma(0, request(cell::DmaDir::kGet, 0, 0, 2048), 3000,
+                  completes(4000), 1);
+  checker_.on_tag_wait(0, 0, 4000);
+  checker_.on_kernel(0, 0, 2048, 4000, 5000, 1);
+  checker_.on_run_end(5000);
+  EXPECT_TRUE(diags_.empty()) << diags_.summary();
+}
+
+TEST(Diagnostics, RenderingAndCounts) {
+  analysis::Diagnostics diags;
+  diags.error("some-rule", "SPE3 chunk-buffer-1", sim::Tick{2'000'000'000},
+              "broken");
+  diags.warn("style", "deck", "static finding");
+  EXPECT_EQ(diags.entries().size(), 2u);
+  EXPECT_EQ(diags.error_count(), 1u);
+  EXPECT_TRUE(diags.has_errors());
+  const std::string line = diags.entries()[0].to_string();
+  EXPECT_NE(line.find("error[some-rule]"), std::string::npos) << line;
+  EXPECT_NE(line.find("at 2 us"), std::string::npos) << line;
+  EXPECT_NE(line.find("SPE3 chunk-buffer-1"), std::string::npos) << line;
+  // Static findings render without a timestamp.
+  const std::string warn = diags.entries()[1].to_string();
+  EXPECT_EQ(warn.find(" at "), std::string::npos) << warn;
+  EXPECT_NE(warn.find("warning[style]"), std::string::npos) << warn;
+  diags.clear();
+  EXPECT_TRUE(diags.empty());
+}
+
+}  // namespace
+}  // namespace cellsweep

@@ -1,0 +1,130 @@
+// Tests for the static deck linter: a clean deck lints clean, and
+// decks that would blow the local-store budget, the tag-group space or
+// the CBEA DMA rules are rejected before any simulation runs.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/lint.h"
+#include "core/config.h"
+#include "sweep/deck.h"
+
+namespace cellsweep {
+namespace {
+
+const char* kGoodDeck = R"(
+it 32  jt 32  kt 32
+dx 0.125  dy 0.125  dz 0.125
+mk 8  mmi 3
+sn 6  moments 6
+iterations 4  fixup_from 2
+material m 1.0 0.5 0.2 0.05 source 1.0
+)";
+
+sweep::Deck deck_with(const std::string& extra) {
+  return sweep::parse_deck_string(std::string(kGoodDeck) + extra);
+}
+
+core::CellSweepConfig final_stage() {
+  return core::CellSweepConfig::from_stage(
+      core::OptimizationStage::kSpeLsPoke);
+}
+
+bool has_rule(const analysis::Diagnostics& diags, const std::string& rule) {
+  for (const analysis::Diagnostic& d : diags.entries())
+    if (d.rule == rule) return true;
+  return false;
+}
+
+TEST(Lint, CleanDeckLintsClean) {
+  const sweep::Deck deck = deck_with("");
+  const analysis::Diagnostics diags = analysis::lint_deck(deck, final_stage());
+  EXPECT_TRUE(diags.empty()) << diags.summary();
+}
+
+TEST(Lint, EveryLadderStageAcceptsTheBenchmarkDeck) {
+  const sweep::Deck deck = sweep::parse_deck_string(R"(
+it 50  jt 50  kt 50
+dx 0.04  dy 0.04  dz 0.04
+mk 10  mmi 3
+sn 6  moments 6
+iterations 12  fixup_from 10
+material benchmark 1.0 0.5 0.2 0.05 source 1.0
+)");
+  for (const core::OptimizationStage stage : {
+           core::OptimizationStage::kPpeXlc,
+           core::OptimizationStage::kSpeInitial,
+           core::OptimizationStage::kSpeBuffered,
+           core::OptimizationStage::kSpeLsPoke,
+           core::OptimizationStage::kFutureBigDma,
+           core::OptimizationStage::kFutureDistributed,
+       }) {
+    core::CellSweepConfig cfg = core::CellSweepConfig::from_stage(stage);
+    cfg.sweep = deck.sweep;
+    const analysis::Diagnostics diags = analysis::lint_deck(deck, cfg);
+    EXPECT_TRUE(diags.empty())
+        << core::stage_name(stage) << ":\n"
+        << diags.summary();
+  }
+}
+
+TEST(Lint, OversizedChunkBlowsLsBudget) {
+  // A 4000-cell I axis makes one chunk's staging buffer alone exceed
+  // 256 KB -- the paper's Section 2 budgeting failure mode. The
+  // diagnostic must name the byte counts and the buffer count.
+  const sweep::Deck deck = sweep::parse_deck_string(R"(
+it 4000  jt 8  kt 8
+dx 0.04  dy 0.04  dz 0.04
+mk 8  mmi 3
+sn 6  moments 6
+iterations 2  fixup_from 1
+material m 1.0 0.5 0.2 0.05 source 1.0
+)");
+  const analysis::Diagnostics diags = analysis::lint_deck(deck, final_stage());
+  ASSERT_TRUE(has_rule(diags, "ls-budget")) << diags.summary();
+  EXPECT_TRUE(diags.has_errors());
+  for (const analysis::Diagnostic& d : diags.entries()) {
+    if (d.rule != "ls-budget") continue;
+    EXPECT_NE(d.message.find("staging buffer"), std::string::npos);
+    EXPECT_NE(d.message.find("local store"), std::string::npos);
+    EXPECT_NE(d.where.find("it 4000"), std::string::npos);
+  }
+}
+
+TEST(Lint, BadBlockingFactorRejected) {
+  // MK must divide KT; the linter reuses the sweep validator. The deck
+  // parser catches this for files, but a programmatically built deck
+  // (or a future parser change) must still fail lint, not simulation.
+  sweep::Deck deck = deck_with("");
+  deck.sweep.mk = 7;  // kt = 32
+  const analysis::Diagnostics diags = analysis::lint_deck(deck, final_stage());
+  ASSERT_TRUE(has_rule(diags, "blocking")) << diags.summary();
+  for (const analysis::Diagnostic& d : diags.entries())
+    if (d.rule == "blocking")
+      EXPECT_NE(d.where.find("mk 7"), std::string::npos) << d.where;
+}
+
+TEST(Lint, TagBudgetBoundsBufferCount) {
+  core::CellSweepConfig cfg = final_stage();
+  cfg.buffers = 20;  // needs 40 tag groups; the CBEA has 32
+  const analysis::Diagnostics diags =
+      analysis::lint_deck(deck_with(""), cfg);
+  EXPECT_TRUE(has_rule(diags, "tag-budget")) << diags.summary();
+}
+
+TEST(Lint, GranularityMustBeQuadwordMultiple) {
+  core::CellSweepConfig cfg = final_stage();
+  cfg.dma_granularity = 520;  // not a multiple of 16
+  const analysis::Diagnostics diags =
+      analysis::lint_deck(deck_with(""), cfg);
+  EXPECT_TRUE(has_rule(diags, "dma-granularity")) << diags.summary();
+}
+
+TEST(Lint, LoadedDeckCarriesItsSource) {
+  // load_deck stamps the path; string decks stay "<string>". The
+  // deck_runner lint path prefixes findings with it.
+  EXPECT_EQ(deck_with("").source, "<string>");
+}
+
+}  // namespace
+}  // namespace cellsweep
