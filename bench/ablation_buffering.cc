@@ -5,17 +5,22 @@
 // allocation (part of the 1.68 -> 1.48 s step).
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cellsweep;
-  bench::print_header("Ablation: buffering depth x bank offsets (50^3)");
+  const bench::BenchOptions opt = bench::parse_bench_args(argc, argv);
+  if (!opt.ok) return 2;
+  bench::print_header("Ablation: buffering depth x bank offsets (" +
+                      std::to_string(opt.cube) + "^3)");
 
   util::TextTable table({"kernel", "buffers", "bank offsets", "run time [s]",
                          "LS used [KB]", "MIC busy [s]"});
+  bench::BenchJson json("ablation_buffering", opt.cube);
   for (sweep::KernelKind kernel :
        {sweep::KernelKind::kScalar, sweep::KernelKind::kSimd}) {
     for (int buffers : {1, 2}) {
       for (bool offsets : {false, true}) {
-        const sweep::Problem problem = sweep::Problem::benchmark_cube(50);
+        const sweep::Problem problem =
+            sweep::Problem::benchmark_cube(opt.cube);
         core::CellSweepConfig cfg = core::CellSweepConfig::from_stage(
             core::OptimizationStage::kSpeLsPoke);
         cfg.kernel = kernel;
@@ -24,6 +29,12 @@ int main() {
         cfg.bank_offsets = offsets;
         core::CellSweep3D runner(problem, cfg);
         const core::RunReport r = runner.run(core::RunMode::kTraceDriven);
+        json.add_run(std::string(kernel == sweep::KernelKind::kScalar
+                                     ? "scalar"
+                                     : "simd") +
+                         "_buf" + std::to_string(buffers) +
+                         (offsets ? "_offsets" : "_flat"),
+                     r);
         table.add_row(
             {kernel == sweep::KernelKind::kScalar ? "scalar" : "SIMD",
              bench::fmt("%.0f", buffers), offsets ? "yes" : "no",
@@ -36,5 +47,6 @@ int main() {
   table.print(std::cout);
   std::cout << "\nDouble buffering trades local store for overlap; bank\n"
                "offsets recover DRAM bandwidth independent of the kernel.\n";
+  if (!opt.json_dir.empty() && !json.write(opt.json_dir)) return 1;
   return 0;
 }

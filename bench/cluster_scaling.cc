@@ -12,14 +12,17 @@
 #include "core/workload.h"
 #include "perfmodel/wavefront.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cellsweep;
+  const bench::BenchOptions opt = bench::parse_bench_args(argc, argv);
+  if (!opt.ok) return 2;
   bench::print_header("Extension: cluster-of-Cells wavefront scaling");
 
   // Global problem: 100^3 over the process grid; every rank runs a
   // full per-chip machine model, coupled by timed boundary messages,
   // and the analytic model of the paper's refs [3,5] sits beside it.
-  const int global_n = 100;
+  const int global_n = opt.cube_or(100);
+  bench::BenchJson json("cluster_scaling", global_n);
   const sweep::Grid global = sweep::Grid::cube(global_n, 2.0);
   util::TextTable table({"grid", "chips", "tile", "sim time [s]",
                          "wavefront eff", "speedup", "analytic [s]"});
@@ -39,6 +42,14 @@ int main() {
 
     const core::ClusterReport sim_r = core::simulate_cluster(global, cc);
     if (px * py == 1) serial_time = sim_r.seconds;
+    {
+      // Cluster runs have no single-chip RunReport; record the top-line
+      // simulated time so the scaling curve is regression-tracked too.
+      core::RunReport rep;
+      rep.seconds = sim_r.seconds;
+      json.add_run("grid" + std::to_string(px) + "x" + std::to_string(py),
+                   rep);
+    }
 
     perf::WavefrontParams wp;
     wp.px = px;
@@ -87,5 +98,6 @@ int main() {
   sweep_tbl.print(std::cout);
   std::cout << "\nAn interior optimum appears: the reason Sweep3D exposes\n"
                "MK and MMI as tunables and the paper runs MMI = 1 or 3.\n";
+  if (!opt.json_dir.empty() && !json.write(opt.json_dir)) return 1;
   return 0;
 }

@@ -10,10 +10,13 @@
 // model, run end to end.
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cellsweep;
   using core::OptimizationStage;
-  bench::print_header("Figure 10: projected optimizations (50^3)");
+  const bench::BenchOptions opt = bench::parse_bench_args(argc, argv);
+  if (!opt.ok) return 2;
+  bench::print_header("Figure 10: projected optimizations (" +
+                      std::to_string(opt.cube) + "^3)");
 
   const struct {
     OptimizationStage stage;
@@ -28,8 +31,10 @@ int main() {
 
   util::TextTable table({"configuration", "paper [s]", "measured [s]",
                          "mem bound [s]", "compute busy [s]"});
+  bench::BenchJson json("fig10", opt.cube);
   for (const auto& row : rows) {
-    const core::RunReport r = bench::run_stage(row.stage);
+    const core::RunReport r = bench::run_stage(row.stage, opt.cube);
+    json.add_run(core::stage_name(row.stage), r);
     table.add_row({core::stage_name(row.stage),
                    bench::fmt("%.2f", row.paper_s),
                    bench::fmt("%.2f", r.seconds),
@@ -42,5 +47,6 @@ int main() {
       << "\nPaper's observation reproduced: the fully pipelined DP unit\n"
          "adds little once dispatch is distributed (memory-bound), and\n"
          "single precision approaches the halved memory floor.\n";
+  if (!opt.json_dir.empty() && !json.write(opt.json_dir)) return 1;
   return 0;
 }

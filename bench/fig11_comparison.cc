@@ -7,12 +7,15 @@
 
 #include "perfmodel/processors.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cellsweep;
-  bench::print_header("Figure 11: comparison with other processors (50^3)");
+  const bench::BenchOptions opt = bench::parse_bench_args(argc, argv);
+  if (!opt.ok) return 2;
+  bench::print_header("Figure 11: comparison with other processors (" +
+                      std::to_string(opt.cube) + "^3)");
 
   const core::RunReport cell =
-      bench::run_stage(core::OptimizationStage::kSpeLsPoke);
+      bench::run_stage(core::OptimizationStage::kSpeLsPoke, opt.cube);
 
   util::TextTable table(
       {"processor", "run time [s]", "Cell speedup", "paper speedup"});
@@ -38,7 +41,7 @@ int main() {
   // data-transfer/synchronization optimizations, 4.5x -> 6.5x and
   // 5.5x -> 8.5x.
   const core::RunReport future =
-      bench::run_stage(core::OptimizationStage::kFutureDistributed);
+      bench::run_stage(core::OptimizationStage::kFutureDistributed, opt.cube);
   std::cout << "\nWith the Fig. 10 transfer/sync optimizations (paper: "
                "6.5x / 8.5x):\n  vs Power5:  "
             << util::format_speedup(
@@ -49,5 +52,11 @@ int main() {
                    perf::opteron().seconds(cell.cell_solves, cell.flops) /
                    future.seconds)
             << "\n";
+  if (!opt.json_dir.empty()) {
+    bench::BenchJson json("fig11", opt.cube);
+    json.add_run("Cell BE (this work)", cell);
+    json.add_run("Cell BE (Fig. 10 transfer/sync)", future);
+    if (!json.write(opt.json_dir)) return 1;
+  }
   return 0;
 }

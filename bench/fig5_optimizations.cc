@@ -5,12 +5,15 @@
 // next to our simulated seconds.
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cellsweep;
   using core::OptimizationStage;
 
-  bench::print_header(
-      "Figure 5: performance impact of the optimization ladder (50^3)");
+  const bench::BenchOptions opt = bench::parse_bench_args(argc, argv);
+  if (!opt.ok) return 2;
+
+  bench::print_header("Figure 5: performance impact of the optimization "
+                      "ladder (" + std::to_string(opt.cube) + "^3)");
 
   const struct {
     OptimizationStage stage;
@@ -34,9 +37,11 @@ int main() {
   util::TextTable breakdown({"stage", "compute [s]", "DMA wait [s]",
                              "sync wait [s]", "idle [s]", "MIC util",
                              "EIB util"});
+  bench::BenchJson json("fig5", opt.cube);
   double final_measured = 0;
   for (const auto& row : rows) {
-    const core::RunReport r = bench::run_stage(row.stage);
+    const core::RunReport r = bench::run_stage(row.stage, opt.cube);
+    json.add_run(core::stage_name(row.stage), r);
     final_measured = r.seconds;
     table.add_row({core::stage_name(row.stage),
                    bench::fmt("%.2f", row.paper_s),
@@ -72,10 +77,11 @@ int main() {
 
   std::cout << "\nPPE(GCC) -> final speedup: paper "
             << util::format_speedup(22.3 / 1.33) << ", measured "
-            << util::format_speedup(bench::run_stage(
-                                        OptimizationStage::kPpeGcc)
-                                        .seconds /
-                                    final_measured)
+            << util::format_speedup(
+                   bench::run_stage(OptimizationStage::kPpeGcc, opt.cube)
+                       .seconds /
+                   final_measured)
             << "\n";
+  if (!opt.json_dir.empty() && !json.write(opt.json_dir)) return 1;
   return 0;
 }

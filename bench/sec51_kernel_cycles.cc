@@ -14,14 +14,30 @@
 
 #include "core/kernel_timing.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cellsweep;
+  const bench::BenchOptions opt = bench::parse_bench_args(argc, argv);
+  if (!opt.ok) return 2;
   bench::print_header("Section 5.1: kernel cycles on the SPU pipeline model");
 
   cell::CellSpec spec;
   core::KernelCostModel model(spec);
-  const int it = 50;
+  const int it = opt.cube;
   const int nm = sweep::kBenchmarkMoments;
+
+  // JSON emission: one run per kernel variant, timed as raw pipeline
+  // cycles at the chip clock (a microbench, not a full sweep).
+  bench::BenchJson json("sec51", opt.cube);
+  auto add_kernel_run = [&](const std::string& name,
+                            const cell::ScheduleResult& r) {
+    core::RunReport rep;
+    rep.seconds = static_cast<double>(r.cycles) / spec.clock_hz;
+    rep.flops = r.flops;
+    rep.cell_solves = static_cast<std::uint64_t>(4) * it;
+    rep.grind_seconds = rep.seconds / static_cast<double>(rep.cell_solves);
+    rep.achieved_flops_per_s = static_cast<double>(r.flops) / rep.seconds;
+    json.add_run(name, rep);
+  };
 
   struct Row {
     const char* name;
@@ -45,6 +61,7 @@ int main() {
   for (const Row& row : rows) {
     const cell::ScheduleResult r =
         model.schedule_simd_chunk(row.prec, 4, it, nm, row.fixup);
+    add_kernel_run(row.name, r);
     const double steps = it;
     const double cyc = static_cast<double>(r.cycles) / steps;
     const double flops = static_cast<double>(r.flops) / steps;
@@ -85,5 +102,8 @@ int main() {
                   "stage '+ gotos removed'"});
   std::cout << "\n";
   scalar.print(std::cout);
+  add_kernel_run("scalar, with Fortran gotos", s_goto);
+  add_kernel_run("scalar, gotos eliminated", s_clean);
+  if (!opt.json_dir.empty() && !json.write(opt.json_dir)) return 1;
   return 0;
 }

@@ -11,12 +11,15 @@
 
 #include "perfmodel/bounds.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cellsweep;
-  bench::print_header("Section 6: roofline bounds vs actual run time (50^3)");
+  const bench::BenchOptions opt = bench::parse_bench_args(argc, argv);
+  if (!opt.ok) return 2;
+  bench::print_header("Section 6: roofline bounds vs actual run time (" +
+                      std::to_string(opt.cube) + "^3)");
 
   const core::RunReport r =
-      bench::run_stage(core::OptimizationStage::kSpeLsPoke);
+      bench::run_stage(core::OptimizationStage::kSpeLsPoke, opt.cube);
 
   util::TextTable table({"quantity", "paper", "measured"});
   table.add_row({"DMA traffic", "17.6 GB",
@@ -40,5 +43,9 @@ int main() {
             << " dispatch grants through the PPE.\n"
             << "DMA commands: " << r.dma_commands << " ("
             << r.dma_transfers << " transfers)\n";
+  if (!opt.json_dir.empty() &&
+      !bench::emit_bench_json(opt.json_dir, "sec6", opt.cube,
+                              "Cell (+ direct LS-poke sync)", r))
+    return 1;
   return 0;
 }

@@ -7,6 +7,7 @@
 //         --metrics metrics.json     # chrome://tracing + JSON metrics
 //   $ ./deck_runner examples/decks/benchmark50.deck --check   # hazard check
 //   $ ./deck_runner lint examples/decks/*.deck                # static lint
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 
@@ -15,6 +16,7 @@
 #include "analysis/lint.h"
 #include "core/metrics.h"
 #include "core/orchestrator.h"
+#include "sim/counters.h"
 #include "sim/trace.h"
 #include "sweep/deck.h"
 #include "util/cli.h"
@@ -79,6 +81,11 @@ int main(int argc, char** argv) {
   cli.add_flag("metrics", "",
                "write run metrics (timing, stall breakdown, DMA "
                "histograms) as JSON");
+  cli.add_flag("counters", "false",
+               "attach the time-sliced profiler and print a hardware "
+               "counter summary; --counters=N sets the profile window "
+               "count (default 96). Counters and the utilization "
+               "timeseries also land in --metrics and --trace output");
   if (!cli.parse(argc, argv)) {
     std::cerr << cli.error() << "\n" << cli.usage(argv[0]);
     return 1;
@@ -118,11 +125,12 @@ int main(int argc, char** argv) {
             << deck.sn_order << ", " << deck.nm_cap << " moments, MK="
             << deck.sweep.mk << " MMI=" << deck.sweep.mmi << "\n";
 
-  std::string trace_path, metrics_path;
+  std::string trace_path, metrics_path, counters_arg;
   try {
     deck.sweep.threads = static_cast<int>(cli.get_int("threads"));
     trace_path = cli.get_string("trace");
     metrics_path = cli.get_string("metrics");
+    counters_arg = cli.get_string("counters");
   } catch (const util::CliError& e) {
     std::cerr << "deck_runner: " << e.what() << "\n" << cli.usage(argv[0]);
     return 1;
@@ -130,6 +138,21 @@ int main(int argc, char** argv) {
   if (deck.sweep.threads < 1) {
     std::cerr << "deck_runner: --threads must be a positive integer\n";
     return 1;
+  }
+  std::size_t profile_windows = 0;  // 0: profiler off
+  if (counters_arg != "false") {
+    if (counters_arg == "true") {
+      profile_windows = 96;
+    } else {
+      char* rest = nullptr;
+      const unsigned long n = std::strtoul(counters_arg.c_str(), &rest, 10);
+      if (rest == nullptr || *rest != '\0' || n < 2) {
+        std::cerr << "deck_runner: --counters wants a window count >= 2, "
+                     "got '" << counters_arg << "'\n";
+        return 1;
+      }
+      profile_windows = static_cast<std::size_t>(n);
+    }
   }
 
   if (deck.problem.any_reflective() || cli.get_bool("functional")) {
@@ -145,12 +168,17 @@ int main(int argc, char** argv) {
               << r.totals.fixup_cells << "\n";
   }
 
+  // The profiler outlives the writer's final write() below: the counter
+  // events it emits reference its track names by pointer.
+  sim::TimeSlicedProfiler profiler(profile_windows == 0 ? 96
+                                                        : profile_windows);
   sim::ChromeTraceWriter writer;
   core::CellSweepConfig cfg = core::CellSweepConfig::from_stage(stage);
   cfg.sweep = deck.sweep;
   cfg.sweep.kernel = cfg.kernel;
   cfg.sweep.epsilon = 0.0;  // the timing model replays a fixed count
   if (!trace_path.empty()) cfg.trace_sink = &writer;
+  if (profile_windows != 0) cfg.profiler = &profiler;
 
   // --check: lint the deck, then observe the run with the hazard
   // checker; any finding is a hard error.
@@ -201,6 +229,44 @@ int main(int argc, char** argv) {
     std::cout << "MIC utilization " << util::format_percent(rep.mic_utilization)
               << ", EIB utilization "
               << util::format_percent(rep.eib_utilization) << "\n";
+  }
+
+  // --counters: the aggregate hardware-counter summary plus the profile
+  // shape. The full tree is in --metrics output.
+  if (profile_windows != 0) {
+    const sim::CounterSet* tot = rep.counters.find_child("spe_total");
+    const sim::CounterSet* pipe = tot ? tot->find_child("pipeline") : nullptr;
+    const sim::CounterSet* mfc = tot ? tot->find_child("mfc") : nullptr;
+    if (pipe != nullptr) {
+      const double issue = pipe->value("issue_cycles");
+      std::cout << "SPU pipeline: "
+                << static_cast<std::uint64_t>(pipe->value("instructions"))
+                << " instructions, "
+                << util::format_percent(pipe->value("dual_issues") /
+                                        (issue > 0 ? issue : 1.0))
+                << " dual-issue, "
+                << static_cast<std::uint64_t>(pipe->value("flops"))
+                << " flops\n";
+    }
+    if (mfc != nullptr) {
+      std::cout << "MFC: "
+                << static_cast<std::uint64_t>(mfc->value("commands"))
+                << " commands ("
+                << static_cast<std::uint64_t>(mfc->value("get_commands"))
+                << " get / "
+                << static_cast<std::uint64_t>(mfc->value("put_commands"))
+                << " put / "
+                << static_cast<std::uint64_t>(mfc->value("list_commands"))
+                << " list), queue-full "
+                << util::format_seconds(sim::seconds_from_ticks(
+                       static_cast<sim::Tick>(mfc->value("queue_full_ticks"))))
+                << "\n";
+    }
+    std::cout << "Profile: " << rep.timeseries.window_count()
+              << " windows of "
+              << util::format_seconds(
+                     sim::seconds_from_ticks(rep.timeseries.window_ticks))
+              << "\n";
   }
 
   if (!trace_path.empty()) {

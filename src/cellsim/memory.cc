@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
+
+#include "sim/counters.h"
 
 namespace cellsweep::cell {
 
@@ -24,18 +27,67 @@ double Mic::bank_efficiency(int banks_touched) const {
 }
 
 sim::Tick Mic::submit(sim::Tick now, double bytes, sim::Tick overhead,
-                      double efficiency, std::uint64_t elements) {
+                      double efficiency, std::uint64_t elements,
+                      int banks_touched, bool is_write) {
   if (efficiency <= 0.0 || efficiency > 1.0)
     throw std::invalid_argument("Mic::submit: efficiency out of (0,1]");
   if (elements < 1) elements = 1;
+  // banks_touched <= 0 means "streams over all banks": no penalty, the
+  // exact behavior all pre-counter call sites had.
+  const int banks = banks_touched < 1 ? spec_.memory_banks : banks_touched;
+  const double eff = efficiency * bank_efficiency(banks);
   // Reduced efficiency means the payload occupies the port longer, as
   // if it carried bytes/efficiency of traffic, and each element pays
   // one burst-turnaround gap; the logical byte count is still recorded
   // for the Section 6 traffic audit.
   const double inflated =
-      bytes / efficiency + static_cast<double>(elements) * spec_.dram_gap_bytes;
+      bytes / eff + static_cast<double>(elements) * spec_.dram_gap_bytes;
   logical_bytes_ += bytes;
+
+  // Counters (observation only). Elements are attributed round-robin
+  // over the touched banks from a rotating cursor -- the deterministic
+  // stand-in for the address interleaving the model abstracts away.
+  (is_write ? writes_ : reads_) += 1;
+  auto& per_bank = is_write ? bank_writes_ : bank_reads_;
+  const int total_banks = spec_.memory_banks;
+  const std::uint64_t each = elements / static_cast<std::uint64_t>(banks);
+  const std::uint64_t rem = elements % static_cast<std::uint64_t>(banks);
+  for (int b = 0; b < banks; ++b)
+    per_bank[static_cast<std::size_t>((bank_cursor_ + b) % total_banks)] +=
+        each + (static_cast<std::uint64_t>(b) < rem ? 1 : 0);
+  bank_cursor_ = (bank_cursor_ + static_cast<int>(rem % total_banks)) %
+                 total_banks;
+  if (eff < efficiency)
+    conflict_ += sim::ticks_for_bytes(bytes / eff - bytes / efficiency,
+                                      port_.rate());
+
   return port_.submit(now, inflated, overhead);
+}
+
+void Mic::publish_counters(sim::CounterSet& out) const {
+  out.set("reads", static_cast<double>(reads_));
+  out.set("writes", static_cast<double>(writes_));
+  out.set("logical_bytes", logical_bytes_);
+  out.set("requests", static_cast<double>(port_.requests()));
+  out.set("busy_ticks", static_cast<double>(port_.busy_ticks()));
+  out.set("queue_wait_ticks", static_cast<double>(port_.wait_ticks()));
+  out.set("bank_conflict_ticks", static_cast<double>(conflict_));
+  sim::CounterSet& rd = out.child("bank_reads");
+  sim::CounterSet& wr = out.child("bank_writes");
+  for (int b = 0; b < spec_.memory_banks; ++b) {
+    char name[16];
+    std::snprintf(name, sizeof name, "bank%02d", b);
+    rd.set(name, static_cast<double>(bank_reads_[static_cast<std::size_t>(b)]));
+    wr.set(name,
+           static_cast<double>(bank_writes_[static_cast<std::size_t>(b)]));
+  }
+}
+
+void Eib::publish_counters(sim::CounterSet& out) const {
+  out.set("grants", static_cast<double>(ring_.requests()));
+  out.set("bytes_moved", ring_.bytes_moved());
+  out.set("busy_ticks", static_cast<double>(ring_.busy_ticks()));
+  out.set("contention_stall_ticks", static_cast<double>(ring_.wait_ticks()));
 }
 
 }  // namespace cellsweep::cell

@@ -10,11 +10,16 @@
 // aggregate; it only binds for LS-to-LS traffic patterns.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "cellsim/spec.h"
 #include "sim/resource.h"
 #include "sim/time.h"
+
+namespace cellsweep::sim {
+class CounterSet;
+}
 
 namespace cellsweep::cell {
 
@@ -31,13 +36,18 @@ class Mic {
   double bank_efficiency(int banks_touched) const;
 
   /// Submits a transfer of @p bytes that starts no earlier than @p now,
-  /// pays @p overhead of fixed startup, and streams with
-  /// @p efficiency in (0,1]. @p elements transfer elements each charge
-  /// one DRAM burst-turnaround gap of port occupancy (64-bit: a
-  /// multi-GB request in quadword elements overflows int). Returns the
-  /// completion time.
+  /// pays @p overhead of fixed startup, and streams with transfer
+  /// efficiency @p efficiency in (0,1]. @p elements transfer elements
+  /// each charge one DRAM burst-turnaround gap of port occupancy
+  /// (64-bit: a multi-GB request in quadword elements overflows int).
+  /// @p banks_touched (1..memory_banks) applies the bank-interleaving
+  /// penalty on top of @p efficiency; <= 0 means the access streams
+  /// over all banks (no penalty -- the pre-counter behavior). @p
+  /// is_write selects the read vs write per-bank accounting (counters
+  /// only; timing is direction-blind). Returns the completion time.
   sim::Tick submit(sim::Tick now, double bytes, sim::Tick overhead,
-                   double efficiency, std::uint64_t elements = 1);
+                   double efficiency, std::uint64_t elements = 1,
+                   int banks_touched = 0, bool is_write = false);
 
   /// Logical payload bytes (the Section 6 "17.6 Gbytes" audit counts
   /// these, not the efficiency-inflated port occupancy).
@@ -45,15 +55,38 @@ class Mic {
   std::uint64_t requests() const noexcept { return port_.requests(); }
   sim::Tick busy_ticks() const noexcept { return port_.busy_ticks(); }
   double peak_rate() const noexcept { return port_.rate(); }
+
+  /// Port ticks lost to bank-interleaving inefficiency (the extra
+  /// occupancy of bytes/(eff*bank_eff) over bytes/eff). Observation
+  /// only.
+  sim::Tick bank_conflict_ticks() const noexcept { return conflict_; }
+
+  /// Publishes MIC counters (reads/writes per bank, bank-conflict
+  /// ticks, port busy/wait) into @p out. Snapshot only.
+  void publish_counters(sim::CounterSet& out) const;
+
   void reset() noexcept {
     port_.reset();
     logical_bytes_ = 0.0;
+    reads_ = 0;
+    writes_ = 0;
+    conflict_ = 0;
+    bank_cursor_ = 0;
+    bank_reads_.fill(0);
+    bank_writes_.fill(0);
   }
 
  private:
   CellSpec spec_;
   sim::BandwidthResource port_;
   double logical_bytes_ = 0.0;
+  // Counters (observation only).
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  sim::Tick conflict_ = 0;
+  int bank_cursor_ = 0;  ///< rotating start bank for element attribution
+  std::array<std::uint64_t, 32> bank_reads_{};
+  std::array<std::uint64_t, 32> bank_writes_{};
 };
 
 /// Element Interconnect Bus: aggregate bandwidth server. Every DMA
@@ -70,6 +103,15 @@ class Eib {
 
   double bytes_moved() const noexcept { return ring_.bytes_moved(); }
   sim::Tick busy_ticks() const noexcept { return ring_.busy_ticks(); }
+  std::uint64_t grants() const noexcept { return ring_.requests(); }
+  sim::Tick contention_stall_ticks() const noexcept {
+    return ring_.wait_ticks();
+  }
+
+  /// Publishes EIB counters (ring grants, bytes, contention stalls)
+  /// into @p out. Snapshot only.
+  void publish_counters(sim::CounterSet& out) const;
+
   void reset() noexcept { ring_.reset(); }
 
  private:

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "sim/counters.h"
+
 namespace cellsweep::cell {
 
 Mfc::Mfc(const CellSpec& spec, Eib* eib, Mic* mic, std::string name)
@@ -119,6 +121,10 @@ DmaCompletion Mfc::submit(sim::Tick now, const DmaRequest& req) {
   // Queue back-pressure: reuse the slot that frees earliest.
   auto slot = std::min_element(slots_.begin(), slots_.begin() + depth_);
   const sim::Tick start = std::max(issue_done, *slot);
+  if (start > issue_done) {
+    ++queue_full_commands_;
+    queue_full_ticks_ += start - issue_done;
+  }
 
   // Occupancy at entry: commands still outstanding when this one was
   // issued (observation only; feeds the stall-accounting histogram).
@@ -144,13 +150,14 @@ DmaCompletion Mfc::submit(sim::Tick now, const DmaRequest& req) {
     // no DRAM behavior.
     done = std::max(eib_->submit(start, payload), start + overhead);
   } else {
-    const double eff =
-        request_efficiency(req) * mic_->bank_efficiency(req.banks_touched);
-    // The payload crosses the EIB and drains into (or out of) the MIC;
-    // completion is bounded by the slower of the two shared resources.
+    // The payload crosses the EIB and drains into (or out of) the MIC,
+    // which applies the bank-interleaving penalty on top of the
+    // request's burst efficiency; completion is bounded by the slower
+    // of the two shared resources.
     const sim::Tick eib_done = eib_->submit(start, payload);
     const sim::Tick mic_done =
-        mic_->submit(start, payload, overhead, eff, elements);
+        mic_->submit(start, payload, overhead, request_efficiency(req),
+                     elements, req.banks_touched, req.dir == DmaDir::kPut);
     done = std::max(eib_done, mic_done);
   }
 
@@ -158,21 +165,45 @@ DmaCompletion Mfc::submit(sim::Tick now, const DmaRequest& req) {
   tag_done_[req.tag] = std::max(tag_done_[req.tag], done);
   // A list is one MFC command; a batch of individual transfers is one
   // command each.
-  commands_ += req.as_list ? 1 : static_cast<std::uint64_t>(elements);
+  const std::uint64_t n_cmds =
+      req.as_list ? 1 : static_cast<std::uint64_t>(elements);
+  commands_ += n_cmds;
   transfers_ += static_cast<std::uint64_t>(elements);
   bytes_ += payload;
+  (req.dir == DmaDir::kGet ? get_commands_ : put_commands_) += n_cmds;
+  if (req.as_list) ++list_commands_;
+  if (req.ls_to_ls) ls_to_ls_commands_ += n_cmds;
   return DmaCompletion{issue_done, done, start};
 }
 
 sim::Tick Mfc::wait_all(sim::Tick now) const {
   sim::Tick latest = now;
   for (int i = 0; i < depth_; ++i) latest = std::max(latest, slots_[i]);
+  ++tag_waits_;
+  tag_wait_ticks_ += latest - now;
   return latest;
 }
 
 sim::Tick Mfc::wait_tag(sim::Tick now, unsigned tag) const {
   if (tag >= kMfcTagGroups) throw DmaError("wait_tag: tag group must be 0..31");
-  return std::max(now, tag_done_[tag]);
+  const sim::Tick ready = std::max(now, tag_done_[tag]);
+  ++tag_waits_;
+  tag_wait_ticks_ += ready - now;
+  return ready;
+}
+
+void Mfc::publish_counters(sim::CounterSet& out) const {
+  out.set("commands", static_cast<double>(commands_));
+  out.set("get_commands", static_cast<double>(get_commands_));
+  out.set("put_commands", static_cast<double>(put_commands_));
+  out.set("list_commands", static_cast<double>(list_commands_));
+  out.set("ls_to_ls_commands", static_cast<double>(ls_to_ls_commands_));
+  out.set("transfers", static_cast<double>(transfers_));
+  out.set("bytes_requested", bytes_);
+  out.set("queue_full_commands", static_cast<double>(queue_full_commands_));
+  out.set("queue_full_ticks", static_cast<double>(queue_full_ticks_));
+  out.set("tag_waits", static_cast<double>(tag_waits_));
+  out.set("tag_wait_ticks", static_cast<double>(tag_wait_ticks_));
 }
 
 void Mfc::reset() noexcept {
@@ -182,6 +213,14 @@ void Mfc::reset() noexcept {
   transfers_ = 0;
   bytes_ = 0.0;
   occupancy_hist_.fill(0);
+  get_commands_ = 0;
+  put_commands_ = 0;
+  list_commands_ = 0;
+  ls_to_ls_commands_ = 0;
+  queue_full_commands_ = 0;
+  queue_full_ticks_ = 0;
+  tag_waits_ = 0;
+  tag_wait_ticks_ = 0;
 }
 
 }  // namespace cellsweep::cell

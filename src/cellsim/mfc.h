@@ -26,6 +26,10 @@
 #include "cellsim/spec.h"
 #include "sim/time.h"
 
+namespace cellsweep::sim {
+class CounterSet;
+}
+
 namespace cellsweep::cell {
 
 /// Thrown for commands that violate the CBEA DMA rules.
@@ -126,6 +130,11 @@ class Mfc {
   double bytes_requested() const noexcept { return bytes_; }
   const std::string& name() const noexcept { return name_; }
 
+  /// Publishes this MFC's counters (commands by type, bytes moved,
+  /// queue-full back-pressure, tag waits) into @p out. Snapshot only;
+  /// never feeds back into timing.
+  void publish_counters(sim::CounterSet& out) const;
+
   /// Queue occupancy histogram: occupancy_histogram()[k] counts
   /// commands that found k earlier commands still outstanding when they
   /// entered the queue (k ranges 0..depth-1; a full queue blocks until
@@ -152,6 +161,17 @@ class Mfc {
   std::uint64_t transfers_ = 0;
   double bytes_ = 0.0;
   std::array<std::uint64_t, 32> occupancy_hist_{};
+  // Command-mix and stall counters (observation only; the mutable ones
+  // are bumped from the const wait entry points, which never change
+  // timing state).
+  std::uint64_t get_commands_ = 0;
+  std::uint64_t put_commands_ = 0;
+  std::uint64_t list_commands_ = 0;
+  std::uint64_t ls_to_ls_commands_ = 0;
+  std::uint64_t queue_full_commands_ = 0;
+  sim::Tick queue_full_ticks_ = 0;
+  mutable std::uint64_t tag_waits_ = 0;
+  mutable sim::Tick tag_wait_ticks_ = 0;
 };
 
 }  // namespace cellsweep::cell

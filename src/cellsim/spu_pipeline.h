@@ -73,6 +73,54 @@ struct ScheduleResult {
   }
 };
 
+/// Accumulating pipeline statistics: the per-kernel ScheduleResult
+/// numbers folded over every kernel invocation of a run. The timing
+/// engine keeps one per SPE and publishes it into the counter tree, so
+/// the Section 5.1 quantities (instructions, dual-issue and stall
+/// cycles, flops) survive beyond the per-kernel cost-cache entry that
+/// used to discard them.
+struct PipelineStats {
+  std::uint64_t kernels = 0;  ///< kernel invocations folded in
+  std::uint64_t cycles = 0;
+  std::uint64_t issue_cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t dual_issues = 0;
+  std::uint64_t even_pipe_insts = 0;
+  std::uint64_t odd_pipe_insts = 0;
+  std::uint64_t dep_stall_cycles = 0;
+  std::uint64_t block_stall_cycles = 0;
+  std::uint64_t flops = 0;
+
+  PipelineStats& operator+=(const PipelineStats& o) {
+    kernels += o.kernels;
+    cycles += o.cycles;
+    issue_cycles += o.issue_cycles;
+    instructions += o.instructions;
+    dual_issues += o.dual_issues;
+    even_pipe_insts += o.even_pipe_insts;
+    odd_pipe_insts += o.odd_pipe_insts;
+    dep_stall_cycles += o.dep_stall_cycles;
+    block_stall_cycles += o.block_stall_cycles;
+    flops += o.flops;
+    return *this;
+  }
+
+  /// Folds one kernel's schedule into the accumulator.
+  PipelineStats& operator+=(const ScheduleResult& r) {
+    ++kernels;
+    cycles += r.cycles;
+    issue_cycles += r.issue_cycles;
+    instructions += r.instructions;
+    dual_issues += r.dual_issues;
+    even_pipe_insts += r.even_pipe_insts;
+    odd_pipe_insts += r.odd_pipe_insts;
+    dep_stall_cycles += r.dep_stall_cycles;
+    block_stall_cycles += r.block_stall_cycles;
+    flops += r.flops;
+    return *this;
+  }
+};
+
 /// The scheduler itself. Stateless apart from the timing table; safe to
 /// reuse across traces.
 class SpuPipeline {

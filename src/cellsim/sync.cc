@@ -1,5 +1,7 @@
 #include "cellsim/sync.h"
 
+#include "sim/counters.h"
+
 namespace cellsweep::cell {
 
 const char* sync_protocol_name(SyncProtocol p) {
@@ -60,6 +62,14 @@ sim::Tick DispatchFabric::report_done(sim::Tick now, SyncProtocol protocol) {
       return now + spec_.cycles(8);
   }
   return now;
+}
+
+void DispatchFabric::publish_counters(sim::CounterSet& out) const {
+  out.set("grants", static_cast<double>(grants_));
+  out.set("reports", static_cast<double>(reports_));
+  out.set("mailbox_requests", static_cast<double>(ppe_mailbox_.requests()));
+  out.set("ls_poke_requests", static_cast<double>(ppe_poke_.requests()));
+  out.set("atomic_requests", static_cast<double>(atomic_unit_.requests()));
 }
 
 void DispatchFabric::reset() noexcept {

@@ -27,6 +27,10 @@
 #include "sim/resource.h"
 #include "sim/time.h"
 
+namespace cellsweep::sim {
+class CounterSet;
+}
+
 namespace cellsweep::cell {
 
 /// Work-dispatch protocol selector (see file comment).
@@ -55,6 +59,10 @@ class DispatchFabric {
 
   std::uint64_t grants() const noexcept { return grants_; }
   std::uint64_t reports() const noexcept { return reports_; }
+
+  /// Publishes dispatch counters (grants, reports, per-server request
+  /// counts) into @p out. Snapshot only.
+  void publish_counters(sim::CounterSet& out) const;
 
   void reset() noexcept;
 

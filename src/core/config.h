@@ -14,6 +14,7 @@
 #include "sweep/sweeper.h"
 
 namespace cellsweep::sim {
+class TimeSlicedProfiler;
 class TraceSink;
 }
 
@@ -75,6 +76,14 @@ struct CellSweepConfig {
   /// dispatch -- into this sink. Pure observation: enabling it changes
   /// no simulated tick (pinned by a test).
   sim::TraceSink* trace_sink = nullptr;
+  /// Time-sliced profiler hook (non-owning, may be null): when set, the
+  /// engine routes its trace stream through this profiler (which
+  /// forwards to trace_sink, so both may be attached) and copies the
+  /// resulting utilization-over-time series into RunReport.timeseries.
+  /// Same contract as trace_sink: pure observation, bit-identical
+  /// timing with or without it (pinned by a test). One profiler serves
+  /// one run.
+  sim::TimeSlicedProfiler* profiler = nullptr;
   /// Protocol observability hook (non-owning, may be null): the timing
   /// engine narrates machine-model actions -- LS allocations, DMA
   /// submissions with region and tag group, tag waits, kernel buffer

@@ -261,6 +261,7 @@ const ChunkCost& KernelCostModel::chunk_cost(sweep::KernelKind kind,
   cost.flops = sched.flops;
   cost.instructions = sched.instructions;
   cost.dual_issues = sched.dual_issues;
+  cost.stats += sched;
   return cache_.emplace(key, cost).first->second;
 }
 

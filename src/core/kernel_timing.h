@@ -31,6 +31,10 @@ struct ChunkCost {
   std::uint64_t flops = 0;
   std::uint64_t instructions = 0;
   std::uint64_t dual_issues = 0;
+  /// The full pipeline schedule of one invocation, kept so the timing
+  /// engine can fold per-kernel stats into the per-SPE counter set
+  /// instead of discarding them (kernels == 1 per cache entry).
+  cell::PipelineStats stats;
 };
 
 /// Trace-driven chunk cost cache for one chip spec.

@@ -1,25 +1,25 @@
 #include "core/metrics.h"
 
 #include <cmath>
-#include <cstdio>
 #include <ostream>
 
 #include "core/orchestrator.h"
+#include "sim/counters.h"
 #include "util/stats.h"
+#include "util/units.h"
 
 namespace cellsweep::core {
 namespace {
 
 /// JSON has no NaN/Infinity literals; the empty-stats contract (all
-/// moments NaN) and any degenerate ratio serialize as null.
+/// moments NaN) and any degenerate ratio serialize as null. %.17g
+/// round-trips doubles exactly, so identical runs emit identical bytes.
 void num(std::ostream& os, double v) {
   if (!std::isfinite(v)) {
     os << "null";
     return;
   }
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.12g", v);
-  os << buf;
+  os << util::cformat("%.17g", v);
 }
 
 void stats_object(std::ostream& os, const util::RunningStats& s) {
@@ -36,8 +36,53 @@ void stats_object(std::ostream& os, const util::RunningStats& s) {
 
 }  // namespace
 
+void write_counters_json(std::ostream& os, const sim::CounterSet& c,
+                         int indent) {
+  const std::string pad(static_cast<std::size_t>(indent < 0 ? 0 : indent),
+                        ' ');
+  os << "{\"name\": \"" << c.name() << "\",\n" << pad << " \"values\": {";
+  const auto& vals = c.values();
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    os << (i ? ", " : "") << "\"" << vals[i].first << "\": ";
+    num(os, vals[i].second);
+  }
+  os << "}";
+  const auto& kids = c.children();
+  if (!kids.empty()) {
+    os << ",\n" << pad << " \"children\": [\n";
+    for (std::size_t i = 0; i < kids.size(); ++i) {
+      os << pad << "  ";
+      write_counters_json(os, kids[i], indent + 2);
+      os << (i + 1 < kids.size() ? ",\n" : "\n");
+    }
+    os << pad << " ]";
+  }
+  os << "}";
+}
+
+void write_timeseries_json(std::ostream& os, const sim::Profile& p,
+                           int indent) {
+  const std::string pad(static_cast<std::size_t>(indent < 0 ? 0 : indent),
+                        ' ');
+  os << "{\"window_ticks\": " << p.window_ticks
+     << ", \"end_ticks\": " << p.end_ticks << ",\n"
+     << pad << " \"series\": [";
+  for (std::size_t i = 0; i < p.series.size(); ++i) {
+    const sim::ProfileSeries& s = p.series[i];
+    os << (i ? ",\n" : "\n") << pad << "  {\"track\": \"" << s.track
+       << "\", \"category\": \"" << s.category << "\", \"busy_ticks\": [";
+    for (std::size_t k = 0; k < s.busy_ticks.size(); ++k) {
+      os << (k ? ", " : "");
+      num(os, s.busy_ticks[k]);
+    }
+    os << "]}";
+  }
+  if (!p.series.empty()) os << "\n" << pad << " ";
+  os << "]}";
+}
+
 void write_metrics_json(std::ostream& os, const RunReport& r) {
-  os << "{\n  \"seconds\": ";
+  os << "{\n  \"schema\": \"" << kMetricsSchema << "\",\n  \"seconds\": ";
   num(os, r.seconds);
   os << ",\n  \"grind_seconds\": ";
   num(os, r.grind_seconds);
@@ -90,7 +135,19 @@ void write_metrics_json(std::ostream& os, const RunReport& r) {
   stats_object(os, sync);
   os << ", \"idle_s\": ";
   stats_object(os, idle);
-  os << "}\n}\n";
+  os << "},\n  \"counters\": ";
+  if (r.counters.empty()) {
+    os << "null";
+  } else {
+    write_counters_json(os, r.counters, 2);
+  }
+  os << ",\n  \"timeseries\": ";
+  if (r.timeseries.window_ticks == 0 || r.timeseries.empty()) {
+    os << "null";
+  } else {
+    write_timeseries_json(os, r.timeseries, 2);
+  }
+  os << "\n}\n";
 }
 
 }  // namespace cellsweep::core

@@ -1,21 +1,44 @@
 // Machine-readable run metrics.
 //
 // Serializes a RunReport -- top-line timing, the Section 6 bounds, DMA
-// counters, the MFC queue-occupancy histogram and the per-SPE stall
-// breakdown (busy / DMA-wait / sync-wait / idle) -- as a single JSON
+// counters, the MFC queue-occupancy histogram, the per-SPE stall
+// breakdown (busy / DMA-wait / sync-wait / idle), the hardware counter
+// tree and the time-sliced utilization profile -- as a single JSON
 // object, so runs can be diffed, plotted and regression-tracked without
-// scraping the human-readable tables. Non-finite values (the empty
-// RunningStats contract returns NaN for all moments) serialize as JSON
-// null.
+// scraping the human-readable tables. The top-level "schema" key
+// ("cellsweep-metrics-v2") versions the layout. Non-finite values (the
+// empty RunningStats contract returns NaN for all moments) serialize as
+// JSON null. All numeric formatting is locale-independent
+// (util::cformat), so output is byte-stable across environments.
 #pragma once
 
 #include <iosfwd>
+
+namespace cellsweep::sim {
+class CounterSet;
+struct Profile;
+}
 
 namespace cellsweep::core {
 
 struct RunReport;
 
+/// The metrics JSON layout version emitted by write_metrics_json.
+inline constexpr const char* kMetricsSchema = "cellsweep-metrics-v2";
+
 /// Writes @p r as one JSON object to @p os.
 void write_metrics_json(std::ostream& os, const RunReport& r);
+
+/// Writes @p c as {"name": ..., "values": {...}, "children": [...]}
+/// (children only when present). @p indent is the column the object
+/// starts at; continuation lines indent relative to it. Shared with the
+/// bench harness's BENCH_*.json emitter.
+void write_counters_json(std::ostream& os, const sim::CounterSet& c,
+                         int indent = 0);
+
+/// Writes @p p as {"window_ticks": ..., "end_ticks": ...,
+/// "series": [{"track", "category", "busy_ticks": [...]}, ...]}.
+void write_timeseries_json(std::ostream& os, const sim::Profile& p,
+                           int indent = 0);
 
 }  // namespace cellsweep::core

@@ -17,6 +17,21 @@ std::size_t real_bytes_of(Precision p) {
   return p == Precision::kDouble ? 8 : 4;
 }
 
+/// Publishes one SPE's folded pipeline schedules (the Section 5.1
+/// counters) into @p out.
+void publish_pipeline(const cell::PipelineStats& p, sim::CounterSet& out) {
+  out.set("kernels", static_cast<double>(p.kernels));
+  out.set("cycles", static_cast<double>(p.cycles));
+  out.set("issue_cycles", static_cast<double>(p.issue_cycles));
+  out.set("instructions", static_cast<double>(p.instructions));
+  out.set("dual_issues", static_cast<double>(p.dual_issues));
+  out.set("even_pipe_insts", static_cast<double>(p.even_pipe_insts));
+  out.set("odd_pipe_insts", static_cast<double>(p.odd_pipe_insts));
+  out.set("dep_stall_cycles", static_cast<double>(p.dep_stall_cycles));
+  out.set("block_stall_cycles", static_cast<double>(p.block_stall_cycles));
+  out.set("flops", static_cast<double>(p.flops));
+}
+
 }  // namespace
 
 TimingEngine::TimingEngine(const CellSweepConfig& cfg,
@@ -28,6 +43,14 @@ TimingEngine::TimingEngine(const CellSweepConfig& cfg,
       kernels_(cfg.chip),
       spes_(cfg.chip.num_spes),
       sink_(cfg.trace_sink) {
+  // A time-sliced profiler interposes on the trace stream: the engine
+  // emits into the profiler, which samples utilization windows and
+  // forwards every event to the plain sink (so both can be attached).
+  // Pure observation either way -- no simulated tick reads the sink.
+  if (cfg_.profiler) {
+    cfg_.profiler->forward_to(cfg.trace_sink);
+    sink_ = cfg_.profiler;
+  }
   if (sink_) {
     ppe_track_ = sink_->track("PPE");
     spe_tracks_.reserve(spes_.size());
@@ -377,6 +400,7 @@ void TimingEngine::on_diagonal(const sweep::DiagonalWork& w) {
 
       flops_ += cost.flops;
       total_compute_cycles_ += cost.cycles;
+      spe.pipe += cost.stats;
       cell_solves_ += static_cast<std::uint64_t>(c.nlines) * w.it;
       ++chunks_;
       machine_.spe(c.spe).count_work_item();
@@ -486,6 +510,48 @@ RunReport TimingEngine::finish() {
                         static_cast<double>(end);
     r.eib_utilization = static_cast<double>(machine_.eib().busy_ticks()) /
                         static_cast<double>(end);
+  }
+
+  // Counter tree: per-SPE engine buckets (which exactly partition `end`
+  // per SPE -- tick arithmetic below 2^53 is exact in doubles), the
+  // SPU-pipeline and MFC counters under each "spe<N>", a "spe_total"
+  // hierarchical aggregate, and the chip-shared units.
+  r.counters = sim::CounterSet("machine");
+  r.counters.set("run_ticks", static_cast<double>(end));
+  r.counters.set("chunks", static_cast<double>(chunks_));
+  r.counters.set("cell_solves", static_cast<double>(cell_solves_));
+  r.counters.set("flops", static_cast<double>(flops_));
+  sim::CounterSet spe_total("spe_total");
+  std::vector<sim::CounterSet> spe_sets;
+  spe_sets.reserve(static_cast<std::size_t>(machine_.num_spes()));
+  for (int s = 0; s < machine_.num_spes(); ++s) {
+    sim::CounterSet cs("spe" + std::to_string(s));
+    const sim::Tick spe_busy = machine_.spe(s).busy_ticks();
+    const sim::Tick accounted =
+        spe_busy + spes_[s].dma_wait + spes_[s].sync_wait;
+    cs.set("busy_ticks", static_cast<double>(spe_busy));
+    cs.set("dma_wait_ticks", static_cast<double>(spes_[s].dma_wait));
+    cs.set("sync_wait_ticks", static_cast<double>(spes_[s].sync_wait));
+    cs.set("idle_ticks",
+           accounted < end ? static_cast<double>(end - accounted) : 0.0);
+    cs.set("work_items", static_cast<double>(machine_.spe(s).work_items()));
+    publish_pipeline(spes_[s].pipe, cs.child("pipeline"));
+    machine_.spe(s).mfc().publish_counters(cs.child("mfc"));
+    spe_total.merge(cs);
+    spe_sets.push_back(std::move(cs));
+  }
+  r.counters.add_child(std::move(spe_total));
+  for (sim::CounterSet& cs : spe_sets) r.counters.add_child(std::move(cs));
+  machine_.mic().publish_counters(r.counters.child("mic"));
+  machine_.eib().publish_counters(r.counters.child("eib"));
+  machine_.dispatch().publish_counters(r.counters.child("dispatch"));
+
+  // Time-sliced profile: snapshot the windowed series, and replay them
+  // into the downstream trace as Chrome counter events so the
+  // utilization-over-time curves render beside the spans.
+  if (cfg_.profiler) {
+    r.timeseries = cfg_.profiler->profile();
+    if (cfg_.trace_sink) cfg_.profiler->emit_counter_events(*cfg_.trace_sink);
   }
 
   const cell::CellSpec& spec = machine_.spec();

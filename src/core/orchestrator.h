@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "cellsim/cell_processor.h"
+#include "sim/counters.h"
 #include "sim/trace.h"
 #include "core/config.h"
 #include "core/kernel_timing.h"
@@ -82,6 +83,16 @@ struct RunReport {
   std::vector<std::uint64_t> mfc_queue_occupancy;
   double mic_utilization = 0;   ///< MIC port busy fraction of the run
   double eib_utilization = 0;   ///< EIB busy fraction of the run
+  // --- performance counters (SPE stages only; empty for PPE runs) ------
+  /// The machine's counter tree: per-SPE engine buckets (busy /
+  /// dma_wait / sync_wait / idle ticks -- they exactly partition
+  /// run_ticks per SPE), SPU-pipeline and MFC counters under "spe<N>",
+  /// a "spe_total" hierarchical aggregate, and the shared MIC / EIB /
+  /// dispatch units.
+  sim::CounterSet counters;
+  /// Utilization-over-time series (empty unless a
+  /// sim::TimeSlicedProfiler was attached via CellSweepConfig).
+  sim::Profile timeseries;
   // --- functional results (kFunctional only) ---------------------------
   std::optional<sweep::SolveResult> solve;
   double absorption = 0;
@@ -134,6 +145,9 @@ class TimingEngine {
     sim::Tick busy = 0;
     sim::Tick dma_wait = 0;
     sim::Tick sync_wait = 0;
+    /// Per-kernel pipeline schedules folded over the run (the Section
+    /// 5.1 counters, published into the "spe<N>/pipeline" counter set).
+    cell::PipelineStats pipe;
   };
 
   void iteration_boundary();

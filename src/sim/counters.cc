@@ -1,0 +1,182 @@
+#include "sim/counters.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cellsweep::sim {
+
+void CounterSet::set(std::string_view counter, double value) {
+  for (auto& [name, v] : values_) {
+    if (name == counter) {
+      v = value;
+      return;
+    }
+  }
+  values_.emplace_back(std::string(counter), value);
+}
+
+void CounterSet::add(std::string_view counter, double delta) {
+  for (auto& [name, v] : values_) {
+    if (name == counter) {
+      v += delta;
+      return;
+    }
+  }
+  values_.emplace_back(std::string(counter), delta);
+}
+
+double CounterSet::value(std::string_view counter) const {
+  for (const auto& [name, v] : values_)
+    if (name == counter) return v;
+  return 0.0;
+}
+
+bool CounterSet::has(std::string_view counter) const {
+  for (const auto& [name, v] : values_)
+    if (name == counter) return true;
+  return false;
+}
+
+CounterSet& CounterSet::child(std::string_view child) {
+  for (CounterSet& c : children_)
+    if (c.name_ == child) return c;
+  children_.emplace_back(CounterSet(std::string(child)));
+  return children_.back();
+}
+
+const CounterSet* CounterSet::find_child(std::string_view child) const {
+  for (const CounterSet& c : children_)
+    if (c.name_ == child) return &c;
+  return nullptr;
+}
+
+CounterSet& CounterSet::add_child(CounterSet set) {
+  children_.push_back(std::move(set));
+  return children_.back();
+}
+
+void CounterSet::merge(const CounterSet& other) {
+  for (const auto& [name, v] : other.values_) add(name, v);
+  for (const CounterSet& c : other.children_) child(c.name_).merge(c);
+}
+
+TimeSlicedProfiler::TimeSlicedProfiler(std::size_t max_windows,
+                                       Tick initial_window)
+    : max_windows_(max_windows), window_(initial_window) {
+  if (max_windows_ < 2)
+    throw std::invalid_argument("TimeSlicedProfiler: need >= 2 windows");
+  if (window_ < 1)
+    throw std::invalid_argument("TimeSlicedProfiler: window must be >= 1 tick");
+}
+
+void TimeSlicedProfiler::forward_to(TraceSink* downstream) {
+  downstream_ = downstream;
+  downstream_tracks_.clear();
+  for (const std::string& name : tracks_)
+    downstream_tracks_.push_back(downstream_ ? downstream_->track(name) : 0);
+}
+
+int TimeSlicedProfiler::track(const std::string& name) {
+  for (std::size_t i = 0; i < tracks_.size(); ++i)
+    if (tracks_[i] == name) return static_cast<int>(i);
+  tracks_.push_back(name);
+  downstream_tracks_.push_back(downstream_ ? downstream_->track(name) : 0);
+  return static_cast<int>(tracks_.size() - 1);
+}
+
+void TimeSlicedProfiler::fold() {
+  for (Series& s : series_) {
+    const std::size_t n = s.bins.size();
+    for (std::size_t i = 0; i < (n + 1) / 2; ++i) {
+      const double hi = 2 * i + 1 < n ? s.bins[2 * i + 1] : 0.0;
+      s.bins[i] = s.bins[2 * i] + hi;
+    }
+    s.bins.resize((n + 1) / 2);
+  }
+  window_ *= 2;
+}
+
+TimeSlicedProfiler::Series& TimeSlicedProfiler::series_for(
+    int track, const char* category) {
+  for (Series& s : series_)
+    if (s.track == track && s.category == category) return s;
+  series_.push_back(Series{track, category, {}});
+  return series_.back();
+}
+
+void TimeSlicedProfiler::span(int track, const char* name,
+                              const char* category, Tick start, Tick end) {
+  if (downstream_)
+    downstream_->span(downstream_tracks_[static_cast<std::size_t>(track)],
+                      name, category, start, end);
+  if (end <= start) return;
+  end_ = std::max(end_, end);
+  // Keep the whole span inside the window budget before distributing,
+  // so a single distribution never touches more than max_windows bins.
+  while (end > window_ * static_cast<Tick>(max_windows_)) fold();
+
+  Series& s = series_for(track, category);
+  const std::size_t first = static_cast<std::size_t>(start / window_);
+  const std::size_t last = static_cast<std::size_t>((end - 1) / window_);
+  if (s.bins.size() <= last) s.bins.resize(last + 1, 0.0);
+  for (std::size_t w = first; w <= last; ++w) {
+    const Tick w_start = static_cast<Tick>(w) * window_;
+    const Tick w_end = w_start + window_;
+    const Tick overlap = std::min(end, w_end) - std::max(start, w_start);
+    s.bins[w] += static_cast<double>(overlap);
+  }
+}
+
+void TimeSlicedProfiler::instant(int track, const char* name,
+                                 const char* category, Tick at) {
+  end_ = std::max(end_, at);
+  if (downstream_)
+    downstream_->instant(downstream_tracks_[static_cast<std::size_t>(track)],
+                         name, category, at);
+}
+
+void TimeSlicedProfiler::counter(int track, const char* name, Tick at,
+                                 double value) {
+  end_ = std::max(end_, at);
+  if (downstream_)
+    downstream_->counter(downstream_tracks_[static_cast<std::size_t>(track)],
+                         name, at, value);
+}
+
+Profile TimeSlicedProfiler::profile() const {
+  Profile p;
+  p.window_ticks = window_;
+  p.end_ticks = end_;
+  const std::size_t used = p.window_count();
+  p.series.reserve(series_.size());
+  for (const Series& s : series_) {
+    ProfileSeries out;
+    out.track = tracks_[static_cast<std::size_t>(s.track)];
+    out.category = s.category;
+    out.busy_ticks = s.bins;
+    out.busy_ticks.resize(used, 0.0);
+    p.series.push_back(std::move(out));
+  }
+  return p;
+}
+
+void TimeSlicedProfiler::emit_counter_events(TraceSink& out) const {
+  const Profile p = profile();
+  const double width = static_cast<double>(p.window_ticks);
+  for (const ProfileSeries& s : p.series) {
+    const int t = out.track(s.track);
+    // The counter name must outlive the sink; category strings are the
+    // engine's string literals, so hand those straight through.
+    const char* name = nullptr;
+    for (const Series& raw : series_)
+      if (tracks_[static_cast<std::size_t>(raw.track)] == s.track &&
+          raw.category == s.category)
+        name = raw.category.c_str();
+    if (!name) continue;
+    for (std::size_t w = 0; w < s.busy_ticks.size(); ++w)
+      out.counter(t, name, static_cast<Tick>(w) * p.window_ticks,
+                  100.0 * s.busy_ticks[w] / width);
+  }
+}
+
+}  // namespace cellsweep::sim

@@ -1,0 +1,171 @@
+// Simulated hardware performance counters.
+//
+// The paper's argument is counter-shaped: dual-issue rates explain the
+// 64%-of-peak kernel, DMA-vs-compute decompositions explain the Fig. 5
+// ladder, bank behavior explains the allocation offsets. CounterSet is
+// the registry those numbers live in: a named tree of (counter, value)
+// pairs that every machine unit publishes into after a run -- per-SPE
+// SPU-pipeline and MFC counters under "spe<N>", chip-shared MIC / EIB /
+// dispatch counters at the machine level, and a hierarchical
+// "spe_total" aggregate merged from the per-SPE sets.
+//
+// TimeSlicedProfiler adds the time dimension: it is a TraceSink that
+// bins the duration of every span the timing engine emits into
+// fixed-width windows of simulated time, per (track, category) -- a
+// utilization-over-time series that shows the wavefront ramp-up and
+// drain which whole-run averages hide. Both are observation only: they
+// consume the event stream and unit statistics, and no simulated tick
+// ever depends on them (a test pins bit-identical timing with the
+// profiler attached).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+#include "sim/trace.h"
+
+namespace cellsweep::sim {
+
+/// A named set of counters with named child sets. Counters are stored
+/// in insertion order, so serializations are deterministic; values are
+/// doubles (tick and event counts stay exact below 2^53).
+class CounterSet {
+ public:
+  CounterSet() = default;
+  explicit CounterSet(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Sets @p counter to @p value, creating it if absent.
+  void set(std::string_view counter, double value);
+
+  /// Adds @p delta to @p counter, creating it at zero if absent.
+  void add(std::string_view counter, double delta);
+
+  /// Value of @p counter; 0 if absent.
+  double value(std::string_view counter) const;
+
+  bool has(std::string_view counter) const;
+
+  /// Counters in insertion order.
+  const std::vector<std::pair<std::string, double>>& values() const noexcept {
+    return values_;
+  }
+
+  /// Child set named @p child, created (in insertion order) if absent.
+  CounterSet& child(std::string_view child);
+
+  /// Child set named @p child, or null if absent.
+  const CounterSet* find_child(std::string_view child) const;
+
+  const std::vector<CounterSet>& children() const noexcept {
+    return children_;
+  }
+
+  /// Appends @p set as a child (after any existing children).
+  CounterSet& add_child(CounterSet set);
+
+  /// Recursively adds every counter of @p other into this set, creating
+  /// counters and children as needed. The per-SPE -> machine
+  /// aggregation: merge each "spe<N>" set into one "spe_total".
+  void merge(const CounterSet& other);
+
+  /// True when the set holds no counters and no children.
+  bool empty() const noexcept { return values_.empty() && children_.empty(); }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> values_;
+  std::vector<CounterSet> children_;
+};
+
+/// One utilization-over-time series: busy ticks per window for one
+/// (track, category) pair, e.g. ("SPE3", "compute").
+struct ProfileSeries {
+  std::string track;
+  std::string category;
+  std::vector<double> busy_ticks;  ///< one entry per window
+};
+
+/// A complete time-sliced profile: series share one window width and
+/// cover [0, end).
+struct Profile {
+  Tick window_ticks = 0;  ///< width of one window (0: no profile taken)
+  Tick end_ticks = 0;     ///< latest simulated time observed
+  std::vector<ProfileSeries> series;
+
+  std::size_t window_count() const noexcept {
+    return window_ticks == 0
+               ? 0
+               : static_cast<std::size_t>((end_ticks + window_ticks - 1) /
+                                          window_ticks);
+  }
+  bool empty() const noexcept { return series.empty(); }
+};
+
+/// TraceSink that accumulates span durations into fixed simulated-time
+/// windows per (track, category). The run length is unknown up front,
+/// so the profiler starts from a small window and doubles it (merging
+/// adjacent window pairs -- totals are preserved exactly) whenever the
+/// stream outgrows max_windows; the final profile has at most
+/// max_windows windows and at least half that many. Deterministic: the
+/// binning depends only on the event stream.
+///
+/// Optionally forwards every event to a downstream sink, so one run can
+/// feed both the profiler and a ChromeTraceWriter.
+class TimeSlicedProfiler : public TraceSink {
+ public:
+  explicit TimeSlicedProfiler(std::size_t max_windows = 128,
+                              Tick initial_window = kTicksPerSecond /
+                                                    1000000000);
+
+  /// Forwards all events to @p downstream as well (null: no forward).
+  void forward_to(TraceSink* downstream);
+
+  // TraceSink interface -------------------------------------------------
+  int track(const std::string& name) override;
+  void span(int track, const char* name, const char* category, Tick start,
+            Tick end) override;
+  void instant(int track, const char* name, const char* category,
+               Tick at) override;
+  void counter(int track, const char* name, Tick at, double value) override;
+
+  // Results -------------------------------------------------------------
+  Tick window_ticks() const noexcept { return window_; }
+  Tick end_ticks() const noexcept { return end_; }
+  std::size_t max_windows() const noexcept { return max_windows_; }
+
+  /// Snapshot of the binned series, trimmed to the windows actually
+  /// covered by events.
+  Profile profile() const;
+
+  /// Replays the profile into @p out as Chrome "ph":"C" counter events
+  /// on this profiler's tracks: one sample per window boundary, value =
+  /// busy fraction of the window in percent. Call after the run.
+  void emit_counter_events(TraceSink& out) const;
+
+ private:
+  struct Series {
+    int track = 0;
+    std::string category;
+    std::vector<double> bins;  ///< busy ticks per window
+  };
+
+  /// Doubles the window width, merging adjacent bin pairs.
+  void fold();
+  Series& series_for(int track, const char* category);
+
+  std::size_t max_windows_;
+  Tick window_;
+  Tick end_ = 0;
+  std::vector<std::string> tracks_;
+  std::vector<Series> series_;
+  TraceSink* downstream_ = nullptr;
+  std::vector<int> downstream_tracks_;  ///< my track id -> downstream id
+};
+
+}  // namespace cellsweep::sim

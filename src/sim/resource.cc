@@ -19,6 +19,7 @@ Tick BandwidthResource::submit(Tick now, double bytes, Tick overhead) {
   const Tick service = overhead + ticks_for_bytes(bytes, rate_);
   free_at_ = start + service;
   busy_ += service;
+  wait_ += start - now;
   bytes_ += bytes;
   ++requests_;
   return free_at_;
@@ -27,6 +28,7 @@ Tick BandwidthResource::submit(Tick now, double bytes, Tick overhead) {
 void BandwidthResource::reset() noexcept {
   free_at_ = 0;
   busy_ = 0;
+  wait_ = 0;
   bytes_ = 0.0;
   requests_ = 0;
 }

@@ -39,6 +39,10 @@ class BandwidthResource {
   /// Total busy ticks accumulated across all requests.
   Tick busy_ticks() const noexcept { return busy_; }
 
+  /// Total ticks requests spent waiting for the link to free up before
+  /// their service started (FIFO contention). Observation only.
+  Tick wait_ticks() const noexcept { return wait_; }
+
   /// Total payload bytes moved.
   double bytes_moved() const noexcept { return bytes_; }
 
@@ -61,6 +65,7 @@ class BandwidthResource {
   double rate_;
   Tick free_at_ = 0;
   Tick busy_ = 0;
+  Tick wait_ = 0;
   double bytes_ = 0.0;
   std::uint64_t requests_ = 0;
 };

@@ -1,5 +1,6 @@
 #include "util/units.h"
 
+#include <clocale>
 #include <cmath>
 #include <cstdio>
 
@@ -7,46 +8,56 @@ namespace cellsweep::util {
 namespace {
 
 std::string printf_str(const char* fmt, double v, const char* unit) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, fmt, v, unit);
-  return buf;
+  return cformat(fmt, v) + " " + unit;
 }
 
 }  // namespace
 
+std::string cformat(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, fmt, v);
+  std::string s = buf;
+  // snprintf honors LC_NUMERIC; undo a non-"." decimal separator (which
+  // may be multi-byte, e.g. U+066B) so output is locale-independent.
+  const char* dp = std::localeconv()->decimal_point;
+  if (dp != nullptr && dp[0] != '\0' && !(dp[0] == '.' && dp[1] == '\0')) {
+    const std::string sep(dp);
+    for (std::size_t pos = s.find(sep); pos != std::string::npos;
+         pos = s.find(sep, pos + 1))
+      s.replace(pos, sep.size(), ".");
+  }
+  return s;
+}
+
 std::string format_seconds(double seconds) {
   const double abs = std::fabs(seconds);
-  if (abs >= 1.0) return printf_str("%.3g %s", seconds, "s");
-  if (abs >= 1e-3) return printf_str("%.3g %s", seconds * 1e3, "ms");
-  if (abs >= 1e-6) return printf_str("%.3g %s", seconds * 1e6, "us");
-  return printf_str("%.3g %s", seconds * 1e9, "ns");
+  if (abs >= 1.0) return printf_str("%.3g", seconds, "s");
+  if (abs >= 1e-3) return printf_str("%.3g", seconds * 1e3, "ms");
+  if (abs >= 1e-6) return printf_str("%.3g", seconds * 1e6, "us");
+  return printf_str("%.3g", seconds * 1e9, "ns");
 }
 
 std::string format_bytes(double bytes) {
   const double abs = std::fabs(bytes);
-  if (abs >= 1e9) return printf_str("%.3g %s", bytes / 1e9, "GB");
-  if (abs >= 1e6) return printf_str("%.3g %s", bytes / 1e6, "MB");
-  if (abs >= 1e3) return printf_str("%.3g %s", bytes / 1e3, "KB");
-  return printf_str("%.3g %s", bytes, "B");
+  if (abs >= 1e9) return printf_str("%.3g", bytes / 1e9, "GB");
+  if (abs >= 1e6) return printf_str("%.3g", bytes / 1e6, "MB");
+  if (abs >= 1e3) return printf_str("%.3g", bytes / 1e3, "KB");
+  return printf_str("%.3g", bytes, "B");
 }
 
 std::string format_flops(double flops_per_second) {
   const double abs = std::fabs(flops_per_second);
-  if (abs >= 1e9) return printf_str("%.3g %s", flops_per_second / 1e9, "Gflops/s");
-  if (abs >= 1e6) return printf_str("%.3g %s", flops_per_second / 1e6, "Mflops/s");
-  return printf_str("%.3g %s", flops_per_second, "flops/s");
+  if (abs >= 1e9) return printf_str("%.3g", flops_per_second / 1e9, "Gflops/s");
+  if (abs >= 1e6) return printf_str("%.3g", flops_per_second / 1e6, "Mflops/s");
+  return printf_str("%.3g", flops_per_second, "flops/s");
 }
 
 std::string format_speedup(double ratio) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.2fx", ratio);
-  return buf;
+  return cformat("%.2f", ratio) + "x";
 }
 
 std::string format_percent(double fraction) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.1f%%", fraction * 100.0);
-  return buf;
+  return cformat("%.1f", fraction * 100.0) + "%";
 }
 
 }  // namespace cellsweep::util

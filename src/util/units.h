@@ -17,6 +17,14 @@ inline constexpr std::uint64_t kKiB = 1024ULL;
 inline constexpr std::uint64_t kMiB = 1024ULL * kKiB;
 inline constexpr std::uint64_t kGiB = 1024ULL * kMiB;
 
+/// snprintf with "C"-locale numeric semantics: formats @p v with @p fmt
+/// (exactly one %-conversion, consuming v) and normalizes any
+/// locale-specific decimal separator back to '.'. Everything that emits
+/// machine-readable numbers (metrics JSON, BENCH_*.json, the bench
+/// tables) routes through this so output is byte-stable no matter what
+/// LC_NUMERIC the environment set.
+std::string cformat(const char* fmt, double v);
+
 /// Formats seconds with an adaptive unit ("1.33 s", "590 ns", ...).
 std::string format_seconds(double seconds);
 
