@@ -86,6 +86,12 @@ int main(int argc, char** argv) {
                "counter summary; --counters=N sets the profile window "
                "count (default 96). Counters and the utilization "
                "timeseries also land in --metrics and --trace output");
+  cli.add_flag("faults", "",
+               "seeded fault injection, e.g. "
+               "--faults=seed=42,dma=0.001,spe=7:down (keys: seed, dma, "
+               "timeout, drop, throttle, retries, spe). The run degrades "
+               "gracefully and reports the cost; same seed => identical "
+               "schedule");
   if (!cli.parse(argc, argv)) {
     std::cerr << cli.error() << "\n" << cli.usage(argv[0]);
     return 1;
@@ -125,12 +131,13 @@ int main(int argc, char** argv) {
             << deck.sn_order << ", " << deck.nm_cap << " moments, MK="
             << deck.sweep.mk << " MMI=" << deck.sweep.mmi << "\n";
 
-  std::string trace_path, metrics_path, counters_arg;
+  std::string trace_path, metrics_path, counters_arg, faults_arg;
   try {
     deck.sweep.threads = static_cast<int>(cli.get_int("threads"));
     trace_path = cli.get_string("trace");
     metrics_path = cli.get_string("metrics");
     counters_arg = cli.get_string("counters");
+    faults_arg = cli.get_string("faults");
   } catch (const util::CliError& e) {
     std::cerr << "deck_runner: " << e.what() << "\n" << cli.usage(argv[0]);
     return 1;
@@ -179,6 +186,14 @@ int main(int argc, char** argv) {
   cfg.sweep.epsilon = 0.0;  // the timing model replays a fixed count
   if (!trace_path.empty()) cfg.trace_sink = &writer;
   if (profile_windows != 0) cfg.profiler = &profiler;
+  if (!faults_arg.empty()) {
+    try {
+      cfg.faults = sim::parse_fault_spec(faults_arg);
+    } catch (const sim::FaultSpecError& e) {
+      std::cerr << "deck_runner: --faults: " << e.what() << "\n";
+      return 1;
+    }
+  }
 
   // --check: lint the deck, then observe the run with the hazard
   // checker; any finding is a hard error.
@@ -194,7 +209,14 @@ int main(int argc, char** argv) {
   }
 
   core::CellSweep3D runner(deck.problem, cfg, deck.sn_order, 2, deck.nm_cap);
-  const core::RunReport rep = runner.run(core::RunMode::kTraceDriven);
+  const core::RunReport rep = [&] {
+    try {
+      return runner.run(core::RunMode::kTraceDriven);
+    } catch (const sim::FaultError& e) {
+      std::cerr << "deck_runner: " << e.what() << "\n";
+      std::exit(1);
+    }
+  }();
   if (check) {
     for (const analysis::Diagnostic& d : diags.entries())
       std::cerr << deck.source << ": " << d.to_string() << "\n";
@@ -229,6 +251,18 @@ int main(int argc, char** argv) {
     std::cout << "MIC utilization " << util::format_percent(rep.mic_utilization)
               << ", EIB utilization "
               << util::format_percent(rep.eib_utilization) << "\n";
+  }
+
+  // --faults: what the injector actually did to this run.
+  if (rep.faults.enabled) {
+    std::cout << "Faults: " << rep.faults.spes_disabled
+              << " SPE(s) disabled, " << rep.faults.spes_failed
+              << " failed mid-sweep, " << rep.faults.redispatched_chunks
+              << " chunk(s) re-dispatched; " << rep.faults.dma_retries
+              << " DMA retries, " << rep.faults.tag_timeouts
+              << " tag timeouts, " << rep.faults.dropped_messages
+              << " dropped messages, " << rep.faults.mic_throttled
+              << " throttled MIC requests\n";
   }
 
   // --counters: the aggregate hardware-counter summary plus the profile

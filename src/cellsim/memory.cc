@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "sim/counters.h"
+#include "sim/fault.h"
 
 namespace cellsweep::cell {
 
@@ -35,7 +36,7 @@ sim::Tick Mic::submit(sim::Tick now, double bytes, sim::Tick overhead,
   // banks_touched <= 0 means "streams over all banks": no penalty, the
   // exact behavior all pre-counter call sites had.
   const int banks = banks_touched < 1 ? spec_.memory_banks : banks_touched;
-  const double eff = efficiency * bank_efficiency(banks);
+  double eff = efficiency * bank_efficiency(banks);
   // Reduced efficiency means the payload occupies the port longer, as
   // if it carried bytes/efficiency of traffic, and each element pays
   // one burst-turnaround gap; the logical byte count is still recorded
@@ -61,7 +62,21 @@ sim::Tick Mic::submit(sim::Tick now, double bytes, sim::Tick overhead,
     conflict_ += sim::ticks_for_bytes(bytes / eff - bytes / efficiency,
                                       port_.rate());
 
-  return port_.submit(now, inflated, overhead);
+  // A throttled request hits a bank mid-refresh (or a degraded bank)
+  // and streams at a fraction of its normal efficiency. The decision is
+  // pure in the port-request sequence number; the extra occupancy is
+  // attributed to throttle_ticks, separate from bank conflicts.
+  double occupancy = inflated;
+  if (faults_ != nullptr && faults_->enabled() &&
+      faults_->mic_throttle(fault_seq_++)) {
+    const double throttled_eff = eff * faults_->mic_throttle_factor();
+    occupancy = bytes / throttled_eff +
+                static_cast<double>(elements) * spec_.dram_gap_bytes;
+    ++throttled_requests_;
+    throttle_ += sim::ticks_for_bytes(occupancy - inflated, port_.rate());
+  }
+
+  return port_.submit(now, occupancy, overhead);
 }
 
 void Mic::publish_counters(sim::CounterSet& out) const {
@@ -72,12 +87,23 @@ void Mic::publish_counters(sim::CounterSet& out) const {
   out.set("busy_ticks", static_cast<double>(port_.busy_ticks()));
   out.set("queue_wait_ticks", static_cast<double>(port_.wait_ticks()));
   out.set("bank_conflict_ticks", static_cast<double>(conflict_));
+  if (faults_ != nullptr && faults_->enabled()) {
+    out.set("throttled_requests", static_cast<double>(throttled_requests_));
+    out.set("throttle_ticks", static_cast<double>(throttle_));
+  }
+  // child() returns a reference into out's children vector, which the
+  // next child() call may reallocate: finish each subtree before
+  // creating the next one.
   sim::CounterSet& rd = out.child("bank_reads");
-  sim::CounterSet& wr = out.child("bank_writes");
   for (int b = 0; b < spec_.memory_banks; ++b) {
     char name[16];
     std::snprintf(name, sizeof name, "bank%02d", b);
     rd.set(name, static_cast<double>(bank_reads_[static_cast<std::size_t>(b)]));
+  }
+  sim::CounterSet& wr = out.child("bank_writes");
+  for (int b = 0; b < spec_.memory_banks; ++b) {
+    char name[16];
+    std::snprintf(name, sizeof name, "bank%02d", b);
     wr.set(name,
            static_cast<double>(bank_writes_[static_cast<std::size_t>(b)]));
   }

@@ -19,6 +19,7 @@
 
 namespace cellsweep::sim {
 class CounterSet;
+class FaultPlan;
 }
 
 namespace cellsweep::cell {
@@ -61,6 +62,17 @@ class Mic {
   /// only.
   sim::Tick bank_conflict_ticks() const noexcept { return conflict_; }
 
+  /// Arms bank-throttle injection: a throttled request (DRAM refresh,
+  /// a degraded bank) streams at a fraction of its normal efficiency.
+  /// Pass nullptr to disarm; a disabled plan is equivalent.
+  void attach_faults(const sim::FaultPlan* plan) noexcept { faults_ = plan; }
+
+  // Fault counters (zero unless a plan is armed).
+  std::uint64_t throttled_requests() const noexcept {
+    return throttled_requests_;
+  }
+  sim::Tick throttle_ticks() const noexcept { return throttle_; }
+
   /// Publishes MIC counters (reads/writes per bank, bank-conflict
   /// ticks, port busy/wait) into @p out. Snapshot only.
   void publish_counters(sim::CounterSet& out) const;
@@ -74,6 +86,9 @@ class Mic {
     bank_cursor_ = 0;
     bank_reads_.fill(0);
     bank_writes_.fill(0);
+    fault_seq_ = 0;
+    throttled_requests_ = 0;
+    throttle_ = 0;
   }
 
  private:
@@ -87,6 +102,12 @@ class Mic {
   int bank_cursor_ = 0;  ///< rotating start bank for element attribution
   std::array<std::uint64_t, 32> bank_reads_{};
   std::array<std::uint64_t, 32> bank_writes_{};
+  // Fault injection (inert unless armed); fault_seq_ numbers every port
+  // request so throttle decisions are pure in request order.
+  const sim::FaultPlan* faults_ = nullptr;
+  std::uint64_t fault_seq_ = 0;
+  std::uint64_t throttled_requests_ = 0;
+  sim::Tick throttle_ = 0;
 };
 
 /// Element Interconnect Bus: aggregate bandwidth server. Every DMA

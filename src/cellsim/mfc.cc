@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "sim/counters.h"
+#include "sim/fault.h"
 
 namespace cellsweep::cell {
 
@@ -144,21 +145,38 @@ DmaCompletion Mfc::submit(sim::Tick now, const DmaRequest& req) {
 
   const double payload = static_cast<double>(req.total_bytes);
 
-  sim::Tick done;
-  if (req.ls_to_ls) {
-    // SPE-to-SPE: crosses the EIB only, with the command overhead but
-    // no DRAM behavior.
-    done = std::max(eib_->submit(start, payload), start + overhead);
-  } else {
-    // The payload crosses the EIB and drains into (or out of) the MIC,
-    // which applies the bank-interleaving penalty on top of the
-    // request's burst efficiency; completion is bounded by the slower
-    // of the two shared resources.
-    const sim::Tick eib_done = eib_->submit(start, payload);
+  // One attempt's transfer: crosses the EIB only for SPE-to-SPE moves,
+  // otherwise drains through the MIC too; completion is bounded by the
+  // slower of the two shared resources.
+  auto stream = [&](sim::Tick at) -> sim::Tick {
+    if (req.ls_to_ls) return std::max(eib_->submit(at, payload), at + overhead);
+    const sim::Tick eib_done = eib_->submit(at, payload);
     const sim::Tick mic_done =
-        mic_->submit(start, payload, overhead, request_efficiency(req),
-                     elements, req.banks_touched, req.dir == DmaDir::kPut);
-    done = std::max(eib_done, mic_done);
+        mic_->submit(at, payload, overhead, request_efficiency(req), elements,
+                     req.banks_touched, req.dir == DmaDir::kPut);
+    return std::max(eib_done, mic_done);
+  };
+
+  // Transient-failure retry loop. The fault plan decides, purely from
+  // (unit, command sequence), how many attempts fail before one lands;
+  // every failed attempt streams its payload through the shared
+  // resources (the cost is real), is detected via the tag-status fail
+  // bit, and waits an exponentially growing backoff before resubmitting.
+  const bool armed = faults_ != nullptr && faults_->enabled();
+  const int failures = armed ? faults_->dma_failures(fault_unit_, fault_seq_++)
+                             : 0;
+  sim::Tick done = stream(start);
+  for (int a = 0; a < failures; ++a) {
+    const sim::Tick backoff = spec_.cycles(
+        spec_.dma_retry_backoff_cycles *
+        static_cast<double>(std::uint64_t{1} << std::min(a, 10)));
+    const sim::Tick resume = done + spec_.dma_fault_detect + backoff;
+    retry_backoff_ += resume - done;
+    done = stream(resume);
+  }
+  if (failures > 0) {
+    ++retried_commands_;
+    retry_attempts_ += static_cast<std::uint64_t>(failures);
   }
 
   *slot = done;
@@ -173,7 +191,7 @@ DmaCompletion Mfc::submit(sim::Tick now, const DmaRequest& req) {
   (req.dir == DmaDir::kGet ? get_commands_ : put_commands_) += n_cmds;
   if (req.as_list) ++list_commands_;
   if (req.ls_to_ls) ls_to_ls_commands_ += n_cmds;
-  return DmaCompletion{issue_done, done, start};
+  return DmaCompletion{issue_done, done, start, failures};
 }
 
 sim::Tick Mfc::wait_all(sim::Tick now) const {
@@ -186,7 +204,15 @@ sim::Tick Mfc::wait_all(sim::Tick now) const {
 
 sim::Tick Mfc::wait_tag(sim::Tick now, unsigned tag) const {
   if (tag >= kMfcTagGroups) throw DmaError("wait_tag: tag group must be 0..31");
-  const sim::Tick ready = std::max(now, tag_done_[tag]);
+  sim::Tick ready = std::max(now, tag_done_[tag]);
+  // A faulted tag-status wait misses the completion event and only
+  // catches it on the next poll period.
+  if (faults_ != nullptr && faults_->enabled() &&
+      faults_->tag_timeout(fault_unit_, tag_fault_seq_++)) {
+    ready += spec_.tag_timeout_penalty;
+    ++tag_timeouts_;
+    tag_timeout_ticks_ += spec_.tag_timeout_penalty;
+  }
   ++tag_waits_;
   tag_wait_ticks_ += ready - now;
   return ready;
@@ -204,6 +230,13 @@ void Mfc::publish_counters(sim::CounterSet& out) const {
   out.set("queue_full_ticks", static_cast<double>(queue_full_ticks_));
   out.set("tag_waits", static_cast<double>(tag_waits_));
   out.set("tag_wait_ticks", static_cast<double>(tag_wait_ticks_));
+  if (faults_ != nullptr && faults_->enabled()) {
+    out.set("retried_commands", static_cast<double>(retried_commands_));
+    out.set("retry_attempts", static_cast<double>(retry_attempts_));
+    out.set("retry_backoff_ticks", static_cast<double>(retry_backoff_));
+    out.set("tag_timeouts", static_cast<double>(tag_timeouts_));
+    out.set("tag_timeout_ticks", static_cast<double>(tag_timeout_ticks_));
+  }
 }
 
 void Mfc::reset() noexcept {
@@ -221,6 +254,13 @@ void Mfc::reset() noexcept {
   queue_full_ticks_ = 0;
   tag_waits_ = 0;
   tag_wait_ticks_ = 0;
+  fault_seq_ = 0;
+  tag_fault_seq_ = 0;
+  retried_commands_ = 0;
+  retry_attempts_ = 0;
+  retry_backoff_ = 0;
+  tag_timeouts_ = 0;
+  tag_timeout_ticks_ = 0;
 }
 
 }  // namespace cellsweep::cell

@@ -28,6 +28,7 @@
 
 namespace cellsweep::sim {
 class CounterSet;
+class FaultPlan;
 }
 
 namespace cellsweep::cell {
@@ -91,6 +92,11 @@ struct DmaCompletion {
   /// moving; issue_done..start is queue back-pressure wait. Observation
   /// only (the trace layer splits issue/queue/transfer phases on it).
   sim::Tick start = 0;
+  /// Transient failures this command suffered before succeeding (0 on
+  /// the healthy path). Each failed attempt re-streamed the payload and
+  /// paid detection + exponential backoff; `done` is the successful
+  /// attempt's completion. Observation only.
+  int retries = 0;
 };
 
 /// Per-SPE DMA engine.
@@ -104,7 +110,19 @@ class Mfc {
 
   /// Submits a command at @p now. Handles queue-full back-pressure:
   /// if 16 commands are outstanding the SPU blocks until a slot frees.
+  /// With a fault plan attached, the command may fail transiently:
+  /// each failed attempt streams its payload, is detected via the tag
+  /// status fail bit, waits an exponential backoff and resubmits (the
+  /// completion reports the retry count).
   DmaCompletion submit(sim::Tick now, const DmaRequest& req);
+
+  /// Arms fault injection for this MFC (@p unit is the decision-hash
+  /// coordinate, the SPE index). Pass nullptr to disarm. The plan must
+  /// outlive the MFC; a disabled plan is equivalent to nullptr.
+  void attach_faults(const sim::FaultPlan* plan, int unit) noexcept {
+    faults_ = plan;
+    fault_unit_ = unit;
+  }
 
   /// Blocks until all outstanding commands complete ("tag wait").
   sim::Tick wait_all(sim::Tick now) const;
@@ -129,6 +147,13 @@ class Mfc {
   std::uint64_t transfers() const noexcept { return transfers_; }
   double bytes_requested() const noexcept { return bytes_; }
   const std::string& name() const noexcept { return name_; }
+
+  // Fault/resilience counters (all zero unless a plan is armed).
+  std::uint64_t retried_commands() const noexcept { return retried_commands_; }
+  std::uint64_t retry_attempts() const noexcept { return retry_attempts_; }
+  sim::Tick retry_backoff_ticks() const noexcept { return retry_backoff_; }
+  std::uint64_t tag_timeouts() const noexcept { return tag_timeouts_; }
+  sim::Tick tag_timeout_ticks() const noexcept { return tag_timeout_ticks_; }
 
   /// Publishes this MFC's counters (commands by type, bytes moved,
   /// queue-full back-pressure, tag waits) into @p out. Snapshot only;
@@ -172,6 +197,19 @@ class Mfc {
   sim::Tick queue_full_ticks_ = 0;
   mutable std::uint64_t tag_waits_ = 0;
   mutable sim::Tick tag_wait_ticks_ = 0;
+  // Fault injection (inert unless attach_faults() armed a plan). The
+  // sequence counters are the decision-hash coordinates: one per DMA
+  // command submitted, one per tag wait served, so the schedule is a
+  // pure function of submission order.
+  const sim::FaultPlan* faults_ = nullptr;
+  int fault_unit_ = 0;
+  std::uint64_t fault_seq_ = 0;
+  mutable std::uint64_t tag_fault_seq_ = 0;
+  std::uint64_t retried_commands_ = 0;
+  std::uint64_t retry_attempts_ = 0;
+  sim::Tick retry_backoff_ = 0;
+  mutable std::uint64_t tag_timeouts_ = 0;
+  mutable sim::Tick tag_timeout_ticks_ = 0;
 };
 
 }  // namespace cellsweep::cell

@@ -74,6 +74,24 @@ struct CellSpec {
   /// Under-128-byte or misaligned transfers waste DRAM burst capacity;
   /// this floor is the worst-case efficiency for tiny transfers.
   double dma_min_efficiency = 0.30;
+  // --- Fault handling (only exercised when a sim::FaultPlan is armed) ----
+  /// SPU-side cost to notice a transiently failed transfer: the tag-
+  /// status poll that comes back with the fail bit plus the channel
+  /// work to re-validate the command before resubmission.
+  sim::Tick dma_fault_detect = sim::ticks_from_seconds(1000e-9);
+  /// Base of the exponential backoff between DMA retry attempts:
+  /// attempt k waits base * 2^k cycles before resubmitting.
+  double dma_retry_backoff_cycles = 256;
+  /// Extra wait burned when a tag-status wait misses the completion
+  /// event and only catches it on the next poll period.
+  sim::Tick tag_timeout_penalty = sim::ticks_from_seconds(2000e-9);
+  /// PPE-side resend timer for a dropped dispatch message (mailbox
+  /// write or LS poke that never landed).
+  sim::Tick mailbox_drop_timeout = sim::ticks_from_seconds(5000e-9);
+  /// PPE watchdog period for declaring an unresponsive SPE dead and
+  /// re-dispatching its work to the survivors.
+  sim::Tick spe_fail_detect = sim::ticks_from_seconds(20000e-9);
+
   /// Banks a chunk's row stream touches when arrays are allocated
   /// without staggering offsets: every 512-byte row starts at the same
   /// line offset, so concurrent SPEs hammer the same bank group. The

@@ -1,6 +1,7 @@
 #include "cellsim/sync.h"
 
 #include "sim/counters.h"
+#include "sim/fault.h"
 
 namespace cellsweep::cell {
 
@@ -27,14 +28,38 @@ DispatchFabric::DispatchFabric(const CellSpec& spec)
       atomic_unit_("atomic-unit", spec.atomic_op_latency,
                    spec.atomic_op_latency / 2) {}
 
+sim::Tick DispatchFabric::send_message(sim::LatencyServer& server,
+                                       sim::Tick now, sim::Tick latency,
+                                       sim::Tick occupancy) {
+  // Dropped sends: the message occupies the dispatcher (the PPE did the
+  // work), never lands, and is resent once the resend timer fires. The
+  // drop count per message is a pure function of the message sequence
+  // number, so the schedule survives reordering of *other* decisions.
+  if (faults_ != nullptr && faults_->enabled()) {
+    const int drops = faults_->dispatch_drops(fault_seq_++);
+    for (int d = 0; d < drops; ++d) {
+      const sim::Tick sent = server.submit_with(now, latency, occupancy);
+      const sim::Tick resend = sent + spec_.mailbox_drop_timeout;
+      ++dropped_messages_;
+      drop_wait_ticks_ += resend - now;
+      now = resend;
+    }
+  }
+  return server.submit_with(now, latency, occupancy);
+}
+
 sim::Tick DispatchFabric::acquire_work(sim::Tick now, SyncProtocol protocol) {
   ++grants_;
   switch (protocol) {
     case SyncProtocol::kMailbox:
-      return ppe_mailbox_.submit(now);
+      return send_message(ppe_mailbox_, now, spec_.mailbox_latency,
+                          spec_.mailbox_latency + spec_.ppe_dispatch_overhead);
     case SyncProtocol::kLsPoke:
-      return ppe_poke_.submit(now);
+      return send_message(ppe_poke_, now, spec_.ls_poke_latency,
+                          spec_.ls_poke_latency + spec_.ppe_dispatch_overhead);
     case SyncProtocol::kAtomicDistributed:
+      // The atomic unit retries getllar/putllc internally; there is no
+      // PPE message to drop.
       return atomic_unit_.submit(now);
   }
   return now;
@@ -49,13 +74,13 @@ sim::Tick DispatchFabric::report_done(sim::Tick now, SyncProtocol protocol) {
   switch (protocol) {
     case SyncProtocol::kMailbox:
       // PPE polls the outbound mailbox: a serialized MMIO access.
-      return ppe_mailbox_.submit_with(now, spec_.mailbox_latency,
-                                      spec_.mailbox_latency);
+      return send_message(ppe_mailbox_, now, spec_.mailbox_latency,
+                          spec_.mailbox_latency);
     case SyncProtocol::kLsPoke:
       // SPE DMAs a completion flag into cached main memory; the PPE
       // notices it from its own cache at poke-level cost.
-      return ppe_poke_.submit_with(now, spec_.ls_poke_latency,
-                                   spec_.ls_poke_latency);
+      return send_message(ppe_poke_, now, spec_.ls_poke_latency,
+                          spec_.ls_poke_latency);
     case SyncProtocol::kAtomicDistributed:
       // Nothing to report: the counter grant *is* the schedule. A local
       // store fence is all the SPE pays.
@@ -70,6 +95,10 @@ void DispatchFabric::publish_counters(sim::CounterSet& out) const {
   out.set("mailbox_requests", static_cast<double>(ppe_mailbox_.requests()));
   out.set("ls_poke_requests", static_cast<double>(ppe_poke_.requests()));
   out.set("atomic_requests", static_cast<double>(atomic_unit_.requests()));
+  if (faults_ != nullptr && faults_->enabled()) {
+    out.set("dropped_messages", static_cast<double>(dropped_messages_));
+    out.set("drop_wait_ticks", static_cast<double>(drop_wait_ticks_));
+  }
 }
 
 void DispatchFabric::reset() noexcept {
@@ -78,6 +107,9 @@ void DispatchFabric::reset() noexcept {
   atomic_unit_.reset();
   grants_ = 0;
   reports_ = 0;
+  fault_seq_ = 0;
+  dropped_messages_ = 0;
+  drop_wait_ticks_ = 0;
 }
 
 }  // namespace cellsweep::cell

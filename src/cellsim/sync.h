@@ -29,6 +29,7 @@
 
 namespace cellsweep::sim {
 class CounterSet;
+class FaultPlan;
 }
 
 namespace cellsweep::cell {
@@ -60,6 +61,16 @@ class DispatchFabric {
   std::uint64_t grants() const noexcept { return grants_; }
   std::uint64_t reports() const noexcept { return reports_; }
 
+  /// Arms message-drop injection: centralized dispatch messages
+  /// (mailbox writes, LS pokes) may be dropped and resent after a
+  /// timeout. Pass nullptr to disarm; a disabled plan is equivalent.
+  /// The distributed atomic protocol has no message to lose.
+  void attach_faults(const sim::FaultPlan* plan) noexcept { faults_ = plan; }
+
+  // Fault counters (zero unless a plan is armed).
+  std::uint64_t dropped_messages() const noexcept { return dropped_messages_; }
+  sim::Tick drop_wait_ticks() const noexcept { return drop_wait_ticks_; }
+
   /// Publishes dispatch counters (grants, reports, per-server request
   /// counts) into @p out. Snapshot only.
   void publish_counters(sim::CounterSet& out) const;
@@ -73,6 +84,18 @@ class DispatchFabric {
   sim::LatencyServer atomic_unit_;
   std::uint64_t grants_ = 0;
   std::uint64_t reports_ = 0;
+  // Fault injection (inert unless armed); fault_seq_ numbers every
+  // centralized message sent, making drop decisions a pure function of
+  // message order.
+  const sim::FaultPlan* faults_ = nullptr;
+  std::uint64_t fault_seq_ = 0;
+  std::uint64_t dropped_messages_ = 0;
+  sim::Tick drop_wait_ticks_ = 0;
+
+  /// Runs one centralized message through @p server, retrying dropped
+  /// sends after the resend timeout when a fault plan is armed.
+  sim::Tick send_message(sim::LatencyServer& server, sim::Tick now,
+                         sim::Tick latency, sim::Tick occupancy);
 };
 
 }  // namespace cellsweep::cell

@@ -11,6 +11,7 @@
 
 #include "cellsim/spec.h"
 #include "cellsim/sync.h"
+#include "sim/fault.h"
 #include "sweep/sweeper.h"
 
 namespace cellsweep::sim {
@@ -94,6 +95,14 @@ struct CellSweepConfig {
   /// the environment attaches an engine-owned checker that turns
   /// violations into hard errors at finish().
   cell::MachineObserver* hazard = nullptr;
+
+  /// Fault injection (default: nothing can break). When any mechanism
+  /// is armed the timing engine builds a sim::FaultPlan from this spec,
+  /// attaches it to the MFCs, MIC and dispatch fabric, and degrades
+  /// gracefully around disabled or failing SPEs. With faults.any()
+  /// false every fault path is skipped and runs stay bit-identical to
+  /// the fault-free build (pinned by tests and the perf baselines).
+  sim::FaultSpec faults;
 
   /// Blocking parameters forwarded to the sweep driver.
   sweep::SweepConfig sweep;

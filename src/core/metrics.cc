@@ -147,6 +147,18 @@ void write_metrics_json(std::ostream& os, const RunReport& r) {
   } else {
     write_timeseries_json(os, r.timeseries, 2);
   }
+  os << ",\n  \"faults\": ";
+  if (!r.faults.enabled) {
+    os << "null";
+  } else {
+    os << "{\"spes_disabled\": " << r.faults.spes_disabled
+       << ", \"spes_failed\": " << r.faults.spes_failed
+       << ", \"redispatched_chunks\": " << r.faults.redispatched_chunks
+       << ",\n    \"dma_retries\": " << r.faults.dma_retries
+       << ", \"tag_timeouts\": " << r.faults.tag_timeouts
+       << ", \"dropped_messages\": " << r.faults.dropped_messages
+       << ", \"mic_throttled\": " << r.faults.mic_throttled << "}";
+  }
   os << "\n}\n";
 }
 

@@ -63,6 +63,28 @@ TimingEngine::TimingEngine(const CellSweepConfig& cfg,
   // config below 1 behaves as synchronous single buffering.
   if (cfg_.buffers < 1) cfg_.buffers = 1;
 
+  // Fault plan: built once (the constructor validates the spec), then
+  // attached to every unit that can fail. alive_ starts from the
+  // boot-time SPE health -- the 7-of-8 yield case runs the whole sweep
+  // on the survivors.
+  fault_plan_ = sim::FaultPlan(cfg_.faults);
+  alive_.assign(spes_.size(), 1);
+  failed_.assign(spes_.size(), 0);
+  if (fault_plan_.enabled()) {
+    for (int s = 0; s < machine_.num_spes(); ++s) {
+      machine_.spe(s).mfc().attach_faults(&fault_plan_, s);
+      if (fault_plan_.spe_disabled(s)) {
+        alive_[static_cast<std::size_t>(s)] = 0;
+        ++spes_disabled_;
+      }
+    }
+    machine_.mic().attach_faults(&fault_plan_);
+    machine_.dispatch().attach_faults(&fault_plan_);
+    if (spes_disabled_ >= machine_.num_spes())
+      throw sim::FaultError(
+          "fault plan disables every SPE: nothing left to run on");
+  }
+
   // Protocol observer: an externally attached checker wins; otherwise
   // CELLSWEEP_HAZARD_CHECK in the environment arms an engine-owned one
   // whose errors finish() escalates (the CI hazard-checked suite mode).
@@ -115,6 +137,41 @@ void TimingEngine::iteration_boundary() {
   }
 }
 
+int TimingEngine::pick_spe(sim::Tick& extra) {
+  const int n = static_cast<int>(spes_.size());
+  for (int scanned = 0; scanned <= 2 * n; ++scanned) {
+    const int s = rr_spe_;
+    rr_spe_ = (rr_spe_ + 1) % n;
+    if (!alive_[static_cast<std::size_t>(s)]) {
+      // Every chunk the round-robin would have placed on a mid-sweep
+      // casualty is work the survivors absorb; boot-disabled SPEs were
+      // never in the rotation, so they don't count as re-dispatches.
+      if (failed_[static_cast<std::size_t>(s)]) ++redispatched_chunks_;
+      continue;
+    }
+    if (fault_plan_.enabled()) {
+      const std::int64_t limit = fault_plan_.spe_fail_after(s);
+      if (limit > 0 &&
+          spes_[static_cast<std::size_t>(s)].served >=
+              static_cast<std::uint64_t>(limit)) {
+        // The SPE dies with this chunk assigned: the PPE watchdog
+        // detects the silence and re-dispatches to the next survivor.
+        // Only this first detection pays the watchdog latency; later
+        // rounds skip the dead SPE with no extra cost.
+        alive_[static_cast<std::size_t>(s)] = 0;
+        failed_[static_cast<std::size_t>(s)] = 1;
+        ++spes_failed_;
+        ++redispatched_chunks_;
+        extra += machine_.spec().spe_fail_detect;
+        failover_ticks_ += machine_.spec().spe_fail_detect;
+        continue;
+      }
+    }
+    return s;
+  }
+  throw sim::FaultError("every SPE has failed: nothing left to run on");
+}
+
 void TimingEngine::account_wait(int spe_index, sim::Tick base,
                                 sim::Tick dma_ready, sim::Tick sync_ready) {
   // The SPU stalls over [base, max(dma_ready, sync_ready)). Split the
@@ -155,6 +212,7 @@ void TimingEngine::trace_dma(int spe_index, const char* name,
     sink_->span(t, "dma-queue", "dma", c.issue_done, c.start);
   sink_->span(to_memory ? mic_track_ : eib_track_, name, "dma", c.start,
               c.done);
+  if (c.retries > 0) sink_->instant(t, "dma-retry", "fault", c.done);
 }
 
 void TimingEngine::on_diagonal(const sweep::DiagonalWork& w) {
@@ -222,6 +280,9 @@ void TimingEngine::on_diagonal(const sweep::DiagonalWork& w) {
     int index;
     int buf;
     std::uint64_t token;
+    /// Failover delay this chunk pays before dispatch: the PPE watchdog
+    /// time spent declaring its original SPE dead and re-dispatching.
+    sim::Tick extra = 0;
     sim::Tick grant = 0;
     sim::Tick get_done = 0;
     sim::Tick get_issue_done = 0;
@@ -232,11 +293,12 @@ void TimingEngine::on_diagonal(const sweep::DiagonalWork& w) {
   std::vector<Chunk> chunks;
   chunks.reserve(plan.chunks().size());
   for (const sweep::ChunkDesc& pc : plan.chunks()) {
-    SpeClock& spe = spes_[rr_spe_];
+    sim::Tick extra = 0;
+    const int s = pick_spe(extra);
+    SpeClock& spe = spes_[s];
     const int buf = static_cast<int>(spe.served % cfg_.buffers);
     ++spe.served;
-    chunks.push_back(Chunk{pc.nlines, rr_spe_, pc.index, buf, token_seq_++});
-    rr_spe_ = (rr_spe_ + 1) % static_cast<int>(spes_.size());
+    chunks.push_back(Chunk{pc.nlines, s, pc.index, buf, token_seq_++, extra});
   }
 
   const std::size_t rb = real_bytes_of(cfg_.precision);
@@ -302,7 +364,11 @@ void TimingEngine::on_diagonal(const sweep::DiagonalWork& w) {
       const std::size_t buf_off = buffer_offsets_[static_cast<std::size_t>(
           c.buf)];
 
-      const sim::Tick dispatch_from = std::max(spe.request_at, release);
+      const sim::Tick dispatch_from =
+          std::max(spe.request_at, release) + c.extra;
+      if (sink_ && c.extra > 0)
+        sink_->span(ppe_track_, "spe-failover", "fault",
+                    dispatch_from - c.extra, dispatch_from);
       const sim::Tick grant =
           machine_.dispatch().acquire_work(dispatch_from, cfg_.sync);
       c.grant = grant;
@@ -379,6 +445,17 @@ void TimingEngine::on_diagonal(const sweep::DiagonalWork& w) {
       // unchanged.
       sim::Tick dma_ready = c.get_done;
       if (cfg_.buffers < 2) dma_ready = std::max(dma_ready, spe.put_done);
+      if (fault_plan_.enabled()) {
+        // The SPU's tag-group wait right before the kernel is where a
+        // lost tag completion manifests: the poll times out and retries,
+        // delaying the kernel start (and hence the whole dependency
+        // chain). Routed through the MFC so the event is counted and
+        // priced there; the gate keeps the healthy path byte-identical.
+        const sim::Tick waited = machine_.spe(c.spe).mfc().wait_tag(
+            ready, static_cast<unsigned>(c.buf));
+        ready = std::max(ready, waited);
+        dma_ready = std::max(dma_ready, waited);
+      }
       account_wait(c.spe, spe.compute_free, dma_ready,
                    std::max(dependency_ready(c.index), c.grant));
       if (observer_)
@@ -386,7 +463,13 @@ void TimingEngine::on_diagonal(const sweep::DiagonalWork& w) {
       const ChunkCost& cost =
           kernels_.chunk_cost(w.kernel, cfg_.precision, c.nlines, w.it, nm_,
                               w.fixup, cfg_.gotos_eliminated);
-      c.compute_end = machine_.spe(c.spe).compute(ready, cost.cycles);
+      // A degraded SPE executes the same instruction stream in
+      // compute_scale x the cycles (physics is untouched; only time
+      // stretches). The gate keeps the healthy path bit-identical.
+      double kernel_cycles = cost.cycles;
+      if (fault_plan_.enabled())
+        kernel_cycles *= fault_plan_.spe_compute_scale(c.spe);
+      c.compute_end = machine_.spe(c.spe).compute(ready, kernel_cycles);
       if (sink_)
         sink_->span(spe_tracks_[c.spe], w.fixup ? "kernel+fixup" : "kernel",
                     "compute", ready, c.compute_end);
@@ -545,6 +628,48 @@ RunReport TimingEngine::finish() {
   machine_.mic().publish_counters(r.counters.child("mic"));
   machine_.eib().publish_counters(r.counters.child("eib"));
   machine_.dispatch().publish_counters(r.counters.child("dispatch"));
+
+  // Fault subtree + report: only present when a plan was armed, so the
+  // fault-free counter tree (and its JSON) is byte-identical to the
+  // pre-fault-injection build.
+  if (fault_plan_.enabled()) {
+    std::uint64_t retried = 0, retry_attempts = 0, timeouts = 0;
+    sim::Tick backoff = 0, timeout_ticks = 0;
+    for (int s = 0; s < machine_.num_spes(); ++s) {
+      const cell::Mfc& mfc = machine_.spe(s).mfc();
+      retried += mfc.retried_commands();
+      retry_attempts += mfc.retry_attempts();
+      backoff += mfc.retry_backoff_ticks();
+      timeouts += mfc.tag_timeouts();
+      timeout_ticks += mfc.tag_timeout_ticks();
+    }
+    sim::CounterSet& f = r.counters.child("faults");
+    f.set("spes_disabled", static_cast<double>(spes_disabled_));
+    f.set("spes_failed", static_cast<double>(spes_failed_));
+    f.set("redispatched_chunks", static_cast<double>(redispatched_chunks_));
+    f.set("failover_ticks", static_cast<double>(failover_ticks_));
+    f.set("dma_retried_commands", static_cast<double>(retried));
+    f.set("dma_retry_attempts", static_cast<double>(retry_attempts));
+    f.set("dma_retry_backoff_ticks", static_cast<double>(backoff));
+    f.set("tag_timeouts", static_cast<double>(timeouts));
+    f.set("tag_timeout_ticks", static_cast<double>(timeout_ticks));
+    f.set("dropped_messages",
+          static_cast<double>(machine_.dispatch().dropped_messages()));
+    f.set("drop_wait_ticks",
+          static_cast<double>(machine_.dispatch().drop_wait_ticks()));
+    f.set("mic_throttled_requests",
+          static_cast<double>(machine_.mic().throttled_requests()));
+    f.set("mic_throttle_ticks",
+          static_cast<double>(machine_.mic().throttle_ticks()));
+    r.faults.enabled = true;
+    r.faults.spes_disabled = spes_disabled_;
+    r.faults.spes_failed = spes_failed_;
+    r.faults.redispatched_chunks = redispatched_chunks_;
+    r.faults.dma_retries = retry_attempts;
+    r.faults.tag_timeouts = timeouts;
+    r.faults.dropped_messages = machine_.dispatch().dropped_messages();
+    r.faults.mic_throttled = machine_.mic().throttled_requests();
+  }
 
   // Time-sliced profile: snapshot the windowed series, and replay them
   // into the downstream trace as Chrome counter events so the

@@ -56,6 +56,21 @@ struct SpeStallSummary {
   double idle_s = 0;
 };
 
+/// What the fault injector did to a run (all zero / disabled unless a
+/// fault plan was armed via CellSweepConfig::faults). The same numbers
+/// appear under the "faults" subtree of RunReport::counters and in the
+/// metrics JSON.
+struct FaultReport {
+  bool enabled = false;
+  int spes_disabled = 0;   ///< dead from boot (the 7-of-8 yield case)
+  int spes_failed = 0;     ///< died mid-sweep
+  std::uint64_t redispatched_chunks = 0;  ///< re-run on a surviving SPE
+  std::uint64_t dma_retries = 0;     ///< failed DMA attempts, all MFCs
+  std::uint64_t tag_timeouts = 0;    ///< tag waits that missed the event
+  std::uint64_t dropped_messages = 0;  ///< dispatch messages resent
+  std::uint64_t mic_throttled = 0;   ///< bank-throttled MIC requests
+};
+
 /// Everything a run reports; the benches print from this.
 struct RunReport {
   // --- timing ---------------------------------------------------------
@@ -93,6 +108,8 @@ struct RunReport {
   /// Utilization-over-time series (empty unless a
   /// sim::TimeSlicedProfiler was attached via CellSweepConfig).
   sim::Profile timeseries;
+  /// Fault-injection summary (enabled only when a plan was armed).
+  FaultReport faults;
   // --- functional results (kFunctional only) ---------------------------
   std::optional<sweep::SolveResult> solve;
   double absorption = 0;
@@ -151,6 +168,12 @@ class TimingEngine {
   };
 
   void iteration_boundary();
+  /// Next live SPE in cyclic order. Detects SPEs that reach their
+  /// fail-after-chunks threshold: the victim is declared dead, its
+  /// chunk is re-dispatched to the next survivor, and @p extra
+  /// accumulates the PPE watchdog detection delay the re-dispatched
+  /// chunk pays. Throws sim::FaultError when no SPE is left.
+  int pick_spe(sim::Tick& extra);
   /// Splits the SPU wait [base, max(dma_ready, sync_ready)) between the
   /// DMA-wait and sync-wait buckets of @p spe and emits wait spans.
   void account_wait(int spe_index, sim::Tick base, sim::Tick dma_ready,
@@ -204,6 +227,17 @@ class TimingEngine {
   std::uint64_t cell_solves_ = 0;
   std::uint64_t chunks_ = 0;
   double total_compute_cycles_ = 0;
+
+  // Fault injection and graceful degradation (inert when the plan is
+  // disabled: alive_ stays all-true and pick_spe reduces to the plain
+  // cyclic cursor).
+  sim::FaultPlan fault_plan_;
+  std::vector<char> alive_;   ///< one flag per SPE
+  std::vector<char> failed_;  ///< died mid-sweep (subset of !alive_)
+  int spes_disabled_ = 0;
+  int spes_failed_ = 0;
+  std::uint64_t redispatched_chunks_ = 0;
+  sim::Tick failover_ticks_ = 0;
 };
 
 /// End-to-end runner for one problem + configuration.

@@ -1,6 +1,7 @@
 #include "msg/communicator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <thread>
 
@@ -42,6 +43,14 @@ World::World(int num_ranks) : num_ranks_(num_ranks) {
   mailboxes_.reserve(num_ranks_);
   for (int i = 0; i < num_ranks_; ++i)
     mailboxes_.push_back(std::make_unique<Mailbox>());
+  send_delay_us_.assign(num_ranks_, 0);
+}
+
+void World::degrade_rank(int rank, int delay_us) {
+  if (rank < 0 || rank >= num_ranks_)
+    throw MsgError("degrade_rank: rank out of range");
+  if (delay_us < 0) throw MsgError("degrade_rank: negative delay");
+  send_delay_us_[rank] = delay_us;
 }
 
 void World::run(const std::function<void(Communicator&)>& program) {
@@ -64,6 +73,8 @@ void World::run(const std::function<void(Communicator&)>& program) {
 }
 
 void World::post(int src, int dst, int tag, std::vector<double> payload) {
+  if (send_delay_us_[src] > 0)
+    std::this_thread::sleep_for(std::chrono::microseconds(send_delay_us_[src]));
   Mailbox& box = *mailboxes_[dst];
   {
     std::lock_guard<std::mutex> lock(box.mu);

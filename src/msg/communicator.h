@@ -80,6 +80,15 @@ class World {
   /// Exceptions thrown by any rank are rethrown (first rank wins).
   void run(const std::function<void(Communicator&)>& program);
 
+  /// Degraded-node injection: every send from @p rank stalls for
+  /// @p delay_us microseconds before posting, modeling a node with a
+  /// failing NIC or a thermally throttled CPU. Because the substrate
+  /// only offers blocking matched send/recv, a straggler can reorder
+  /// thread scheduling but never the matched message streams -- rank
+  /// programs must produce bit-identical results regardless (the
+  /// property the degraded-node tests pin down). Set 0 to heal.
+  void degrade_rank(int rank, int delay_us);
+
  private:
   friend class Communicator;
 
@@ -98,6 +107,7 @@ class World {
 
   int num_ranks_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<int> send_delay_us_;  ///< per-rank degraded-node stall
 
   // Barrier state (generation-counted central barrier).
   std::mutex barrier_mu_;

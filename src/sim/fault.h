@@ -1,0 +1,167 @@
+// Seeded fault injection for the Cell machine model.
+//
+// Real Cell parts shipped with 7 of 8 SPEs enabled for yield, and a
+// production port has to survive worse: transient DMA failures, lost
+// dispatch messages, throttled memory banks, SPEs that die mid-run.
+// FaultPlan is the single source of truth for all of it: a FaultSpec
+// (parsed from the `--faults=<spec>` CLI grammar or built directly)
+// describes *what* can break, and the plan answers every "does this
+// event fail?" query deterministically from util::SplitMix64.
+//
+// Determinism contract: every decision is a pure hash of
+// (seed, domain, unit, sequence, attempt) -- no shared stream, no
+// global state -- so consumers may query in any order and the schedule
+// is identical across runs, across host thread counts, and across the
+// functional and trace-driven modes (which drive the same event
+// stream). Same seed => byte-identical metrics; different seeds =>
+// different schedules. Tests pin both.
+//
+// A default-constructed (or all-zero-rate) plan is *disabled*: every
+// consumer gates its fault path on enabled(), so the healthy path
+// executes exactly the pre-fault-injection arithmetic and stays
+// bit-identical to the checked-in baselines.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cellsweep::sim {
+
+/// Thrown for malformed `--faults=<spec>` strings.
+class FaultSpecError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when the machine cannot degrade gracefully (e.g. every SPE
+/// is disabled or has failed: there is nothing left to re-dispatch to).
+class FaultError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Health of one SPE. Exactly one of the three degradations applies
+/// per entry; multiple entries may name different SPEs.
+struct SpeFault {
+  int spe = -1;
+  /// Chunks the SPE serves before it fails permanently. 0 means
+  /// disabled from boot (the 7-of-8 yield case); -1 means it never
+  /// fails on its own.
+  std::int64_t fail_after_chunks = -1;
+  /// Kernel slowdown factor (>= 1; 1 = full speed). A degraded SPE
+  /// executes the same instructions in compute_scale x the cycles.
+  double compute_scale = 1.0;
+};
+
+/// Everything the fault injector can be told to break.
+struct FaultSpec {
+  std::uint64_t seed = 1;
+  /// Probability one DMA transfer attempt fails transiently (the MFC
+  /// retries with exponential backoff, re-streaming the payload).
+  double dma_fail_rate = 0.0;
+  /// Probability one MFC tag-status wait misses the completion event
+  /// and burns a timeout before re-polling.
+  double tag_timeout_rate = 0.0;
+  /// Probability one dispatch message (mailbox write / LS poke) is
+  /// dropped and must be resent after a timeout.
+  double mailbox_drop_rate = 0.0;
+  /// Probability one MIC request is bank-throttled (DRAM refresh or a
+  /// failing bank running at reduced burst efficiency).
+  double mic_throttle_rate = 0.0;
+  /// Efficiency multiplier applied to throttled MIC requests (0..1).
+  double mic_throttle_factor = 0.25;
+  /// Retry budget per DMA command; exceeding it is not modeled (the
+  /// geometric draw is capped here, so a command always completes).
+  int max_dma_retries = 8;
+  /// Disabled, failing or degraded SPEs.
+  std::vector<SpeFault> spes;
+
+  /// True when any mechanism can actually fire. Disabled specs take
+  /// the exact pre-fault-injection code paths everywhere.
+  bool any() const noexcept {
+    return dma_fail_rate > 0.0 || tag_timeout_rate > 0.0 ||
+           mailbox_drop_rate > 0.0 || mic_throttle_rate > 0.0 ||
+           !spes.empty();
+  }
+};
+
+/// Parses the `--faults=<spec>` grammar: comma-separated `key=value`
+/// entries, all optional:
+///
+///   seed=42            decision seed (default 1)
+///   dma=0.01           transient DMA transfer failure rate
+///   timeout=0.001      tag-wait timeout rate
+///   drop=0.005         dispatch message drop rate
+///   throttle=0.01      MIC throttle rate (efficiency factor 0.25)
+///   throttle=0.01:0.5  ... with an explicit efficiency factor
+///   retries=8          DMA retry cap
+///   spe=3:down         SPE 3 disabled from boot (7-of-8 yield)
+///   spe=2:after:200    SPE 2 fails permanently after 200 chunks
+///   spe=5:slow:2.0     SPE 5 computes 2x slower
+///
+/// Throws FaultSpecError with the offending entry on malformed input.
+FaultSpec parse_fault_spec(const std::string& text);
+
+/// Event domains; part of every decision hash so the same sequence
+/// number in different domains draws independently.
+enum class FaultDomain : std::uint8_t {
+  kDmaTransfer = 1,
+  kTagWait = 2,
+  kDispatch = 3,
+  kMicBank = 4,
+};
+
+/// The deterministic fault schedule (see file comment).
+class FaultPlan {
+ public:
+  /// Disabled plan: every query reports "healthy".
+  FaultPlan() = default;
+
+  /// Validates @p spec (rates in [0,1], factors sane, SPE entries
+  /// consistent); throws FaultSpecError on nonsense.
+  explicit FaultPlan(const FaultSpec& spec);
+
+  bool enabled() const noexcept { return enabled_; }
+  const FaultSpec& spec() const noexcept { return spec_; }
+
+  /// Transient failures the @p seq-th DMA command of MFC @p unit
+  /// suffers before succeeding (geometric in dma_fail_rate, capped at
+  /// max_dma_retries). 0 = clean first attempt.
+  int dma_failures(int unit, std::uint64_t seq) const;
+
+  /// Whether the @p seq-th tag-status wait of MFC @p unit times out.
+  bool tag_timeout(int unit, std::uint64_t seq) const;
+
+  /// Drops the @p seq-th dispatch message suffers before it gets
+  /// through (geometric in mailbox_drop_rate, capped at 4).
+  int dispatch_drops(std::uint64_t seq) const;
+
+  /// Whether the @p seq-th MIC request is bank-throttled.
+  bool mic_throttle(std::uint64_t seq) const;
+  double mic_throttle_factor() const noexcept {
+    return spec_.mic_throttle_factor;
+  }
+
+  /// SPE health: disabled from boot / fails after N chunks (-1 =
+  /// never) / kernel slowdown factor.
+  bool spe_disabled(int spe) const;
+  std::int64_t spe_fail_after(int spe) const;
+  double spe_compute_scale(int spe) const;
+
+ private:
+  /// Uniform [0,1) draw, pure in all arguments.
+  double draw(FaultDomain domain, int unit, std::uint64_t seq,
+              std::uint32_t attempt) const;
+  /// Geometric number of failures at @p rate, capped at @p cap.
+  int failures(FaultDomain domain, int unit, std::uint64_t seq, double rate,
+               int cap) const;
+
+  FaultSpec spec_;
+  bool enabled_ = false;
+};
+
+}  // namespace cellsweep::sim

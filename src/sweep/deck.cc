@@ -124,6 +124,16 @@ Deck parse_deck(std::istream& in) {
   } catch (const std::exception& e) {
     throw DeckError(std::string("deck: ") + e.what());
   }
+  // Robustness caps: a corrupted deck must fail with DeckError, never
+  // drive a multi-gigabyte allocation (or overflow cells()) first. The
+  // per-axis cap keeps the int64 cell product exact; the total cap
+  // bounds the material map and every downstream field allocation.
+  if (grid.it > 4096 || grid.jt > 4096 || grid.kt > 4096 ||
+      grid.cells() > (std::int64_t{1} << 26))
+    throw DeckError("deck: grid too large (limit 4096 cells per axis, "
+                    "2^26 cells total)");
+  if (nm_cap < 1 || nm_cap > 100)
+    throw DeckError("deck: moments must be in 1..100");
 
   // Cell assignment: material 0 everywhere, then region overwrites.
   std::vector<std::uint8_t> cells(grid.cells(), 0);
@@ -148,14 +158,23 @@ Deck parse_deck(std::istream& in) {
       if (grid.kt % d == 0) cfg.mk = d;
   }
 
-  Deck deck{Problem(grid, std::move(materials), std::move(cells)), cfg,
-            sn_order, nm_cap};
-  for (const auto& [face, bc] : bcs) deck.problem.set_boundary(face, bc);
+  // The tail constructors (Problem, SnQuadrature, the blocking
+  // validation) throw std::invalid_argument on bad values; a malformed
+  // deck must always surface as DeckError, so rewrap them here.
+  try {
+    Deck deck{Problem(grid, std::move(materials), std::move(cells)), cfg,
+              sn_order, nm_cap};
+    for (const auto& [face, bc] : bcs) deck.problem.set_boundary(face, bc);
 
-  // Surface bad blocking now rather than at run time.
-  const SnQuadrature quad(deck.sn_order);
-  deck.sweep.validate(grid.kt, quad.angles_per_octant());
-  return deck;
+    // Surface bad blocking now rather than at run time.
+    const SnQuadrature quad(deck.sn_order);
+    deck.sweep.validate(grid.kt, quad.angles_per_octant());
+    return deck;
+  } catch (const DeckError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw DeckError(std::string("deck: ") + e.what());
+  }
 }
 
 Deck parse_deck_string(const std::string& text) {

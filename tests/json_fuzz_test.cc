@@ -1,0 +1,238 @@
+// Seeded fuzz / property tests for the two text parsers.
+//
+// Property under test: for any input -- valid, mutated, truncated or
+// pure garbage -- util::parse_json either returns a value or throws
+// util::JsonError, and sweep::parse_deck_string either returns a deck
+// or throws sweep::DeckError. Neither may crash, hang, allocate
+// unboundedly, or leak a foreign exception type. All randomness flows
+// through util::SplitMix64, so every failure reproduces from the case
+// number printed in the assertion message.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "sweep/deck.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace cellsweep {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared fuzz plumbing.
+
+/// Outcome of one parse attempt, for determinism comparisons.
+enum class Outcome : unsigned char { kOk, kTypedError, kForeignError };
+
+/// Mutates @p text in place: byte flips, inserts, deletes, span
+/// duplication and truncation, all drawn from @p rng.
+void mutate(std::string& text, util::SplitMix64& rng) {
+  const int edits = 1 + static_cast<int>(rng.next_below(4));
+  for (int e = 0; e < edits; ++e) {
+    if (text.empty()) {
+      text.push_back(static_cast<char>(rng.next_below(256)));
+      continue;
+    }
+    const std::size_t pos = rng.next_below(text.size());
+    switch (rng.next_below(5)) {
+      case 0:  // flip one byte to an arbitrary value
+        text[pos] = static_cast<char>(rng.next_below(256));
+        break;
+      case 1:  // insert a byte biased toward structural characters
+        text.insert(pos, 1, "{}[]\",:0123456789.eE+-tfn \\"[rng.next_below(27)]);
+        break;
+      case 2:  // delete a short span
+        text.erase(pos, 1 + rng.next_below(4));
+        break;
+      case 3: {  // duplicate a short span elsewhere
+        const std::size_t len =
+            std::min<std::size_t>(1 + rng.next_below(8), text.size() - pos);
+        text.insert(rng.next_below(text.size()), text.substr(pos, len));
+        break;
+      }
+      default:  // truncate the tail
+        text.resize(pos);
+        break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// util::parse_json
+
+/// Corpus of valid documents in the shapes this repo actually emits
+/// (metrics JSON, BENCH_*.json): nested objects, arrays of numbers,
+/// escaped strings, null, bools, exponents and negative values.
+const char* const kJsonCorpus[] = {
+    R"({"schema":"cellsweep-metrics-v3","seconds":1.25e-3,"faults":null})",
+    R"({"counters":{"mfc/retries":0,"spe0":{"busy_s":0.125,"idle_s":1}}})",
+    R"([1,-2,3.5,4e8,0.0625,[true,false,null],"text with \"quotes\""])",
+    R"({"runs":[{"name":"healthy","ok":true},{"name":"spe7_down","ok":true}]})",
+    R"("a string with A escapes \n and \\ slashes")",
+    R"({"empty_obj":{},"empty_arr":[],"nested":[[[0]]],"neg":-0.5})",
+    "  -17.5e-2  ",
+    "null",
+};
+
+/// Parses @p text under the fuzz contract: success or JsonError only.
+Outcome parse_json_outcome(const std::string& text, const char* label) {
+  try {
+    (void)util::parse_json(text);
+    return Outcome::kOk;
+  } catch (const util::JsonError&) {
+    return Outcome::kTypedError;
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << label << ": foreign exception " << e.what()
+                  << " for input: " << text;
+  } catch (...) {
+    ADD_FAILURE() << label << ": non-std exception for input: " << text;
+  }
+  return Outcome::kForeignError;
+}
+
+TEST(JsonFuzz, CorpusParsesClean) {
+  for (const char* doc : kJsonCorpus)
+    EXPECT_NO_THROW((void)util::parse_json(doc)) << doc;
+}
+
+TEST(JsonFuzz, MutatedDocumentsThrowTypedErrorOrParse) {
+  for (std::uint64_t seed = 0; seed < 400; ++seed) {
+    util::SplitMix64 rng(0xfadedbee00ULL + seed);
+    std::string doc =
+        kJsonCorpus[rng.next_below(std::size(kJsonCorpus))];
+    mutate(doc, rng);
+    const std::string label = "json mutation seed " + std::to_string(seed);
+    EXPECT_NE(parse_json_outcome(doc, label.c_str()), Outcome::kForeignError);
+  }
+}
+
+TEST(JsonFuzz, EveryPrefixOfAValidDocumentIsHandled) {
+  for (const char* doc : kJsonCorpus) {
+    const std::string full(doc);
+    for (std::size_t len = 0; len < full.size(); ++len)
+      (void)parse_json_outcome(full.substr(0, len), "json prefix");
+  }
+}
+
+TEST(JsonFuzz, RandomGarbageNeverCrashes) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    util::SplitMix64 rng(0x6a7b6a7bULL ^ (seed * 977));
+    std::string junk(rng.next_below(120), '\0');
+    for (char& c : junk) c = static_cast<char>(rng.next_below(256));
+    (void)parse_json_outcome(junk, "json garbage");
+  }
+}
+
+TEST(JsonFuzz, OutcomesAreDeterministicPerSeed) {
+  auto sweep_outcomes = [] {
+    std::vector<Outcome> out;
+    for (std::uint64_t seed = 0; seed < 64; ++seed) {
+      util::SplitMix64 rng(0xd00dfeedULL + seed);
+      std::string doc =
+          kJsonCorpus[rng.next_below(std::size(kJsonCorpus))];
+      mutate(doc, rng);
+      out.push_back(parse_json_outcome(doc, "json determinism"));
+    }
+    return out;
+  };
+  EXPECT_EQ(sweep_outcomes(), sweep_outcomes());
+}
+
+// ---------------------------------------------------------------------------
+// sweep::parse_deck_string
+
+const char* const kDeckCorpus[] = {
+    // The paper's benchmark deck shape.
+    "it 16  jt 16  kt 16\n"
+    "dx 0.04  dy 0.04  dz 0.04\n"
+    "mk 4\nmmi 3\nsn 6\nmoments 4\niterations 4\nfixup_from 2\n"
+    "material benchmark 1.0 0.5 0.2 source 1.0\n",
+    // Regions, boundaries and comments.
+    "# shielded block\nit 8 jt 8 kt 8\n"
+    "material air 0.1 0.05 source 0.0\n"
+    "material shield 8.0 0.4 source 0.0\n"
+    "region 1 2 6 0 8 0 8\n"
+    "bc west reflective\nbc top vacuum\n",
+    // Keys sharing lines, acceleration toggle.
+    "it 8 jt 10 kt 12 epsilon 1e-5 accelerate 1\n"
+    "material m 1.0 0.5 source 1.0\n",
+};
+
+Outcome parse_deck_outcome(const std::string& text, const char* label) {
+  try {
+    (void)sweep::parse_deck_string(text);
+    return Outcome::kOk;
+  } catch (const sweep::DeckError&) {
+    return Outcome::kTypedError;
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << label << ": foreign exception " << e.what()
+                  << " for deck: " << text;
+  } catch (...) {
+    ADD_FAILURE() << label << ": non-std exception for deck: " << text;
+  }
+  return Outcome::kForeignError;
+}
+
+TEST(DeckFuzz, CorpusParsesClean) {
+  for (const char* deck : kDeckCorpus)
+    EXPECT_NO_THROW((void)sweep::parse_deck_string(deck)) << deck;
+}
+
+TEST(DeckFuzz, MutatedDecksThrowDeckErrorOrParse) {
+  for (std::uint64_t seed = 0; seed < 300; ++seed) {
+    util::SplitMix64 rng(0xdecdecdecULL + seed);
+    std::string deck =
+        kDeckCorpus[rng.next_below(std::size(kDeckCorpus))];
+    mutate(deck, rng);
+    const std::string label = "deck mutation seed " + std::to_string(seed);
+    EXPECT_NE(parse_deck_outcome(deck, label.c_str()), Outcome::kForeignError);
+  }
+}
+
+TEST(DeckFuzz, RandomTokenSoupNeverCrashes) {
+  // Decks assembled from the parser's own vocabulary plus junk: this
+  // reaches deeper than byte noise because most lines pass the keyword
+  // switch and die (or survive) in the value handling instead.
+  const char* const vocab[] = {
+      "it",     "jt",       "kt",       "dx",         "dy",     "dz",
+      "mk",     "mmi",      "sn",       "moments",    "region", "material",
+      "bc",     "west",     "top",      "reflective", "vacuum", "source",
+      "epsilon", "iterations", "accelerate", "fixup_from",
+      "8",      "0",        "-3",       "1.0",        "1e99",   "nan",
+      "0.5",    "99999999999999999999", "zz",         "#",
+  };
+  for (std::uint64_t seed = 0; seed < 300; ++seed) {
+    util::SplitMix64 rng(0x50a1ad00ULL + seed * 31);
+    std::string deck;
+    const int tokens = 2 + static_cast<int>(rng.next_below(40));
+    for (int t = 0; t < tokens; ++t) {
+      deck += vocab[rng.next_below(std::size(vocab))];
+      deck += rng.next_below(5) == 0 ? '\n' : ' ';
+    }
+    const std::string label = "deck soup seed " + std::to_string(seed);
+    (void)parse_deck_outcome(deck, label.c_str());
+  }
+}
+
+TEST(DeckFuzz, OversizedGridsAreRejectedBeforeAllocation) {
+  // The robustness caps must fire as DeckError, not as bad_alloc or an
+  // overflowed cells() product.
+  EXPECT_THROW((void)sweep::parse_deck_string(
+                   "it 100000 jt 100000 kt 100000\n"
+                   "material m 1.0 0.5 source 1.0\n"),
+               sweep::DeckError);
+  EXPECT_THROW((void)sweep::parse_deck_string(
+                   "it 4096 jt 4096 kt 4096\n"
+                   "material m 1.0 0.5 source 1.0\n"),
+               sweep::DeckError);
+  EXPECT_THROW((void)sweep::parse_deck_string(
+                   "it 8 jt 8 kt 8 moments 5000\n"
+                   "material m 1.0 0.5 source 1.0\n"),
+               sweep::DeckError);
+}
+
+}  // namespace
+}  // namespace cellsweep

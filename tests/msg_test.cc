@@ -130,6 +130,57 @@ TEST(Msg, SequentialReductions) {
   });
 }
 
+TEST(Msg, SingleRankWorldSelfMessaging) {
+  // The 1x1 decomposition degenerates to self-sends: matched send/recv
+  // to one's own rank, collectives of one, and a no-op barrier must
+  // all work so solve_mpi's px = py = 1 path needs no special casing.
+  World world(1);
+  world.run([](Communicator& comm) {
+    EXPECT_EQ(comm.size(), 1);
+    comm.send(0, 5, std::vector<double>{4.25, -1.0});
+    const auto m = comm.recv(0, 5);
+    ASSERT_EQ(m.size(), 2u);
+    EXPECT_DOUBLE_EQ(m[0], 4.25);
+    comm.barrier();
+    EXPECT_DOUBLE_EQ(comm.allreduce_sum(3.5), 3.5);
+    EXPECT_DOUBLE_EQ(comm.allreduce_max(-2.0), -2.0);
+  });
+}
+
+TEST(Msg, DegradedRankPreservesResults) {
+  // A straggler node can reorder host scheduling but never the matched
+  // message streams: a pipeline relay through the slow rank must give
+  // bit-identical results with and without the degradation.
+  auto relay = [](World& world, std::vector<double>& out) {
+    const int n = world.size();
+    out.assign(static_cast<std::size_t>(n), 0.0);
+    world.run([&](Communicator& comm) {
+      const int r = comm.rank();
+      double acc = 1.0 / (1.0 + r);
+      for (int round = 0; round < 8; ++round) {
+        if (r > 0) acc += comm.recv(r - 1, round)[0];
+        if (r < n - 1) comm.send(r + 1, round, std::vector<double>{acc});
+      }
+      out[static_cast<std::size_t>(r)] = comm.allreduce_sum(acc);
+    });
+  };
+  World healthy(4), degraded(4);
+  degraded.degrade_rank(2, 300);
+  std::vector<double> a, b;
+  relay(healthy, a);
+  relay(degraded, b);
+  EXPECT_EQ(a, b);
+  for (double v : b) EXPECT_EQ(v, b[0]);  // allreduce agrees on all ranks
+}
+
+TEST(Msg, DegradeRankValidates) {
+  World world(2);
+  EXPECT_THROW(world.degrade_rank(2, 10), MsgError);
+  EXPECT_THROW(world.degrade_rank(-1, 10), MsgError);
+  EXPECT_THROW(world.degrade_rank(0, -5), MsgError);
+  EXPECT_NO_THROW(world.degrade_rank(0, 0));
+}
+
 TEST(Msg, ExceptionsPropagate) {
   World world(2);
   EXPECT_THROW(world.run([](Communicator& comm) {
@@ -166,6 +217,37 @@ TEST(CartGrid, WaveDepth) {
 
 TEST(CartGrid, RejectsBadDims) {
   EXPECT_THROW(CartGrid2D(0, 3), std::invalid_argument);
+}
+
+TEST(CartGrid, DegenerateAndNonSquareShapes) {
+  // 1x1: a single rank with no neighbors and zero wave depth.
+  CartGrid2D one(1, 1);
+  EXPECT_EQ(one.size(), 1);
+  for (Direction d : {Direction::kWest, Direction::kEast, Direction::kNorth,
+                      Direction::kSouth})
+    EXPECT_EQ(one.neighbor(0, d), -1);
+  EXPECT_EQ(one.wave_depth(0, 0, 0), 0);
+
+  // 6x1: a pure pipeline; the wavefront walks west-to-east.
+  CartGrid2D row(6, 1);
+  EXPECT_EQ(row.size(), 6);
+  for (int r = 0; r < 6; ++r) {
+    EXPECT_EQ(row.rank_of(row.x_of(r), row.y_of(r)), r);
+    EXPECT_EQ(row.neighbor(r, Direction::kNorth), -1);
+    EXPECT_EQ(row.neighbor(r, Direction::kSouth), -1);
+    EXPECT_EQ(row.wave_depth(r, 0, 0), row.x_of(r));
+  }
+  EXPECT_EQ(row.neighbor(0, Direction::kWest), -1);
+  EXPECT_EQ(row.neighbor(5, Direction::kEast), -1);
+
+  // 1x4: the transposed pipeline.
+  CartGrid2D col(1, 4);
+  EXPECT_EQ(col.size(), 4);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(col.neighbor(r, Direction::kWest), -1);
+    EXPECT_EQ(col.neighbor(r, Direction::kEast), -1);
+  }
+  EXPECT_EQ(col.wave_depth(3, 0, 0), col.y_of(3));
 }
 
 }  // namespace

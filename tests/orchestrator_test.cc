@@ -207,5 +207,18 @@ TEST(Orchestrator, PipelinedDpCutsComputeNotTraffic) {
   EXPECT_NEAR(fast.traffic_bytes / base.traffic_bytes, 1.0, 0.01);
 }
 
+TEST(Orchestrator, FaultFreeRunHasNoFaultSurface) {
+  // The fault subsystem must be invisible unless armed: no faults/
+  // counter subtree, a disabled FaultReport, and (pinned in
+  // tests/fault_test.cc) byte-identical metrics to a run built before
+  // the subsystem existed. This is the contract that keeps
+  // bench/baselines/ valid.
+  const RunReport r = run_stage(OptimizationStage::kSpeLsPoke);
+  EXPECT_FALSE(r.faults.enabled);
+  EXPECT_EQ(r.counters.find_child("faults"), nullptr);
+  EXPECT_EQ(r.faults.spes_disabled, 0);
+  EXPECT_EQ(r.faults.redispatched_chunks, 0u);
+}
+
 }  // namespace
 }  // namespace cellsweep::core
