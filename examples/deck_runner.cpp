@@ -1,5 +1,7 @@
 // Deck runner: the classic Sweep3D workflow -- point the binary at an
 // input deck, get the solve and the simulated Cell performance report.
+// --workload=stencil swaps the input grammar and runner for the
+// red-black stencil workload on the same machine model.
 //
 //   $ ./deck_runner examples/decks/benchmark50.deck
 //   $ ./deck_runner examples/decks/shield_reflected.deck --stage=simd
@@ -7,6 +9,8 @@
 //         --metrics metrics.json     # chrome://tracing + JSON metrics
 //   $ ./deck_runner examples/decks/benchmark50.deck --check   # hazard check
 //   $ ./deck_runner lint examples/decks/*.deck                # static lint
+//   $ ./deck_runner --workload=stencil examples/decks/heat32.stencil
+//   $ ./deck_runner --workload=stencil lint examples/decks/*.stencil
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -22,6 +26,7 @@
 #include "util/cli.h"
 #include "util/table.h"
 #include "util/units.h"
+#include "workloads/stencil/stencil.h"
 
 using namespace cellsweep;
 
@@ -34,26 +39,39 @@ core::OptimizationStage stage_from_name(const std::string& name) {
   return core::OptimizationStage::kSpeLsPoke;
 }
 
-/// `deck_runner lint <deck>...`: statically validate decks (chunk shape
-/// vs. LS budget, quadrature/grid consistency, DMA legality) without
-/// running any simulation. Exit code is the number of failing decks.
+/// `deck_runner [--workload=...] lint <file>...`: statically validate
+/// inputs (chunk/block shape vs. LS budget, grammar consistency, DMA
+/// legality) without running any simulation. Exit code is the number
+/// of failing files.
 int run_lint(const std::vector<std::string>& paths,
-             core::OptimizationStage stage) {
+             core::OptimizationStage stage, const std::string& workload) {
   int failed = 0;
   for (const std::string& path : paths) {
     try {
-      const sweep::Deck deck = sweep::load_deck(path);
       core::CellSweepConfig cfg = core::CellSweepConfig::from_stage(stage);
-      cfg.sweep = deck.sweep;
-      const analysis::Diagnostics diags = analysis::lint_deck(deck, cfg);
+      analysis::Diagnostics diags;
+      std::string source = path;
+      if (workload == "stencil") {
+        const stencil::StencilSpec spec = stencil::load_spec(path);
+        source = spec.origin;
+        diags = analysis::lint_stencil(spec, cfg);
+      } else {
+        const sweep::Deck deck = sweep::load_deck(path);
+        source = deck.source;
+        cfg.sweep = deck.sweep;
+        diags = analysis::lint_deck(deck, cfg);
+      }
       for (const analysis::Diagnostic& d : diags.entries())
-        std::cerr << deck.source << ": " << d.to_string() << "\n";
+        std::cerr << source << ": " << d.to_string() << "\n";
       if (diags.has_errors()) {
         ++failed;
       } else {
-        std::cout << deck.source << ": ok\n";
+        std::cout << source << ": ok\n";
       }
     } catch (const sweep::DeckError& e) {
+      std::cerr << path << ": error[parse]: " << e.what() << "\n";
+      ++failed;
+    } catch (const stencil::StencilError& e) {
       std::cerr << path << ": error[parse]: " << e.what() << "\n";
       ++failed;
     }
@@ -61,172 +79,13 @@ int run_lint(const std::vector<std::string>& paths,
   return failed;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  util::CliParser cli("Run a CellSweep input deck");
-  cli.add_flag("stage", "final",
-               "optimization stage: ppe | initial | simd | final");
-  cli.add_flag("check", "false",
-               "attach the machine-model hazard checker; protocol "
-               "violations become hard errors");
-  cli.add_flag("functional", "true",
-               "solve the physics (false: timing only)");
-  cli.add_flag("threads", "1",
-               "host threads for the functional sweep (results are "
-               "bitwise identical for any value)");
-  cli.add_flag("trace", "",
-               "write a Chrome trace-event JSON of the simulated run "
-               "(load in chrome://tracing or ui.perfetto.dev)");
-  cli.add_flag("metrics", "",
-               "write run metrics (timing, stall breakdown, DMA "
-               "histograms) as JSON");
-  cli.add_flag("counters", "false",
-               "attach the time-sliced profiler and print a hardware "
-               "counter summary; --counters=N sets the profile window "
-               "count (default 96). Counters and the utilization "
-               "timeseries also land in --metrics and --trace output");
-  cli.add_flag("faults", "",
-               "seeded fault injection, e.g. "
-               "--faults=seed=42,dma=0.001,spe=7:down (keys: seed, dma, "
-               "timeout, drop, throttle, retries, spe). The run degrades "
-               "gracefully and reports the cost; same seed => identical "
-               "schedule");
-  if (!cli.parse(argc, argv)) {
-    std::cerr << cli.error() << "\n" << cli.usage(argv[0]);
-    return 1;
-  }
-  if (cli.help_requested() || cli.positional().empty()) {
-    std::cout << cli.usage(argv[0]) << "\nUsage: " << argv[0]
-              << " <deck file> [flags]\n       " << argv[0]
-              << " lint <deck file>...\n";
-    return cli.help_requested() ? 0 : 1;
-  }
-
-  const core::OptimizationStage stage =
-      stage_from_name(cli.get_string("stage"));
-
-  if (cli.positional()[0] == "lint") {
-    std::vector<std::string> paths(cli.positional().begin() + 1,
-                                   cli.positional().end());
-    if (paths.empty()) {
-      std::cerr << "deck_runner lint: no deck files given\n";
-      return 1;
-    }
-    return run_lint(paths, stage);
-  }
-
-  sweep::Deck deck = [&] {
-    try {
-      return sweep::load_deck(cli.positional()[0]);
-    } catch (const sweep::DeckError& e) {
-      std::cerr << e.what() << "\n";
-      std::exit(1);
-    }
-  }();
-
-  const auto& g = deck.problem.grid();
-  std::cout << "Deck: " << g.it << "x" << g.jt << "x" << g.kt << ", "
-            << deck.problem.materials().size() << " material(s), S"
-            << deck.sn_order << ", " << deck.nm_cap << " moments, MK="
-            << deck.sweep.mk << " MMI=" << deck.sweep.mmi << "\n";
-
-  std::string trace_path, metrics_path, counters_arg, faults_arg;
-  try {
-    deck.sweep.threads = static_cast<int>(cli.get_int("threads"));
-    trace_path = cli.get_string("trace");
-    metrics_path = cli.get_string("metrics");
-    counters_arg = cli.get_string("counters");
-    faults_arg = cli.get_string("faults");
-  } catch (const util::CliError& e) {
-    std::cerr << "deck_runner: " << e.what() << "\n" << cli.usage(argv[0]);
-    return 1;
-  }
-  if (deck.sweep.threads < 1) {
-    std::cerr << "deck_runner: --threads must be a positive integer\n";
-    return 1;
-  }
-  std::size_t profile_windows = 0;  // 0: profiler off
-  if (counters_arg != "false") {
-    if (counters_arg == "true") {
-      profile_windows = 96;
-    } else {
-      char* rest = nullptr;
-      const unsigned long n = std::strtoul(counters_arg.c_str(), &rest, 10);
-      if (rest == nullptr || *rest != '\0' || n < 2) {
-        std::cerr << "deck_runner: --counters wants a window count >= 2, "
-                     "got '" << counters_arg << "'\n";
-        return 1;
-      }
-      profile_windows = static_cast<std::size_t>(n);
-    }
-  }
-
-  if (deck.problem.any_reflective() || cli.get_bool("functional")) {
-    // Reflective decks need the functional solver for physics.
-    sweep::SnQuadrature quad(deck.sn_order);
-    sweep::SweepState<double> state(deck.problem, quad, 2, deck.nm_cap);
-    const sweep::SolveResult r =
-        sweep::solve_source_iteration(state, deck.sweep);
-    std::cout << "Solve: " << r.iterations << " iterations, change "
-              << r.final_change << (r.converged ? " (converged)" : "")
-              << "; absorption " << state.absorption_rate() << ", leakage "
-              << state.leakage().total() << ", fixup cells "
-              << r.totals.fixup_cells << "\n";
-  }
-
-  // The profiler outlives the writer's final write() below: the counter
-  // events it emits reference its track names by pointer.
-  sim::TimeSlicedProfiler profiler(profile_windows == 0 ? 96
-                                                        : profile_windows);
-  sim::ChromeTraceWriter writer;
-  core::CellSweepConfig cfg = core::CellSweepConfig::from_stage(stage);
-  cfg.sweep = deck.sweep;
-  cfg.sweep.kernel = cfg.kernel;
-  cfg.sweep.epsilon = 0.0;  // the timing model replays a fixed count
-  if (!trace_path.empty()) cfg.trace_sink = &writer;
-  if (profile_windows != 0) cfg.profiler = &profiler;
-  if (!faults_arg.empty()) {
-    try {
-      cfg.faults = sim::parse_fault_spec(faults_arg);
-    } catch (const sim::FaultSpecError& e) {
-      std::cerr << "deck_runner: --faults: " << e.what() << "\n";
-      return 1;
-    }
-  }
-
-  // --check: lint the deck, then observe the run with the hazard
-  // checker; any finding is a hard error.
-  analysis::Diagnostics diags;
-  analysis::HazardChecker checker(&diags, cfg.chip);
-  const bool check = cli.get_bool("check");
-  if (check) {
-    const analysis::Diagnostics lint = analysis::lint_deck(deck, cfg);
-    for (const analysis::Diagnostic& d : lint.entries())
-      std::cerr << deck.source << ": " << d.to_string() << "\n";
-    if (lint.has_errors()) return 1;
-    cfg.hazard = &checker;
-  }
-
-  core::CellSweep3D runner(deck.problem, cfg, deck.sn_order, 2, deck.nm_cap);
-  const core::RunReport rep = [&] {
-    try {
-      return runner.run(core::RunMode::kTraceDriven);
-    } catch (const sim::FaultError& e) {
-      std::cerr << "deck_runner: " << e.what() << "\n";
-      std::exit(1);
-    }
-  }();
-  if (check) {
-    for (const analysis::Diagnostic& d : diags.entries())
-      std::cerr << deck.source << ": " << d.to_string() << "\n";
-    if (diags.has_errors()) {
-      std::cerr << "deck_runner: hazard check failed with "
-                << diags.error_count() << " error(s)\n";
-      return 1;
-    }
-    std::cout << "Hazard check: clean\n";
-  }
+/// The machine-side report both workloads share: headline timing, the
+/// per-SPE stall breakdown, fault accounting, counter summary, and the
+/// trace/metrics file outputs. Returns a process exit code.
+int emit_report(const core::RunReport& rep, core::OptimizationStage stage,
+                std::size_t profile_windows, const std::string& trace_path,
+                const std::string& metrics_path,
+                sim::ChromeTraceWriter& writer) {
   std::cout << "Cell (" << core::stage_name(stage)
             << "): " << util::format_seconds(rep.seconds) << ", "
             << util::format_bytes(rep.traffic_bytes) << " traffic, grind "
@@ -325,4 +184,249 @@ int main(int argc, char** argv) {
     std::cout << "Metrics -> " << metrics_path << "\n";
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli("Run a CellSweep input deck");
+  cli.add_flag("workload", "sweep",
+               "input workload: sweep (Sweep3D decks) | stencil "
+               "(red-black stencil specs)");
+  cli.add_flag("stage", "final",
+               "optimization stage: ppe | initial | simd | final");
+  cli.add_flag("check", "false",
+               "attach the machine-model hazard checker; protocol "
+               "violations become hard errors");
+  cli.add_flag("functional", "true",
+               "solve the physics (false: timing only)");
+  cli.add_flag("threads", "1",
+               "host threads for the functional solve (results are "
+               "bitwise identical for any value)");
+  cli.add_flag("trace", "",
+               "write a Chrome trace-event JSON of the simulated run "
+               "(load in chrome://tracing or ui.perfetto.dev)");
+  cli.add_flag("metrics", "",
+               "write run metrics (timing, stall breakdown, DMA "
+               "histograms) as JSON");
+  cli.add_flag("counters", "false",
+               "attach the time-sliced profiler and print a hardware "
+               "counter summary; --counters=N sets the profile window "
+               "count (default 96). Counters and the utilization "
+               "timeseries also land in --metrics and --trace output");
+  cli.add_flag("faults", "",
+               "seeded fault injection, e.g. "
+               "--faults=seed=42,dma=0.001,spe=7:down (keys: seed, dma, "
+               "timeout, drop, throttle, retries, spe). The run degrades "
+               "gracefully and reports the cost; same seed => identical "
+               "schedule");
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << "\n" << cli.usage(argv[0]);
+    return 1;
+  }
+  if (cli.help_requested() || cli.positional().empty()) {
+    std::cout << cli.usage(argv[0]) << "\nUsage: " << argv[0]
+              << " <deck file> [flags]\n       " << argv[0]
+              << " lint <deck file>...\n       " << argv[0]
+              << " --workload=stencil <spec file> [flags]\n";
+    return cli.help_requested() ? 0 : 1;
+  }
+
+  const std::string workload = [&] {
+    try {
+      const std::string w = cli.get_string("workload");
+      if (w != "sweep" && w != "stencil")
+        throw util::CliError("unknown workload '" + w +
+                             "' (valid: sweep, stencil)");
+      return w;
+    } catch (const util::CliError& e) {
+      std::cerr << "deck_runner: " << e.what() << "\n";
+      std::exit(1);
+    }
+  }();
+
+  const core::OptimizationStage stage =
+      stage_from_name(cli.get_string("stage"));
+
+  if (cli.positional()[0] == "lint") {
+    std::vector<std::string> paths(cli.positional().begin() + 1,
+                                   cli.positional().end());
+    if (paths.empty()) {
+      std::cerr << "deck_runner lint: no input files given\n";
+      return 1;
+    }
+    return run_lint(paths, stage, workload);
+  }
+
+  std::string trace_path, metrics_path, counters_arg, faults_arg;
+  int threads = 1;
+  try {
+    threads = static_cast<int>(cli.get_int("threads"));
+    trace_path = cli.get_string("trace");
+    metrics_path = cli.get_string("metrics");
+    counters_arg = cli.get_string("counters");
+    faults_arg = cli.get_string("faults");
+  } catch (const util::CliError& e) {
+    std::cerr << "deck_runner: " << e.what() << "\n" << cli.usage(argv[0]);
+    return 1;
+  }
+  if (threads < 1) {
+    std::cerr << "deck_runner: --threads must be a positive integer\n";
+    return 1;
+  }
+  std::size_t profile_windows = 0;  // 0: profiler off
+  if (counters_arg != "false") {
+    if (counters_arg == "true") {
+      profile_windows = 96;
+    } else {
+      char* rest = nullptr;
+      const unsigned long n = std::strtoul(counters_arg.c_str(), &rest, 10);
+      if (rest == nullptr || *rest != '\0' || n < 2) {
+        std::cerr << "deck_runner: --counters wants a window count >= 2, "
+                     "got '" << counters_arg << "'\n";
+        return 1;
+      }
+      profile_windows = static_cast<std::size_t>(n);
+    }
+  }
+
+  // The profiler outlives the writer's final write() below: the counter
+  // events it emits reference its track names by pointer.
+  sim::TimeSlicedProfiler profiler(profile_windows == 0 ? 96
+                                                        : profile_windows);
+  sim::ChromeTraceWriter writer;
+  core::CellSweepConfig cfg = core::CellSweepConfig::from_stage(stage);
+  if (!trace_path.empty()) cfg.trace_sink = &writer;
+  if (profile_windows != 0) cfg.profiler = &profiler;
+  if (!faults_arg.empty()) {
+    try {
+      cfg.faults = sim::parse_fault_spec(faults_arg);
+    } catch (const sim::FaultSpecError& e) {
+      std::cerr << "deck_runner: --faults: " << e.what() << "\n";
+      return 1;
+    }
+  }
+  const bool check = cli.get_bool("check");
+  analysis::Diagnostics diags;
+  analysis::HazardChecker checker(&diags, cfg.chip);
+
+  if (workload == "stencil") {
+    const stencil::StencilSpec spec = [&] {
+      try {
+        return stencil::load_spec(cli.positional()[0]);
+      } catch (const stencil::StencilError& e) {
+        std::cerr << e.what() << "\n";
+        std::exit(1);
+      }
+    }();
+    std::cout << "Stencil: " << spec.nx << "x" << spec.ny << "x" << spec.nz
+              << ", blocks " << spec.bx << "x" << spec.by << "x" << spec.bz
+              << " (" << spec.blocks() << "), " << spec.iterations
+              << " iteration(s)\n";
+
+    // --check: lint the spec, then observe the run with the hazard
+    // checker; any finding is a hard error.
+    if (check) {
+      const analysis::Diagnostics lint = analysis::lint_stencil(spec, cfg);
+      for (const analysis::Diagnostic& d : lint.entries())
+        std::cerr << spec.origin << ": " << d.to_string() << "\n";
+      if (lint.has_errors()) return 1;
+      cfg.hazard = &checker;
+    }
+
+    stencil::CellStencil runner(spec, cfg);
+    const core::RunMode mode = cli.get_bool("functional")
+                                   ? core::RunMode::kFunctional
+                                   : core::RunMode::kTraceDriven;
+    const stencil::StencilReport rep = [&] {
+      try {
+        return runner.run(mode, threads);
+      } catch (const sim::FaultError& e) {
+        std::cerr << "deck_runner: " << e.what() << "\n";
+        std::exit(1);
+      }
+    }();
+    if (mode == core::RunMode::kFunctional) {
+      std::cout << "Solve: " << rep.updates << " updates, checksum "
+                << rep.checksum << ", residual " << rep.residual << "\n";
+    }
+    if (check) {
+      for (const analysis::Diagnostic& d : diags.entries())
+        std::cerr << spec.origin << ": " << d.to_string() << "\n";
+      if (diags.has_errors()) {
+        std::cerr << "deck_runner: hazard check failed with "
+                  << diags.error_count() << " error(s)\n";
+        return 1;
+      }
+      std::cout << "Hazard check: clean\n";
+    }
+    return emit_report(rep.run, stage, profile_windows, trace_path,
+                       metrics_path, writer);
+  }
+
+  sweep::Deck deck = [&] {
+    try {
+      return sweep::load_deck(cli.positional()[0]);
+    } catch (const sweep::DeckError& e) {
+      std::cerr << e.what() << "\n";
+      std::exit(1);
+    }
+  }();
+
+  const auto& g = deck.problem.grid();
+  std::cout << "Deck: " << g.it << "x" << g.jt << "x" << g.kt << ", "
+            << deck.problem.materials().size() << " material(s), S"
+            << deck.sn_order << ", " << deck.nm_cap << " moments, MK="
+            << deck.sweep.mk << " MMI=" << deck.sweep.mmi << "\n";
+
+  deck.sweep.threads = threads;
+
+  if (deck.problem.any_reflective() || cli.get_bool("functional")) {
+    // Reflective decks need the functional solver for physics.
+    sweep::SnQuadrature quad(deck.sn_order);
+    sweep::SweepState<double> state(deck.problem, quad, 2, deck.nm_cap);
+    const sweep::SolveResult r =
+        sweep::solve_source_iteration(state, deck.sweep);
+    std::cout << "Solve: " << r.iterations << " iterations, change "
+              << r.final_change << (r.converged ? " (converged)" : "")
+              << "; absorption " << state.absorption_rate() << ", leakage "
+              << state.leakage().total() << ", fixup cells "
+              << r.totals.fixup_cells << "\n";
+  }
+
+  cfg.sweep = deck.sweep;
+  cfg.sweep.kernel = cfg.kernel;
+  cfg.sweep.epsilon = 0.0;  // the timing model replays a fixed count
+
+  // --check: lint the deck, then observe the run with the hazard
+  // checker; any finding is a hard error.
+  if (check) {
+    const analysis::Diagnostics lint = analysis::lint_deck(deck, cfg);
+    for (const analysis::Diagnostic& d : lint.entries())
+      std::cerr << deck.source << ": " << d.to_string() << "\n";
+    if (lint.has_errors()) return 1;
+    cfg.hazard = &checker;
+  }
+
+  core::CellSweep3D runner(deck.problem, cfg, deck.sn_order, 2, deck.nm_cap);
+  const core::RunReport rep = [&] {
+    try {
+      return runner.run(core::RunMode::kTraceDriven);
+    } catch (const sim::FaultError& e) {
+      std::cerr << "deck_runner: " << e.what() << "\n";
+      std::exit(1);
+    }
+  }();
+  if (check) {
+    for (const analysis::Diagnostic& d : diags.entries())
+      std::cerr << deck.source << ": " << d.to_string() << "\n";
+    if (diags.has_errors()) {
+      std::cerr << "deck_runner: hazard check failed with "
+                << diags.error_count() << " error(s)\n";
+      return 1;
+    }
+    std::cout << "Hazard check: clean\n";
+  }
+  return emit_report(rep, stage, profile_windows, trace_path, metrics_path,
+                     writer);
 }

@@ -9,6 +9,7 @@
 #include "sweep/kernel_simd.h"
 #include "sweep/quadrature.h"
 #include "util/aligned.h"
+#include "workloads/stencil/stencil.h"
 
 namespace cellsweep::analysis {
 
@@ -41,6 +42,64 @@ cell::DmaRequest lint_request(const core::CellSweepConfig& cfg,
         16);
   }
   return req;
+}
+
+/// The workload-independent machine checks, shared by lint_deck and
+/// lint_stencil: the LS budget of @p plan's staging buffer under the
+/// configured buffer count (plus @p resident_bytes of workload
+/// constants and the code reserve), the MFC tag budget of the buffer
+/// rotation, and the DMA legality of the three transfer classes the
+/// StreamingPipeline would submit.
+void lint_machine(Diagnostics& diags, const core::CellSweepConfig& cfg,
+                  const core::TransferPlan& plan, std::size_t resident_bytes,
+                  const std::string& ls_where) {
+  const int buffers = std::max(cfg.buffers, 1);
+  const std::size_t code_reserve = 48 * 1024;
+  const std::size_t per_buffer = util::round_up(plan.ls_buffer_bytes, 128);
+  const std::size_t need = code_reserve + resident_bytes +
+                           static_cast<std::size_t>(buffers) * per_buffer;
+  if (need > cfg.chip.local_store_bytes)
+    diags.error("ls-budget", ls_where,
+                std::to_string(buffers) + " staging buffer(s) of " +
+                    std::to_string(per_buffer) + " bytes plus " +
+                    std::to_string(code_reserve + resident_bytes) +
+                    " resident bytes need " + std::to_string(need) +
+                    " bytes; the local store holds " +
+                    std::to_string(cfg.chip.local_store_bytes));
+
+  // MFC tag budget: gets use tags [0, buffers), puts [buffers,
+  // 2*buffers) -- the rotation must fit the CBEA's tag-group space.
+  if (2 * static_cast<unsigned>(buffers) > cell::kMfcTagGroups)
+    diags.error("tag-budget", "buffers " + std::to_string(buffers),
+                "buffer rotation needs " + std::to_string(2 * buffers) +
+                    " MFC tag groups; the CBEA provides " +
+                    std::to_string(cell::kMfcTagGroups));
+
+  // DMA command legality, judged by the real MFC validator on the same
+  // requests the streaming pipeline would submit for one chunk.
+  if (cfg.dma_granularity % 16 != 0)
+    diags.error("dma-granularity",
+                "dma_granularity " + std::to_string(cfg.dma_granularity),
+                "DMA granularity must be a multiple of 16 bytes");
+  cell::Eib eib(cfg.chip);
+  cell::Mic mic(cfg.chip);
+  cell::Mfc mfc(cfg.chip, &eib, &mic, "lint");
+  const struct {
+    const char* name;
+    cell::DmaDir dir;
+    std::size_t bytes;
+  } classes[] = {
+      {"bulk-get", cell::DmaDir::kGet, plan.bulk_get_bytes()},
+      {"face-get", cell::DmaDir::kGet, plan.face_get_bytes()},
+      {"put", cell::DmaDir::kPut, plan.put_bytes()},
+  };
+  for (const auto& c : classes) {
+    try {
+      mfc.validate(lint_request(cfg, plan, c.dir, c.bytes));
+    } catch (const cell::DmaError& e) {
+      diags.error("dma-shape", std::string(c.name), e.what());
+    }
+  }
 }
 
 }  // namespace
@@ -100,55 +159,35 @@ Diagnostics lint_deck(const sweep::Deck& deck,
       cfg.precision == core::Precision::kDouble ? 8 : 4;
   const core::TransferPlan plan = core::plan_chunk(core::ChunkShape{
       sweep::kBundleLines, grid.it, nm, real_bytes, cfg.aligned_rows});
-  const int buffers = std::max(cfg.buffers, 1);
-  const std::size_t code_reserve = 48 * 1024;
-  const std::size_t constants = 4 * 1024;
-  const std::size_t per_buffer = util::round_up(plan.ls_buffer_bytes, 128);
-  const std::size_t need = code_reserve + constants +
-                           static_cast<std::size_t>(buffers) * per_buffer;
-  if (need > cfg.chip.local_store_bytes)
-    diags.error("ls-budget", "it " + std::to_string(grid.it),
-                std::to_string(buffers) + " staging buffer(s) of " +
-                    std::to_string(per_buffer) + " bytes plus " +
-                    std::to_string(code_reserve + constants) +
-                    " resident bytes need " + std::to_string(need) +
-                    " bytes; the local store holds " +
-                    std::to_string(cfg.chip.local_store_bytes));
+  lint_machine(diags, cfg, plan, 4 * 1024, "it " + std::to_string(grid.it));
 
-  // MFC tag budget: gets use tags [0, buffers), puts [buffers,
-  // 2*buffers) -- the rotation must fit the CBEA's tag-group space.
-  if (2 * static_cast<unsigned>(buffers) > cell::kMfcTagGroups)
-    diags.error("tag-budget", "buffers " + std::to_string(buffers),
-                "buffer rotation needs " + std::to_string(2 * buffers) +
-                    " MFC tag groups; the CBEA provides " +
-                    std::to_string(cell::kMfcTagGroups));
+  return diags;
+}
 
-  // DMA command legality, judged by the real MFC validator on the same
-  // requests the timing engine would submit for the largest chunk.
-  if (cfg.dma_granularity % 16 != 0)
-    diags.error("dma-granularity",
-                "dma_granularity " + std::to_string(cfg.dma_granularity),
-                "DMA granularity must be a multiple of 16 bytes");
-  cell::Eib eib(cfg.chip);
-  cell::Mic mic(cfg.chip);
-  cell::Mfc mfc(cfg.chip, &eib, &mic, "lint");
-  const struct {
-    const char* name;
-    cell::DmaDir dir;
-    std::size_t bytes;
-  } classes[] = {
-      {"bulk-get", cell::DmaDir::kGet, plan.bulk_get_bytes()},
-      {"face-get", cell::DmaDir::kGet, plan.face_get_bytes()},
-      {"put", cell::DmaDir::kPut, plan.put_bytes()},
-  };
-  for (const auto& c : classes) {
-    try {
-      mfc.validate(lint_request(cfg, plan, c.dir, c.bytes));
-    } catch (const cell::DmaError& e) {
-      diags.error("dma-shape", std::string(c.name), e.what());
-    }
+Diagnostics lint_stencil(const stencil::StencilSpec& spec,
+                         const core::CellSweepConfig& cfg) {
+  Diagnostics diags;
+
+  // Grid / blocking consistency: the same ranges StencilSpec::validate
+  // enforces at parse time, re-checked here so hand-built specs (and
+  // lint tests) get findings instead of exceptions.
+  try {
+    spec.validate();
+  } catch (const stencil::StencilError& e) {
+    diags.error("spec", spec.origin, e.what());
+    return diags;  // nothing downstream is meaningful
   }
 
+  // Machine fit of one block's working set, judged on the exact
+  // transfer plan the stencil runner would stream.
+  const std::size_t real_bytes =
+      cfg.precision == core::Precision::kDouble ? 8 : 4;
+  const core::TransferPlan plan =
+      stencil::plan_block(spec, real_bytes, cfg.aligned_rows);
+  lint_machine(diags, cfg, plan, 1024,
+               "bx " + std::to_string(spec.bx) + " by " +
+                   std::to_string(spec.by) + " bz " +
+                   std::to_string(spec.bz));
   return diags;
 }
 

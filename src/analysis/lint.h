@@ -13,6 +13,7 @@
 #include "analysis/diagnostics.h"
 #include "core/config.h"
 #include "sweep/deck.h"
+#include "workloads/stencil/spec.h"
 
 namespace cellsweep::analysis {
 
@@ -21,5 +22,12 @@ namespace cellsweep::analysis {
 /// carry no timestamps; `where` names the deck or config key at fault.
 Diagnostics lint_deck(const sweep::Deck& deck,
                       const core::CellSweepConfig& cfg);
+
+/// Validates a stencil spec the same way: grid/blocking consistency,
+/// the LS budget of the block staging buffers under the configured
+/// buffer count, the MFC tag budget of the rotation, and the DMA
+/// legality of the exact requests workloads/stencil would submit.
+Diagnostics lint_stencil(const stencil::StencilSpec& spec,
+                         const core::CellSweepConfig& cfg);
 
 }  // namespace cellsweep::analysis

@@ -48,6 +48,35 @@ enum class OptimizationStage : std::uint8_t {
 
 const char* stage_name(OptimizationStage s);
 
+/// The workload-agnostic machine switches of one streaming run: the
+/// subset of CellSweepConfig the core::StreamingPipeline reads. Every
+/// workload client (Sweep3D, the even/odd stencil) maps its own
+/// configuration surface onto this view; CellSweepConfig::stream() is
+/// the sweep-side projection.
+struct StreamConfig {
+  /// 1 = synchronous staging, 2 = double buffering (clamped to >= 1).
+  int buffers = 2;
+  /// Batch each chunk's transfers into MFC DMA-list commands instead of
+  /// individual per-row DMAs.
+  bool dma_lists = true;
+  /// Offset array allocations to spread rows over all 16 memory banks.
+  bool bank_offsets = true;
+  /// 128-byte alignment of every DMA'd row.
+  bool aligned_rows = true;
+  /// Bytes per DMA(-list element).
+  std::size_t dma_granularity = 512;
+  cell::SyncProtocol sync = cell::SyncProtocol::kLsPoke;
+  cell::CellSpec chip{};
+  /// Observability hooks (non-owning, may be null); identical contracts
+  /// to the CellSweepConfig fields of the same names: pure observation,
+  /// no simulated tick ever depends on them.
+  sim::TraceSink* trace_sink = nullptr;
+  sim::TimeSlicedProfiler* profiler = nullptr;
+  cell::MachineObserver* hazard = nullptr;
+  /// Fault injection (default: nothing can break).
+  sim::FaultSpec faults;
+};
+
 /// Mechanism switches of one configuration.
 struct CellSweepConfig {
   bool use_spes = true;  ///< false: the computation stays on the PPE
@@ -109,6 +138,24 @@ struct CellSweepConfig {
 
   /// The Figure 5 / Figure 10 ladder.
   static CellSweepConfig from_stage(OptimizationStage s);
+
+  /// Projects the machine-level switches onto the workload-agnostic
+  /// StreamingPipeline configuration.
+  StreamConfig stream() const {
+    StreamConfig s;
+    s.buffers = buffers;
+    s.dma_lists = dma_lists;
+    s.bank_offsets = bank_offsets;
+    s.aligned_rows = aligned_rows;
+    s.dma_granularity = dma_granularity;
+    s.sync = sync;
+    s.chip = chip;
+    s.trace_sink = trace_sink;
+    s.profiler = profiler;
+    s.hazard = hazard;
+    s.faults = faults;
+    return s;
+  }
 };
 
 }  // namespace cellsweep::core

@@ -9,11 +9,15 @@
 // through the local store with single or double buffering (data
 // streaming); the chunk kernel is the scalar or the four-logical-thread
 // SIMD one (vector + pipeline levels). The TimingEngine walks the same
-// DiagonalWork stream the functional sweeper emits and advances the
-// machine model's clocks: dispatch-fabric grants, MFC DMA gets/puts
-// (individual commands or DMA lists), SPU compute from the trace-
-// scheduled kernel cycles, per-diagonal wavefront barriers, and the
-// per-iteration source rebuild pass.
+// DiagonalWork stream the functional sweeper emits and translates each
+// diagonal into one core::StreamingPipeline batch: the pipeline owns
+// the machine model's clocks -- dispatch-fabric grants, MFC DMA
+// gets/puts (individual commands or DMA lists), SPU compute, the wave
+// arithmetic and double-buffer rotation -- while this engine supplies
+// the Sweep3D specifics: the ChunkPlan decomposition, the per-chunk
+// DMA transfer plans and trace-scheduled kernel costs, the per-line
+// wavefront dependency policy, the (octant, angle-block, K-block)
+// block barriers, and the per-iteration source rebuild pass.
 //
 // Two run modes produce identical timing (a test asserts it):
 //   * kFunctional  -- the physics really runs; the observer feeds the
@@ -23,100 +27,22 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <optional>
 #include <vector>
 
 #include "cellsim/cell_processor.h"
-#include "sim/counters.h"
-#include "sim/trace.h"
 #include "core/config.h"
 #include "core/kernel_timing.h"
+#include "core/report.h"
+#include "core/streaming_pipeline.h"
 #include "core/workload.h"
+#include "sim/trace.h"
 #include "sweep/sweeper.h"
-
-namespace cellsweep::analysis {
-class Diagnostics;
-class HazardChecker;
-}
 
 namespace cellsweep::core {
 
-/// How the workload stream is produced.
-enum class RunMode : std::uint8_t { kFunctional, kTraceDriven };
-
-/// Where one SPE's simulated time went, in seconds. The four buckets
-/// partition the run: busy (kernel cycles) + dma_wait (SPU stalled on
-/// its own gets/puts) + sync_wait (stalled on wavefront dependencies,
-/// dispatch grants and barriers) + idle (no work assigned) = seconds.
-struct SpeStallSummary {
-  double busy_s = 0;
-  double dma_wait_s = 0;
-  double sync_wait_s = 0;
-  double idle_s = 0;
-};
-
-/// What the fault injector did to a run (all zero / disabled unless a
-/// fault plan was armed via CellSweepConfig::faults). The same numbers
-/// appear under the "faults" subtree of RunReport::counters and in the
-/// metrics JSON.
-struct FaultReport {
-  bool enabled = false;
-  int spes_disabled = 0;   ///< dead from boot (the 7-of-8 yield case)
-  int spes_failed = 0;     ///< died mid-sweep
-  std::uint64_t redispatched_chunks = 0;  ///< re-run on a surviving SPE
-  std::uint64_t dma_retries = 0;     ///< failed DMA attempts, all MFCs
-  std::uint64_t tag_timeouts = 0;    ///< tag waits that missed the event
-  std::uint64_t dropped_messages = 0;  ///< dispatch messages resent
-  std::uint64_t mic_throttled = 0;   ///< bank-throttled MIC requests
-};
-
-/// Everything a run reports; the benches print from this.
-struct RunReport {
-  // --- timing ---------------------------------------------------------
-  double seconds = 0;           ///< simulated wall time of the run
-  double compute_busy_s = 0;    ///< mean per-SPE compute busy time
-  double mic_busy_s = 0;        ///< memory-port busy time
-  double dispatch_busy_grants = 0;  ///< dispatched work items
-  // --- workload -------------------------------------------------------
-  double traffic_bytes = 0;     ///< DMA payload moved (both directions)
-  std::uint64_t flops = 0;
-  std::uint64_t cell_solves = 0;
-  std::uint64_t chunks = 0;
-  std::uint64_t dma_commands = 0;
-  std::uint64_t dma_transfers = 0;
-  // --- derived --------------------------------------------------------
-  double achieved_flops_per_s = 0;
-  double grind_seconds = 0;     ///< seconds per cell-angle solve
-  double memory_bound_s = 0;    ///< Section 6 traffic bound
-  double compute_bound_s = 0;   ///< Section 6 compute bound
-  std::size_t ls_high_water = 0;  ///< LS bytes used per SPE
-  // --- stall accounting (SPE stages only; empty for PPE runs) ----------
-  std::vector<SpeStallSummary> spe_stalls;  ///< one entry per SPE
-  /// Aggregate MFC queue-occupancy histogram: [k] counts DMA commands
-  /// that entered their MFC queue behind k outstanding commands.
-  std::vector<std::uint64_t> mfc_queue_occupancy;
-  double mic_utilization = 0;   ///< MIC port busy fraction of the run
-  double eib_utilization = 0;   ///< EIB busy fraction of the run
-  // --- performance counters (SPE stages only; empty for PPE runs) ------
-  /// The machine's counter tree: per-SPE engine buckets (busy /
-  /// dma_wait / sync_wait / idle ticks -- they exactly partition
-  /// run_ticks per SPE), SPU-pipeline and MFC counters under "spe<N>",
-  /// a "spe_total" hierarchical aggregate, and the shared MIC / EIB /
-  /// dispatch units.
-  sim::CounterSet counters;
-  /// Utilization-over-time series (empty unless a
-  /// sim::TimeSlicedProfiler was attached via CellSweepConfig).
-  sim::Profile timeseries;
-  /// Fault-injection summary (enabled only when a plan was armed).
-  FaultReport faults;
-  // --- functional results (kFunctional only) ---------------------------
-  std::optional<sweep::SolveResult> solve;
-  double absorption = 0;
-  sweep::LeakageTally leakage;
-};
-
-/// Timing engine: consumes DiagonalWork events in sweep order.
+/// Timing engine: consumes DiagonalWork events in sweep order and
+/// re-hosts them on the workload-agnostic StreamingPipeline.
 class TimingEngine {
  public:
   TimingEngine(const CellSweepConfig& cfg, const sweep::Grid& grid, int nm);
@@ -127,117 +53,34 @@ class TimingEngine {
 
   /// Drains outstanding work and the final iteration's source pass;
   /// returns the completed report (timing fields only). Under
-  /// CELLSWEEP_HAZARD_CHECK (and only with the engine-owned checker)
+  /// CELLSWEEP_HAZARD_CHECK (and only with the pipeline-owned checker)
   /// throws analysis::HazardError when protocol violations were found.
-  RunReport finish();
+  RunReport finish() { return pipeline_.finish(); }
 
   /// Current completion horizon (simulated seconds); monotone across
   /// diagonals. Exposed for tests and pipeline diagnostics.
   double horizon_seconds() const noexcept {
-    return sim::seconds_from_ticks(next_barrier_);
+    return pipeline_.horizon_seconds();
   }
-  sim::Tick horizon() const noexcept { return next_barrier_; }
+  sim::Tick horizon() const noexcept { return pipeline_.horizon(); }
 
   /// External gate: no work fed after this call may start before
   /// @p at. Models a blocking boundary receive (the RECV of Figure 2)
   /// when this chip is one rank of a process-level decomposition.
-  void gate(sim::Tick at) {
-    next_barrier_ = std::max(next_barrier_, at);
-    reports_horizon_ = std::max(reports_horizon_, at);
-  }
+  void gate(sim::Tick at) { pipeline_.gate(at); }
 
-  const cell::CellProcessor& machine() const noexcept { return machine_; }
+  const cell::CellProcessor& machine() const noexcept {
+    return pipeline_.machine();
+  }
   KernelCostModel& kernels() noexcept { return kernels_; }
 
  private:
-  struct SpeClock {
-    sim::Tick request_at = 0;   ///< ready to ask for the next chunk
-    sim::Tick compute_free = 0; ///< SPU free for the next kernel
-    sim::Tick put_done = 0;     ///< last writeback completed
-    /// Chunks ever assigned to this SPE; chunk k streams through LS
-    /// buffer k % buffers (the double-buffer rotation).
-    std::uint64_t served = 0;
-    // Stall accounting (ticks; observation only, never read back into
-    // the clocks above).
-    sim::Tick busy = 0;
-    sim::Tick dma_wait = 0;
-    sim::Tick sync_wait = 0;
-    /// Per-kernel pipeline schedules folded over the run (the Section
-    /// 5.1 counters, published into the "spe<N>/pipeline" counter set).
-    cell::PipelineStats pipe;
-  };
-
-  void iteration_boundary();
-  /// Next live SPE in cyclic order. Detects SPEs that reach their
-  /// fail-after-chunks threshold: the victim is declared dead, its
-  /// chunk is re-dispatched to the next survivor, and @p extra
-  /// accumulates the PPE watchdog detection delay the re-dispatched
-  /// chunk pays. Throws sim::FaultError when no SPE is left.
-  int pick_spe(sim::Tick& extra);
-  /// Splits the SPU wait [base, max(dma_ready, sync_ready)) between the
-  /// DMA-wait and sync-wait buckets of @p spe and emits wait spans.
-  void account_wait(int spe_index, sim::Tick base, sim::Tick dma_ready,
-                    sim::Tick sync_ready);
-  /// Emits issue/queue/transfer spans for one DMA command.
-  void trace_dma(int spe_index, const char* name, sim::Tick submitted,
-                 const cell::DmaCompletion& c, bool to_memory);
-
   CellSweepConfig cfg_;
   sweep::Grid grid_;
   int nm_;
-  cell::CellProcessor machine_;
   KernelCostModel kernels_;
-
-  std::vector<SpeClock> spes_;
-  sim::Tick barrier_ = 0;       ///< hard barrier (block boundary)
-  sim::Tick next_barrier_ = 0;  ///< completion horizon of all work so far
-  sim::Tick reports_horizon_ = 0;  ///< when the PPE has seen all reports
-  int rr_spe_ = 0;              ///< cyclic SPE assignment cursor
-  bool saw_first_diagonal_ = false;
-  /// Completion time of each chunk of the previous diagonal in the
-  /// current block; a chunk of this diagonal depends only on its
-  /// neighbor chunks upstream (per-line wavefront dependency).
-  std::vector<sim::Tick> prev_diag_completion_;
-  std::vector<sim::Tick> prev_diag_compute_end_;
+  StreamingPipeline pipeline_;
   long long current_block_key_ = -1;
-  std::size_t ls_high_water_ = 0;
-  /// LS offset of each chunk staging buffer (identical on every SPE;
-  /// the hazard annotations use them to name DMA targets).
-  std::vector<std::size_t> buffer_offsets_;
-  /// Global chunk sequence: the token binding a chunk's grant, DMAs,
-  /// kernel and report together for the protocol checker.
-  std::uint64_t token_seq_ = 0;
-
-  // Protocol observability (null observer: every emit is one branch).
-  cell::MachineObserver* observer_ = nullptr;
-  /// CELLSWEEP_HAZARD_CHECK strict mode: engine-owned checker + sink
-  /// (finish() turns its errors into analysis::HazardError).
-  std::unique_ptr<analysis::Diagnostics> owned_diags_;
-  std::unique_ptr<analysis::HazardChecker> owned_checker_;
-
-  // Observability (null sink: tracks stay empty, every emit is one
-  // branch).
-  sim::TraceSink* sink_ = nullptr;
-  int ppe_track_ = 0;
-  int eib_track_ = 0;
-  int mic_track_ = 0;
-  std::vector<int> spe_tracks_;
-
-  std::uint64_t flops_ = 0;
-  std::uint64_t cell_solves_ = 0;
-  std::uint64_t chunks_ = 0;
-  double total_compute_cycles_ = 0;
-
-  // Fault injection and graceful degradation (inert when the plan is
-  // disabled: alive_ stays all-true and pick_spe reduces to the plain
-  // cyclic cursor).
-  sim::FaultPlan fault_plan_;
-  std::vector<char> alive_;   ///< one flag per SPE
-  std::vector<char> failed_;  ///< died mid-sweep (subset of !alive_)
-  int spes_disabled_ = 0;
-  int spes_failed_ = 0;
-  std::uint64_t redispatched_chunks_ = 0;
-  sim::Tick failover_ticks_ = 0;
 };
 
 /// End-to-end runner for one problem + configuration.

@@ -1,0 +1,92 @@
+#include "workloads/stencil/spec.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace cellsweep::stencil {
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  std::ostringstream os;
+  os << "stencil spec line " << line << ": " << what;
+  throw StencilError(os.str());
+}
+
+void check_axis(const char* grid_key, int n, const char* block_key, int b) {
+  if (n < 2 || n > 1024)
+    throw StencilError(std::string(grid_key) + " must be in [2, 1024], got " +
+                       std::to_string(n));
+  if (b < 2)
+    throw StencilError(std::string(block_key) + " must be at least 2, got " +
+                       std::to_string(b));
+  if (n % b != 0)
+    throw StencilError(std::string(block_key) + " " + std::to_string(b) +
+                       " does not divide " + grid_key + " " +
+                       std::to_string(n));
+}
+
+}  // namespace
+
+void StencilSpec::validate() const {
+  check_axis("nx", nx, "bx", bx);
+  check_axis("ny", ny, "by", by);
+  check_axis("nz", nz, "bz", bz);
+  if (cells() > (1LL << 24))
+    throw StencilError("grid of " + std::to_string(cells()) +
+                       " cells exceeds the 2^24 cap");
+  if (iterations < 1 || iterations > 10000)
+    throw StencilError("iterations must be in [1, 10000], got " +
+                       std::to_string(iterations));
+  if (!(h > 0.0))
+    throw StencilError("mesh spacing h must be positive");
+}
+
+StencilSpec parse_spec(std::istream& in) {
+  StencilSpec spec;
+  std::string text_line;
+  int line_no = 0;
+  while (std::getline(in, text_line)) {
+    ++line_no;
+    const auto hash = text_line.find('#');
+    if (hash != std::string::npos) text_line.erase(hash);
+    std::istringstream line(text_line);
+    std::string key;
+    // Several key-value pairs may share one line ("nx 32  ny 32").
+    while (line >> key) {
+      auto want = [&](auto& v, const char* what) {
+        if (!(line >> v))
+          fail(line_no,
+               std::string("expected ") + what + " after '" + key + "'");
+      };
+      if (key == "nx") want(spec.nx, "an integer");
+      else if (key == "ny") want(spec.ny, "an integer");
+      else if (key == "nz") want(spec.nz, "an integer");
+      else if (key == "bx") want(spec.bx, "an integer");
+      else if (key == "by") want(spec.by, "an integer");
+      else if (key == "bz") want(spec.bz, "an integer");
+      else if (key == "iterations") want(spec.iterations, "an integer");
+      else if (key == "h") want(spec.h, "a number");
+      else if (key == "source") want(spec.source, "a number");
+      else fail(line_no, "unknown key '" + key + "'");
+    }
+  }
+  spec.validate();
+  return spec;
+}
+
+StencilSpec parse_spec_string(const std::string& text) {
+  std::istringstream in(text);
+  StencilSpec spec = parse_spec(in);
+  spec.origin = "<string>";
+  return spec;
+}
+
+StencilSpec load_spec(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw StencilError("cannot open stencil spec " + path);
+  StencilSpec spec = parse_spec(in);
+  spec.origin = path;
+  return spec;
+}
+
+}  // namespace cellsweep::stencil

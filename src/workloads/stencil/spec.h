@@ -1,0 +1,57 @@
+// Stencil spec grammar: the input-file format of the even/odd red-black
+// stencil workload (workloads/stencil), playing the role the Sweep3D
+// deck (sweep/deck.h) plays for the transport workload. Same line
+// discipline as the deck parser: '#' starts a comment, several
+// key-value pairs may share a line, unknown keys are hard errors with
+// the offending line number.
+//
+//   # 32-cubed heat problem, 8-cubed SPE blocks
+//   nx 32  ny 32  nz 32
+//   bx 8   by 8   bz 8
+//   iterations 4
+//   h 0.03125  source 1.0
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+namespace cellsweep::stencil {
+
+/// Thrown on malformed or out-of-range specs.
+class StencilError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One red-black stencil problem: a block-partitioned 3D grid solved by
+/// Gauss-Seidel half-sweeps (one per color). Blocks are the SPE chunk
+/// unit: each block's working set streams through the local store.
+struct StencilSpec {
+  int nx = 32, ny = 32, nz = 32;  ///< grid cells per axis
+  int bx = 8, by = 8, bz = 8;     ///< block extents (must divide the grid)
+  int iterations = 4;             ///< full sweeps (2 half-sweeps each)
+  double h = 1.0;                 ///< mesh spacing
+  double source = 1.0;            ///< uniform source density f
+  std::string origin = "<spec>";  ///< file path (diagnostics)
+
+  long long cells() const noexcept {
+    return static_cast<long long>(nx) * ny * nz;
+  }
+  int blocks_x() const noexcept { return nx / bx; }
+  int blocks_y() const noexcept { return ny / by; }
+  int blocks_z() const noexcept { return nz / bz; }
+  int blocks() const noexcept {
+    return blocks_x() * blocks_y() * blocks_z();
+  }
+
+  /// Range and divisibility checks; throws StencilError on violation.
+  void validate() const;
+};
+
+/// Parses a spec from a stream / string / file. All three validate.
+StencilSpec parse_spec(std::istream& in);
+StencilSpec parse_spec_string(const std::string& text);
+StencilSpec load_spec(const std::string& path);
+
+}  // namespace cellsweep::stencil
