@@ -1,0 +1,231 @@
+// Multi-tenant solve throughput: what does one simulated Cell chip
+// sustain when several solves share it?
+//
+// PR 5 showed the paper-size sweep is dependency-chain-bound: past ~4
+// SPEs the wavefront cannot keep the chip busy, so a solo tenant leaves
+// most of it slack. core::SolveServer exploits that by running tenants
+// concurrently under the worst-fit SpeAllocator. This bench prices the
+// steady-state regimes of that sharing deterministically:
+//
+//   * each job's service time is measured by a solo run against a chip
+//     where a blocker claim pins all but `width` SPEs -- exactly the
+//     static partition a tenant converges to under allocator pressure
+//     (fair_share = spes / tenants);
+//   * a discrete-event queue model then replays a mixed sweep+stencil
+//     job stream through 1 tenant (the whole chip, jobs back to back)
+//     and 2 tenants (half the chip each, jobs picked FIFO), yielding
+//     makespan, jobs/s and p50/p99 completion latency in *simulated*
+//     seconds.
+//
+// Everything is a pure function of the deck, so the emitted
+// BENCH_throughput.json is byte-stable and perf-gated in CI like the
+// fig5 ladder. Host threading never enters the numbers.
+#include <algorithm>
+
+#include "bench/bench_common.h"
+#include "core/spe_allocator.h"
+#include "workloads/stencil/stencil.h"
+
+namespace {
+
+using namespace cellsweep;
+
+/// A config whose allocator leaves only @p width SPEs claimable. The
+/// blocker claim must outlive the run; release it afterwards.
+core::SpeAllocator::Claim block_down_to(core::SpeAllocator& alloc,
+                                        int width) {
+  const int total = alloc.num_spes();
+  if (width >= total) return {};
+  return alloc.claim(total - width, total - width);
+}
+
+/// Simulated seconds for one paper-deck sweep solve on @p width SPEs.
+double sweep_service_s(int cube, int width) {
+  const sweep::Problem problem = sweep::Problem::benchmark_cube(cube);
+  core::CellSweepConfig cfg = core::CellSweepConfig::from_stage(
+      core::OptimizationStage::kSpeLsPoke);
+  cfg.sweep.max_iterations = 12;
+  cfg.sweep.fixup_from_iteration = 10;
+  int mk = 1;
+  for (int d = 1; d <= cfg.sweep.mk; ++d)
+    if (cube % d == 0) mk = d;
+  cfg.sweep.mk = mk;
+  core::SpeAllocator alloc(cfg.chip.num_spes);
+  core::SpeAllocator::Claim blocker = block_down_to(alloc, width);
+  cfg.spe_allocator = &alloc;
+  core::CellSweep3D runner(problem, cfg);
+  const double s = runner.run(core::RunMode::kTraceDriven).seconds;
+  if (!blocker.empty()) alloc.release(blocker);
+  return s;
+}
+
+/// Simulated seconds for one stencil solve on @p width SPEs.
+double stencil_service_s(int cube, int width) {
+  stencil::StencilSpec spec;
+  spec.nx = spec.ny = spec.nz = cube;
+  int b = 2;
+  for (int d = 2; d <= 8; ++d)
+    if (cube % d == 0) b = d;
+  spec.bx = spec.by = spec.bz = b;
+  spec.origin = "<bench>";
+  spec.validate();
+  core::CellSweepConfig cfg = core::CellSweepConfig::from_stage(
+      core::OptimizationStage::kSpeLsPoke);
+  core::SpeAllocator alloc(cfg.chip.num_spes);
+  core::SpeAllocator::Claim blocker = block_down_to(alloc, width);
+  cfg.spe_allocator = &alloc;
+  stencil::CellStencil runner(spec, cfg);
+  const double s = runner.run(core::RunMode::kTraceDriven).run.seconds;
+  if (!blocker.empty()) alloc.release(blocker);
+  return s;
+}
+
+struct QueueOutcome {
+  double makespan_s = 0;
+  std::vector<double> latency_s;  ///< per-job completion time
+};
+
+/// FIFO queue through @p tenants equal workers: every job is present at
+/// t=0, the earliest-free worker (lowest index on ties) takes the next.
+QueueOutcome run_queue(int tenants, const std::vector<double>& service_s) {
+  QueueOutcome out;
+  std::vector<double> free_at(static_cast<std::size_t>(tenants), 0.0);
+  out.latency_s.reserve(service_s.size());
+  for (const double s : service_s) {
+    std::size_t w = 0;
+    for (std::size_t i = 1; i < free_at.size(); ++i)
+      if (free_at[i] < free_at[w]) w = i;
+    free_at[w] += s;
+    out.latency_s.push_back(free_at[w]);
+    out.makespan_s = std::max(out.makespan_s, free_at[w]);
+  }
+  return out;
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const double rank = p * static_cast<double>(v.size());
+  std::size_t idx = static_cast<std::size_t>(std::ceil(rank));
+  idx = std::min(std::max<std::size_t>(idx, 1), v.size()) - 1;
+  return v[idx];
+}
+
+void write_metric(std::ostream& os, const char* key, double v,
+                  bool first = false) {
+  os << (first ? "" : ",") << "\n       \"" << key
+     << "\": " << util::cformat("%.17g", v);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt = bench::parse_bench_args(argc, argv);
+  if (!opt.ok) return 2;
+  const int cube = opt.cube_or(50);
+  const int stencil_cube = std::min(cube, 32);
+  constexpr int kSweepJobs = 4;
+  constexpr int kStencilJobs = 4;
+  constexpr int kTenants = 2;
+  const int chip_spes = core::CellSweepConfig::from_stage(
+                            core::OptimizationStage::kSpeLsPoke)
+                            .chip.num_spes;
+  const int share = std::max(1, chip_spes / kTenants);
+
+  bench::print_header(
+      "Multi-tenant throughput: " + std::to_string(kSweepJobs) + " sweep (" +
+      std::to_string(cube) + "^3) + " + std::to_string(kStencilJobs) +
+      " stencil (" + std::to_string(stencil_cube) + "^3) jobs");
+
+  // Service times at full chip width and at the 2-tenant fair share.
+  const double sweep_full = sweep_service_s(cube, chip_spes);
+  const double sweep_half = sweep_service_s(cube, share);
+  const double sten_full = stencil_service_s(stencil_cube, chip_spes);
+  const double sten_half = stencil_service_s(stencil_cube, share);
+
+  // The mixed stream: sweep and stencil jobs interleaved, all queued at
+  // t=0 (closed system -- the server drains a backlog).
+  std::vector<double> stream_full, stream_half;
+  for (int i = 0; i < kSweepJobs + kStencilJobs; ++i) {
+    const bool sweep_job = i % 2 == 0;  // kSweepJobs == kStencilJobs
+    stream_full.push_back(sweep_job ? sweep_full : sten_full);
+    stream_half.push_back(sweep_job ? sweep_half : sten_half);
+  }
+  const std::size_t jobs = stream_full.size();
+
+  const QueueOutcome serial = run_queue(1, stream_full);
+  const QueueOutcome shared = run_queue(kTenants, stream_half);
+
+  struct Row {
+    const char* name;
+    const QueueOutcome* q;
+  };
+  const Row rows[] = {{"serial-1-tenant", &serial}, {"2-tenant", &shared}};
+
+  util::TextTable table({"regime", "makespan [s]", "jobs/s", "p50 [s]",
+                         "p99 [s]"});
+  for (const Row& row : rows) {
+    table.add_row({row.name, bench::fmt("%.4f", row.q->makespan_s),
+                   bench::fmt("%.4f", static_cast<double>(jobs) /
+                                          row.q->makespan_s),
+                   bench::fmt("%.4f", percentile(row.q->latency_s, 0.50)),
+                   bench::fmt("%.4f", percentile(row.q->latency_s, 0.99))});
+  }
+  table.print(std::cout);
+
+  const double speedup = serial.makespan_s / shared.makespan_s;
+  std::cout << "\nPer-tenant width " << share << "/" << chip_spes
+            << " SPEs; sweep service " << bench::fmt("%.4f", sweep_full)
+            << " s full-chip vs " << bench::fmt("%.4f", sweep_half)
+            << " s shared -- the dependency-chain-bound sweep barely\n"
+            << "misses the surrendered SPEs, so two tenants trade a "
+            << bench::fmt("%.2f", sweep_half / sweep_full)
+            << "x per-job slowdown for " << bench::fmt("%.2f", speedup)
+            << "x throughput.\n";
+
+  if (!opt.json_dir.empty()) {
+    const std::string path =
+        opt.json_dir + "/BENCH_throughput.json";
+    std::ofstream os(path);
+    if (!os) {
+      std::cerr << "bench: cannot write " << path << "\n";
+      return 1;
+    }
+    os << "{\n  \"schema\": \"" << bench::kBenchSchema
+       << "\",\n  \"scenario\": \"throughput\",\n  \"fingerprint\": {"
+       << "\"cube\": " << cube << ", \"stencil_cube\": " << stencil_cube
+       << ", \"sweep_jobs\": " << kSweepJobs
+       << ", \"stencil_jobs\": " << kStencilJobs
+       << ", \"spes\": " << chip_spes << ", \"tenants\": " << kTenants
+       << "},\n  \"runs\": [";
+    bool first_run = true;
+    for (const Row& row : rows) {
+      os << (first_run ? "\n" : ",\n") << "    {\"name\": \"" << row.name
+         << "\",\n     \"metrics\": {";
+      write_metric(os, "seconds", row.q->makespan_s, true);
+      write_metric(os, "jobs_per_s",
+                   static_cast<double>(jobs) / row.q->makespan_s);
+      write_metric(os, "latency_p50_s", percentile(row.q->latency_s, 0.50));
+      write_metric(os, "latency_p99_s", percentile(row.q->latency_s, 0.99));
+      os << "},\n     \"counters\": null}";
+      first_run = false;
+    }
+    os << "\n  ],\n  \"deltas\": [\n    {\"from\": \"serial-1-tenant\", "
+       << "\"to\": \"2-tenant\", \"seconds_delta\": "
+       << util::cformat("%.17g", shared.makespan_s - serial.makespan_s)
+       << ", \"seconds_ratio\": "
+       << util::cformat("%.17g", shared.makespan_s / serial.makespan_s)
+       << "}\n  ]\n}\n";
+    std::cout << "Bench JSON -> " << path << "\n";
+    if (!os.good()) return 1;
+  }
+
+  // Acceptance gate at paper scale: sharing the chip two ways must buy
+  // at least 1.5x job throughput or the allocator regressed.
+  if (!opt.cube_set && speedup < 1.5) {
+    std::cerr << "bench_throughput: FAIL: 2-tenant speedup "
+              << bench::fmt("%.3f", speedup) << "x < 1.5x\n";
+    return 1;
+  }
+  return 0;
+}

@@ -11,15 +11,18 @@
 //   $ ./deck_runner lint examples/decks/*.deck                # static lint
 //   $ ./deck_runner --workload=stencil examples/decks/heat32.stencil
 //   $ ./deck_runner --workload=stencil lint examples/decks/*.stencil
+//   $ ./deck_runner serve --tenants=2 a.deck b.deck heat32.stencil
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "analysis/diagnostics.h"
 #include "analysis/hazard.h"
 #include "analysis/lint.h"
 #include "core/metrics.h"
 #include "core/orchestrator.h"
+#include "server/solve_server.h"
 #include "sim/counters.h"
 #include "sim/trace.h"
 #include "sweep/deck.h"
@@ -186,6 +189,103 @@ int emit_report(const core::RunReport& rep, core::OptimizationStage stage,
   return 0;
 }
 
+/// `deck_runner serve [flags] <file>...`: run every input through one
+/// multi-tenant core::SolveServer. Files ending in ".stencil" become
+/// stencil jobs, everything else a sweep deck. Exit code is the number
+/// of rejected plus failed jobs.
+int run_serve(const util::CliParser& cli, core::OptimizationStage stage) {
+  const std::vector<std::string> paths(cli.positional().begin() + 1,
+                                       cli.positional().end());
+  if (paths.empty()) {
+    std::cerr << "deck_runner serve: no input files given\n";
+    return 1;
+  }
+
+  core::ServerConfig scfg;
+  scfg.stage = stage;
+  try {
+    scfg.tenants = static_cast<int>(cli.get_int("tenants"));
+    scfg.queue_limit = static_cast<std::size_t>(
+        std::max(1L, cli.get_int("queue")));
+    scfg.ls_budget_bytes =
+        static_cast<std::size_t>(std::max(0L, cli.get_int("ls-budget")));
+    scfg.grid_cell_budget = cli.get_int("grid-budget");
+    scfg.host_threads = static_cast<int>(cli.get_int("threads"));
+  } catch (const util::CliError& e) {
+    std::cerr << "deck_runner serve: " << e.what() << "\n";
+    return 1;
+  }
+  const core::RunMode mode = cli.get_bool("functional")
+                                 ? core::RunMode::kFunctional
+                                 : core::RunMode::kTraceDriven;
+
+  core::SolveServer server(scfg);
+  std::cout << "Serving " << paths.size() << " job(s) on " << scfg.tenants
+            << " tenant(s), stage " << core::stage_name(stage) << "\n";
+
+  int rejected = 0;
+  for (const std::string& path : paths) {
+    core::JobRequest req;
+    req.name = path;
+    req.mode = mode;
+    req.kind = path.size() >= 8 &&
+                       path.compare(path.size() - 8, 8, ".stencil") == 0
+                   ? core::JobKind::kStencil
+                   : core::JobKind::kSweep;
+    std::ifstream is(path);
+    if (!is) {
+      std::cerr << path << ": error[io]: cannot open file\n";
+      ++rejected;
+      continue;
+    }
+    std::ostringstream text;
+    text << is.rdbuf();
+    req.text = text.str();
+    try {
+      server.submit(req);
+    } catch (const core::AdmissionError& e) {
+      std::cerr << path << ": rejected["
+                << core::admission_reason_name(e.reason()) << "]: "
+                << e.what() << "\n";
+      ++rejected;
+    }
+  }
+
+  int failed = 0;
+  for (const core::JobResult& r : server.drain()) {
+    if (!r.ok) {
+      ++failed;
+      std::cerr << r.name << " (" << core::job_kind_name(r.kind)
+                << "): error: " << r.error << "\n";
+      continue;
+    }
+    std::cout << r.name << " (" << core::job_kind_name(r.kind)
+              << "): " << util::format_seconds(r.report.seconds) << ", "
+              << util::format_bytes(r.report.traffic_bytes) << " traffic, "
+              << util::format_flops(r.report.achieved_flops_per_s)
+              << (r.plan_cache_hit ? ", plan cache hit" : "") << "\n";
+    if (r.kind == core::JobKind::kStencil &&
+        mode == core::RunMode::kFunctional) {
+      std::cout << "  checksum " << r.checksum << ", residual " << r.residual
+                << "\n";
+    }
+  }
+
+  const core::SolveServer::Stats st = server.stats();
+  const core::PlanCache::Stats pc = server.plan_cache_stats();
+  const core::SpeAllocator::Stats al = server.allocator_stats();
+  std::cout << "Server: " << st.submitted << " submitted, " << st.completed
+            << " completed, " << st.failed << " failed, " << st.rejected
+            << " rejected\n"
+            << "Plan cache: " << pc.hits << " hit(s), " << pc.misses
+            << " miss(es), " << pc.entries << " plan(s)\n"
+            << "SPE allocator: " << al.claims << " claim(s), " << al.expands
+            << " expand(s), " << al.shrinks << " shrink(s), "
+            << al.waited_claims << " waited, peak " << al.peak_tenants
+            << " tenant(s)\n";
+  return rejected + failed;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -214,6 +314,15 @@ int main(int argc, char** argv) {
                "counter summary; --counters=N sets the profile window "
                "count (default 96). Counters and the utilization "
                "timeseries also land in --metrics and --trace output");
+  cli.add_flag("tenants", "2",
+               "serve: concurrent tenant workers sharing the chip");
+  cli.add_flag("queue", "64",
+               "serve: pending jobs admitted before submit rejects");
+  cli.add_flag("ls-budget", "0",
+               "serve: admission budget on the per-SPE simulated-LS "
+               "footprint in bytes (0 = linter capacity check only)");
+  cli.add_flag("grid-budget", "0",
+               "serve: admission budget on grid cells (0 = unlimited)");
   cli.add_flag("faults", "",
                "seeded fault injection, e.g. "
                "--faults=seed=42,dma=0.001,spe=7:down (keys: seed, dma, "
@@ -228,7 +337,8 @@ int main(int argc, char** argv) {
     std::cout << cli.usage(argv[0]) << "\nUsage: " << argv[0]
               << " <deck file> [flags]\n       " << argv[0]
               << " lint <deck file>...\n       " << argv[0]
-              << " --workload=stencil <spec file> [flags]\n";
+              << " serve <deck/spec file>... [--tenants=N]\n       "
+              << argv[0] << " --workload=stencil <spec file> [flags]\n";
     return cli.help_requested() ? 0 : 1;
   }
 
@@ -257,6 +367,8 @@ int main(int argc, char** argv) {
     }
     return run_lint(paths, stage, workload);
   }
+
+  if (cli.positional()[0] == "serve") return run_serve(cli, stage);
 
   std::string trace_path, metrics_path, counters_arg, faults_arg;
   int threads = 1;

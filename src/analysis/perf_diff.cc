@@ -113,11 +113,14 @@ PerfDiffResult diff_bench(const util::JsonValue& current,
           "experiments; regenerate the baseline");
     }
   }
-  if (!res.errors.empty()) return res;
 
+  // No early return on gate failures: a CI run should surface every
+  // problem -- schema AND scenario AND fingerprint AND each regressed
+  // metric -- in one pass, not one per rerun. The run extraction below
+  // only needs the "runs" layout, so it stays meaningful (and appends
+  // its own structure errors) even when a gate above already fired.
   const auto cur_runs = runs_of(current, "current", res.errors);
   const auto base_runs = runs_of(baseline, "baseline", res.errors);
-  if (!res.errors.empty()) return res;
 
   // Compared metrics: the lower-is-better defaults plus any explicitly
   // thresholded ones.

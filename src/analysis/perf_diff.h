@@ -13,7 +13,10 @@
 //     default); a run regresses when current > baseline * (1 +
 //     threshold). Improvements never fail;
 //   * JSON null metrics (the NaN contract of the emitters) and runs
-//     missing a metric are skipped, not failed.
+//     missing a metric are skipped, not failed;
+//   * one pass reports everything: gate failures do not stop the
+//     metric comparison, so a single CI run shows every error and
+//     every regressed metric at once.
 #pragma once
 
 #include <string>
@@ -61,9 +64,12 @@ struct DiffRow {
 };
 
 struct PerfDiffResult {
+  /// Populated even when errors is non-empty (the one-pass contract):
+  /// whatever rows were structurally comparable are compared.
   std::vector<DiffRow> rows;
-  /// Schema / scenario / fingerprint / structure errors. Non-empty
-  /// means the documents were not comparable (exit code 2 territory).
+  /// Schema / scenario / fingerprint / structure errors, all of them.
+  /// Non-empty means the documents were not comparable (exit code 2
+  /// territory).
   std::vector<std::string> errors;
 
   bool regressed() const;

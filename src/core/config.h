@@ -25,6 +25,9 @@ class MachineObserver;
 
 namespace cellsweep::core {
 
+class KernelCostModel;
+class SpeAllocator;
+
 /// Numeric precision of the kernels and DMA payloads.
 enum class Precision : std::uint8_t { kDouble, kSingle };
 
@@ -75,6 +78,17 @@ struct StreamConfig {
   cell::MachineObserver* hazard = nullptr;
   /// Fault injection (default: nothing can break).
   sim::FaultSpec faults;
+  /// Multi-tenant SPE partitioning (non-owning, may be null). When set,
+  /// the pipeline claims SPEs from this shared allocator instead of
+  /// owning all chip.num_spes: it claims up to the chip width at
+  /// construction, re-balances at batch boundaries (shrinking toward
+  /// the fair share under pressure, regrowing when slack returns) and
+  /// releases everything at finish(). Null keeps the single-tenant
+  /// behavior byte-identical to the pre-allocator build (pinned by the
+  /// perf baselines).
+  SpeAllocator* spe_allocator = nullptr;
+  /// Fewest SPEs this run may be squeezed to under pressure (>= 1).
+  int min_spes = 1;
 };
 
 /// Mechanism switches of one configuration.
@@ -136,6 +150,27 @@ struct CellSweepConfig {
   /// Blocking parameters forwarded to the sweep driver.
   sweep::SweepConfig sweep;
 
+  /// Multi-tenant SPE partitioning (see StreamConfig::spe_allocator;
+  /// null = single tenant owns the whole chip, byte-identical to the
+  /// pre-allocator build).
+  SpeAllocator* spe_allocator = nullptr;
+  /// Fewest SPEs this run may be squeezed to under pressure (>= 1).
+  int min_spes = 1;
+
+  /// Plan-cache hints (non-owning, may be null): pure functions of the
+  /// deck that the solve server memoizes across jobs. When set they
+  /// must describe *this* deck and chip -- the cache key (workload
+  /// kind, stage, deck bytes) guarantees it.
+  ///   * quadrature: a prebuilt SnQuadrature of the deck's sn order;
+  ///     CellSweep3D uses it instead of rebuilding the tables per run.
+  ///   * warm_kernels: a KernelCostModel whose chunk-cost cache was
+  ///     already calibrated (SPU trace recording is the expensive
+  ///     part); the timing engine copies it instead of starting cold.
+  /// Cold and warm runs produce byte-identical reports -- the cached
+  /// values are deterministic functions of the deck (pinned by tests).
+  const sweep::SnQuadrature* quadrature = nullptr;
+  const KernelCostModel* warm_kernels = nullptr;
+
   /// The Figure 5 / Figure 10 ladder.
   static CellSweepConfig from_stage(OptimizationStage s);
 
@@ -154,6 +189,8 @@ struct CellSweepConfig {
     s.profiler = profiler;
     s.hazard = hazard;
     s.faults = faults;
+    s.spe_allocator = spe_allocator;
+    s.min_spes = min_spes;
     return s;
   }
 };

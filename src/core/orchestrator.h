@@ -102,6 +102,11 @@ class CellSweep3D {
   RunReport run_on_ppe(RunMode mode);
   RunReport run_on_spes(RunMode mode);
 
+  /// The quadrature for this run: cfg_.quadrature when the hint is
+  /// present and of the right order, else one built into @p own.
+  const sweep::SnQuadrature& quadrature(
+      std::optional<sweep::SnQuadrature>& own) const;
+
   template <typename Real>
   void run_functional(RunReport& report, const sweep::DiagonalObserver& obs);
 

@@ -1,0 +1,136 @@
+#include "core/spe_allocator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cellsweep::core {
+
+SpeAllocator::SpeAllocator(int num_spes) : num_spes_(num_spes) {
+  if (num_spes < 1)
+    throw std::invalid_argument("SpeAllocator: num_spes must be >= 1");
+  free_.assign(static_cast<std::size_t>(num_spes), 1);
+}
+
+int SpeAllocator::free_count_locked() const {
+  int n = 0;
+  for (const char f : free_) n += static_cast<int>(f != 0);
+  return n;
+}
+
+int SpeAllocator::fair_share_locked() const {
+  const int parties = std::max(1, holders_ + waiters_);
+  return std::max(1, num_spes_ / parties);
+}
+
+std::vector<int> SpeAllocator::take_worst_fit(int want) {
+  // Maximal contiguous free runs as (length, start), longest first
+  // (ties: lowest start, for determinism). Worst-fit takes from the
+  // head of the longest run: splitting the biggest block leaves the
+  // largest possible remainder contiguous for the next claim.
+  std::vector<std::pair<int, int>> runs;
+  for (int s = 0; s < num_spes_;) {
+    if (!free_[static_cast<std::size_t>(s)]) {
+      ++s;
+      continue;
+    }
+    int e = s;
+    while (e < num_spes_ && free_[static_cast<std::size_t>(e)]) ++e;
+    runs.emplace_back(e - s, s);
+    s = e;
+  }
+  std::sort(runs.begin(), runs.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+
+  std::vector<int> got;
+  got.reserve(static_cast<std::size_t>(std::max(0, want)));
+  for (const auto& [len, start] : runs) {
+    if (static_cast<int>(got.size()) >= want) break;
+    const int take = std::min(len, want - static_cast<int>(got.size()));
+    for (int s = start; s < start + take; ++s) {
+      free_[static_cast<std::size_t>(s)] = 0;
+      got.push_back(s);
+    }
+  }
+  std::sort(got.begin(), got.end());
+  return got;
+}
+
+SpeAllocator::Claim SpeAllocator::claim(int min_spes, int max_spes) {
+  const int lo = std::clamp(min_spes, 1, num_spes_);
+  const int hi = std::clamp(std::max(max_spes, lo), 1, num_spes_);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (free_count_locked() < lo) {
+    ++waiters_;
+    ++stats_.waited_claims;
+    cv_.wait(lock, [&] { return free_count_locked() >= lo; });
+    --waiters_;
+  }
+
+  // Grant size: everything asked for that is free -- but while others
+  // are still queued behind us, no more than the fair share (never
+  // below the minimum this tenant needs to run at all).
+  int want = std::min(hi, free_count_locked());
+  if (waiters_ > 0) want = std::max(lo, std::min(want, fair_share_locked()));
+
+  Claim c;
+  c.ids = take_worst_fit(want);
+  ++holders_;
+  ++stats_.claims;
+  stats_.peak_tenants = std::max(stats_.peak_tenants, holders_ + waiters_);
+  return c;
+}
+
+int SpeAllocator::expand(Claim& c, int target_total) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Regrowth is opportunistic: anyone blocked in claim() has first
+  // call on free SPEs, so expansion under pressure is denied outright.
+  if (waiters_ > 0) return 0;
+  const int want = std::min(target_total, num_spes_) - c.count();
+  if (want <= 0) return 0;
+  std::vector<int> got = take_worst_fit(std::min(want, free_count_locked()));
+  if (got.empty()) return 0;
+  c.ids.insert(c.ids.end(), got.begin(), got.end());
+  std::sort(c.ids.begin(), c.ids.end());
+  ++stats_.expands;
+  return static_cast<int>(got.size());
+}
+
+void SpeAllocator::shrink(Claim& c, int target_total) {
+  const int target = std::max(0, target_total);
+  bool freed = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (c.count() > target) {
+      free_[static_cast<std::size_t>(c.ids.back())] = 1;
+      c.ids.pop_back();
+      freed = true;
+    }
+    if (freed) ++stats_.shrinks;
+    if (c.empty() && freed) --holders_;
+  }
+  if (freed) cv_.notify_all();
+}
+
+bool SpeAllocator::pressure() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiters_ > 0;
+}
+
+int SpeAllocator::fair_share() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fair_share_locked();
+}
+
+int SpeAllocator::free_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_count_locked();
+}
+
+SpeAllocator::Stats SpeAllocator::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace cellsweep::core

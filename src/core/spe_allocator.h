@@ -1,0 +1,104 @@
+// SpeAllocator: NOVA-style worst-fit claim/yield of the simulated
+// chip's SPEs, so several concurrent streaming runs can share one chip
+// instead of each owning all eight.
+//
+// PR 5's headline finding motivates this: at paper cube sizes the sweep
+// is dependency-chain-bound and leaves SPEs slack, so a second tenant
+// on the same chip is nearly free. The policy follows NOVA's core
+// allocator (cells claim cores from a worst-fit allocator and yield
+// them under pressure):
+//   * claim(min, max) blocks until at least min SPEs are free, then
+//     takes up to max from the largest contiguous free runs first
+//     (worst-fit: splitting the biggest run keeps the leftover runs as
+//     large as possible for the next tenant);
+//   * a holder only shrinks when another tenant is *waiting*
+//     (pressure()), down to its fair share -- so a solo tenant keeps
+//     the whole chip and its timing stays byte-identical to the
+//     no-allocator build (pinned by tests and the perf baselines);
+//   * expand() is the opportunistic regrow after pressure passes; it
+//     is denied while anyone waits.
+//
+// Host-side synchronization only: claims move between *batches* of a
+// StreamingPipeline run, never mid-wave, and no simulated tick depends
+// on when (in host time) a claim was granted -- each tenant's simulated
+// clocks advance only with its own workload. Thread-safe.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace cellsweep::core {
+
+class SpeAllocator {
+ public:
+  /// One tenant's current SPE set (physical SPE indices on the shared
+  /// chip). Value-semantic bookkeeping only; all transitions go through
+  /// the allocator.
+  struct Claim {
+    std::vector<int> ids;
+    int count() const noexcept { return static_cast<int>(ids.size()); }
+    bool empty() const noexcept { return ids.empty(); }
+  };
+
+  /// Allocator snapshot (for reports and tests).
+  struct Stats {
+    std::uint64_t claims = 0;       ///< claim() grants
+    std::uint64_t expands = 0;      ///< expand() calls that grew a claim
+    std::uint64_t shrinks = 0;      ///< shrink() calls that released SPEs
+    std::uint64_t waited_claims = 0;///< claims that had to block
+    int peak_tenants = 0;           ///< most simultaneous holders
+  };
+
+  explicit SpeAllocator(int num_spes);
+
+  /// Blocks until at least @p min_spes SPEs are free, then claims up to
+  /// @p max_spes of them, worst-fit. While other claims are waiting the
+  /// grant is additionally capped at the fair share (never below
+  /// min_spes), so one greedy tenant cannot starve the queue. Both
+  /// arguments are clamped to [1, num_spes], with max >= min.
+  Claim claim(int min_spes, int max_spes);
+
+  /// Non-blocking growth of @p c toward @p target_total SPEs. Denied
+  /// (returns 0) while any claim() is waiting; otherwise grants up to
+  /// the free count, worst-fit. Returns the number of SPEs added.
+  int expand(Claim& c, int target_total);
+
+  /// Releases members of @p c (largest indices first) until it holds
+  /// @p target_total; target_total <= 0 releases everything. Wakes
+  /// waiting claims.
+  void shrink(Claim& c, int target_total);
+
+  /// shrink(c, 0): the tenant is done with the chip.
+  void release(Claim& c) { shrink(c, 0); }
+
+  /// True while at least one claim() is blocked: holders should shrink
+  /// toward fair_share() at their next batch boundary (the NOVA yield).
+  bool pressure() const;
+
+  /// num_spes / (holders + waiters), at least 1: the equal split of the
+  /// chip over everyone who wants a piece right now.
+  int fair_share() const;
+
+  int num_spes() const noexcept { return num_spes_; }
+  int free_count() const;
+  Stats stats() const;
+
+ private:
+  /// Takes up to @p want SPEs from the largest contiguous free runs
+  /// (mu_ held). Never returns fewer than are free when want >= free.
+  std::vector<int> take_worst_fit(int want);
+  int free_count_locked() const;
+  int fair_share_locked() const;
+
+  const int num_spes_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<char> free_;  ///< free_[s] != 0: SPE s unclaimed
+  int holders_ = 0;         ///< claims currently live
+  int waiters_ = 0;         ///< claim() calls currently blocked
+  Stats stats_{};
+};
+
+}  // namespace cellsweep::core

@@ -76,6 +76,26 @@ StreamingPipeline::StreamingPipeline(const StreamConfig& cfg,
           "fault plan disables every SPE: nothing left to run on");
   }
 
+  // Multi-tenant mode: claim SPEs from the shared allocator (blocking
+  // until min_spes are free). A solo tenant gets the whole chip and --
+  // since yielding only happens under pressure -- keeps it, so its
+  // timing stays byte-identical to the allocator-free build.
+  claimed_.assign(spes_.size(), 1);
+  if (cfg_.spe_allocator) {
+    if (cfg_.spe_allocator->num_spes() != machine_.num_spes())
+      throw std::invalid_argument(
+          "StreamingPipeline: SpeAllocator width != chip.num_spes");
+    min_spes_ = std::clamp(cfg_.min_spes, 1, machine_.num_spes());
+    claim_ = cfg_.spe_allocator->claim(min_spes_, machine_.num_spes());
+    claimed_.assign(spes_.size(), 0);
+    for (const int id : claim_.ids)
+      claimed_[static_cast<std::size_t>(id)] = 1;
+    min_claimed_ = max_claimed_ = claim_.count();
+    // Start the cyclic cursor on our lowest claimed SPE so chunk 0
+    // lands deterministically regardless of which SPEs we got.
+    rr_spe_ = claim_.ids.front();
+  }
+
   // Protocol observer: an externally attached checker wins; otherwise
   // CELLSWEEP_HAZARD_CHECK in the environment arms a pipeline-owned one
   // whose errors finish() escalates (the CI hazard-checked suite mode).
@@ -111,7 +131,40 @@ StreamingPipeline::StreamingPipeline(const StreamConfig& cfg,
   ls_high_water_ = machine_.spe(0).local_store().high_water();
 }
 
-StreamingPipeline::~StreamingPipeline() = default;
+StreamingPipeline::~StreamingPipeline() {
+  // finish() already released on the normal path; this covers runs torn
+  // down by an exception so a dying tenant never strands its SPEs.
+  if (cfg_.spe_allocator && !claim_.empty())
+    cfg_.spe_allocator->release(claim_);
+}
+
+void StreamingPipeline::rebalance(std::size_t batch_chunks) {
+  SpeAllocator& alloc = *cfg_.spe_allocator;
+  // SPEs this batch can actually feed: one chunk set per rotation slot.
+  const int need = std::clamp(
+      static_cast<int>((batch_chunks + static_cast<std::size_t>(cfg_.buffers) -
+                        1) /
+                       static_cast<std::size_t>(cfg_.buffers)),
+      min_spes_, machine_.num_spes());
+  if (alloc.pressure()) {
+    // The NOVA yield: someone is blocked in claim(), so fall back to
+    // the fair share (or to `need`, if the batch cannot use even that).
+    const int target =
+        std::max(min_spes_, std::min(need, alloc.fair_share()));
+    if (claim_.count() > target) {
+      alloc.shrink(claim_, target);
+      ++rebalance_shrinks_;
+    }
+  } else if (claim_.count() < need) {
+    // Slack returned: regrow opportunistically (denied under pressure).
+    if (alloc.expand(claim_, need) > 0) ++rebalance_expands_;
+  }
+  claimed_.assign(claimed_.size(), 0);
+  for (const int id : claim_.ids)
+    claimed_[static_cast<std::size_t>(id)] = 1;
+  min_claimed_ = std::min(min_claimed_, claim_.count());
+  max_claimed_ = std::max(max_claimed_, claim_.count());
+}
 
 void StreamingPipeline::memory_pass(const char* name, double bytes) {
   // One streaming pass over main memory (the sweep's source-moment
@@ -132,6 +185,9 @@ int StreamingPipeline::pick_spe(sim::Tick& extra) {
   for (int scanned = 0; scanned <= 2 * n; ++scanned) {
     const int s = rr_spe_;
     rr_spe_ = (rr_spe_ + 1) % n;
+    // SPEs another tenant holds are simply not in the rotation (no
+    // re-dispatch accounting: the chunk was never theirs to lose).
+    if (!claimed_[static_cast<std::size_t>(s)]) continue;
     if (!alive_[static_cast<std::size_t>(s)]) {
       // Every chunk the round-robin would have placed on a mid-run
       // casualty is work the survivors absorb; boot-disabled SPEs were
@@ -248,6 +304,12 @@ void StreamingPipeline::run_batch(const std::vector<StreamChunkSpec>& specs,
     if (sink_) sink_->instant(ppe_track_, "block-barrier", "sync", barrier_);
   }
 
+  // Multi-tenant claim adjustment happens only here, between batches:
+  // mid-wave the staging buffers of a yielded SPE could still be in
+  // flight. A solo tenant never shrinks (no pressure) and never needs
+  // to grow, so this is a no-op for it.
+  if (cfg_.spe_allocator) rebalance(specs.size());
+
   // Dispatch release: with centralized scheduling the PPE must observe
   // every completion report of the previous batch before it can hand
   // out the next one -- the serialization the paper's Fig. 10 removes
@@ -317,7 +379,8 @@ void StreamingPipeline::run_batch(const std::vector<StreamChunkSpec>& specs,
   // wave and phase A would re-stage a buffer its phase-B kernel has
   // not consumed yet (the hazard checker flags exactly that).
   std::size_t live = 0;
-  for (const char a : alive_) live += static_cast<std::size_t>(a != 0);
+  for (std::size_t s = 0; s < alive_.size(); ++s)
+    live += static_cast<std::size_t>(alive_[s] != 0 && claimed_[s] != 0);
   const std::size_t wave =
       std::max<std::size_t>(live, 1) * static_cast<std::size_t>(cfg_.buffers);
   for (std::size_t w0 = 0; w0 < chunks.size(); w0 += wave) {
@@ -642,6 +705,21 @@ RunReport StreamingPipeline::finish() {
     r.faults.tag_timeouts = timeouts;
     r.faults.dropped_messages = machine_.dispatch().dropped_messages();
     r.faults.mic_throttled = machine_.mic().throttled_requests();
+  }
+
+  // Allocator subtree + release: only present when a shared allocator
+  // was attached, so single-tenant counter trees (and their JSON) stay
+  // byte-identical to the allocator-free build. Captured before the
+  // release so "spes_final" reports what the run ended with.
+  if (cfg_.spe_allocator) {
+    sim::CounterSet& a = r.counters.child("allocator");
+    a.set("spes_final", static_cast<double>(claim_.count()));
+    a.set("spes_min", static_cast<double>(min_claimed_));
+    a.set("spes_max", static_cast<double>(max_claimed_));
+    a.set("rebalance_shrinks", static_cast<double>(rebalance_shrinks_));
+    a.set("rebalance_expands", static_cast<double>(rebalance_expands_));
+    cfg_.spe_allocator->release(claim_);
+    claimed_.assign(claimed_.size(), 0);
   }
 
   // Time-sliced profile: snapshot the windowed series, and replay them

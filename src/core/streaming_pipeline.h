@@ -39,6 +39,7 @@
 #include "cellsim/cell_processor.h"
 #include "core/config.h"
 #include "core/report.h"
+#include "core/spe_allocator.h"
 #include "core/workload.h"
 #include "sim/counters.h"
 #include "sim/fault.h"
@@ -122,7 +123,13 @@ class StreamingPipeline {
   /// performs the LS placement on every SPE. Throws
   /// cell::LocalStoreOverflow when the placement exceeds the local
   /// store and sim::FaultError when the fault plan disables every SPE.
+  /// With cfg.spe_allocator set, additionally claims SPEs from the
+  /// shared allocator (blocking until at least cfg.min_spes are free);
+  /// the allocator's width must match cfg.chip.num_spes
+  /// (std::invalid_argument otherwise).
   StreamingPipeline(const StreamConfig& cfg, const LsPlacement& placement);
+  /// Releases any SPE claim still held (finish() already released it on
+  /// the normal path).
   ~StreamingPipeline();
 
   /// Streams one batch of independent chunks through the machine.
@@ -199,6 +206,11 @@ class StreamingPipeline {
   /// commands or one DMA list at the configured granularity).
   cell::DmaRequest make_request(const TransferPlan& plan, cell::DmaDir dir,
                                 std::size_t bytes_total) const;
+  /// Batch-boundary claim adjustment (allocator tenants only): under
+  /// pressure yields down to min(need, fair share), with slack regrows
+  /// toward `need` = ceil(batch chunks / buffers) clamped to
+  /// [min_spes, chip width]. Rebuilds claimed_.
+  void rebalance(std::size_t batch_chunks);
 
   StreamConfig cfg_;
   cell::CellProcessor machine_;
@@ -253,6 +265,17 @@ class StreamingPipeline {
   int spes_failed_ = 0;
   std::uint64_t redispatched_chunks_ = 0;
   sim::Tick failover_ticks_ = 0;
+
+  // Multi-tenant SPE partitioning (inert without cfg.spe_allocator:
+  // claimed_ stays all-true and pick_spe / the wave width see every
+  // SPE, byte-identical to the single-tenant build).
+  SpeAllocator::Claim claim_;
+  std::vector<char> claimed_;  ///< one flag per SPE: ours right now
+  int min_spes_ = 1;
+  int min_claimed_ = 0;  ///< smallest claim the run ever held
+  int max_claimed_ = 0;  ///< largest claim the run ever held
+  std::uint64_t rebalance_shrinks_ = 0;
+  std::uint64_t rebalance_expands_ = 0;
 };
 
 }  // namespace cellsweep::core

@@ -1,0 +1,50 @@
+#include "server/plan_cache.h"
+
+namespace cellsweep::core {
+namespace {
+
+inline void fnv1a(std::uint64_t& h, std::string_view bytes) {
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+}
+
+}  // namespace
+
+std::uint64_t PlanCache::fingerprint(std::string_view workload_kind,
+                                     OptimizationStage stage,
+                                     std::string_view content) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  fnv1a(h, workload_kind);
+  const char sep[2] = {'\0', static_cast<char>(stage)};
+  fnv1a(h, std::string_view(sep, 2));
+  fnv1a(h, std::string_view("\0", 1));
+  fnv1a(h, content);
+  return h;
+}
+
+std::shared_ptr<const CachedPlan> PlanCache::find(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return it->second;
+}
+
+std::shared_ptr<const CachedPlan> PlanCache::insert(
+    std::uint64_t key, std::shared_ptr<const CachedPlan> plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = entries_.emplace(key, std::move(plan));
+  return it->second;
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Stats{hits_, misses_, entries_.size()};
+}
+
+}  // namespace cellsweep::core

@@ -1,0 +1,300 @@
+#include "server/solve_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "analysis/lint.h"
+#include "core/orchestrator.h"
+#include "core/workload.h"
+#include "sweep/kernel_simd.h"
+#include "sweep/plan.h"
+#include "workloads/stencil/stencil.h"
+
+namespace cellsweep::core {
+namespace {
+
+std::size_t real_bytes_of(Precision p) {
+  return p == Precision::kDouble ? 8 : 4;
+}
+
+}  // namespace
+
+const char* job_kind_name(JobKind k) {
+  return k == JobKind::kSweep ? "sweep" : "stencil";
+}
+
+const char* admission_reason_name(AdmissionError::Reason r) {
+  switch (r) {
+    case AdmissionError::Reason::kParse: return "parse";
+    case AdmissionError::Reason::kLint: return "lint";
+    case AdmissionError::Reason::kLsBudget: return "ls-budget";
+    case AdmissionError::Reason::kGridBudget: return "grid-budget";
+    case AdmissionError::Reason::kQueueFull: return "queue-full";
+  }
+  return "unknown";
+}
+
+SolveServer::SolveServer(const ServerConfig& cfg)
+    : cfg_(cfg),
+      base_(CellSweepConfig::from_stage(cfg.stage)),
+      pool_(std::max(1, cfg.host_threads)),
+      alloc_(base_.chip.num_spes) {
+  cfg_.tenants = std::max(1, cfg_.tenants);
+  cfg_.queue_limit = std::max<std::size_t>(1, cfg_.queue_limit);
+  workers_.reserve(static_cast<std::size_t>(cfg_.tenants));
+  for (int t = 0; t < cfg_.tenants; ++t)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+SolveServer::~SolveServer() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_queue_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void SolveServer::admit(Job& job) const {
+  // Admission reuses the static linters, so a job the server accepts
+  // can never be one the runtime would reject -- and a rejected job
+  // costs zero simulated (and near-zero host) work. All checks run
+  // outside the queue lock.
+  CellSweepConfig cfg = base_;
+  long long cells = 0;
+  std::size_t ls_bytes = 0;
+  const std::size_t rb = real_bytes_of(cfg.precision);
+  if (job.req.kind == JobKind::kSweep) {
+    try {
+      job.deck = sweep::parse_deck_string(job.req.text);
+    } catch (const sweep::DeckError& e) {
+      throw AdmissionError(AdmissionError::Reason::kParse, e.what());
+    }
+    cfg.sweep = job.deck->sweep;
+    const analysis::Diagnostics diags = analysis::lint_deck(*job.deck, cfg);
+    if (diags.has_errors())
+      throw AdmissionError(AdmissionError::Reason::kLint,
+                           "deck rejected by lint:\n" + diags.summary());
+    const sweep::Grid& g = job.deck->problem.grid();
+    cells = g.cells();
+    const sweep::SnQuadrature quad(job.deck->sn_order);
+    const int nm =
+        sweep::MomentTable(quad, 2, job.deck->nm_cap).nm();
+    ls_bytes = 4 * 1024 +
+               static_cast<std::size_t>(std::max(1, cfg.buffers)) *
+                   plan_chunk(ChunkShape{sweep::kBundleLines, g.it, nm, rb,
+                                         cfg.aligned_rows})
+                       .ls_buffer_bytes;
+  } else {
+    stencil::StencilSpec spec;
+    try {
+      spec = stencil::parse_spec_string(job.req.text);
+    } catch (const stencil::StencilError& e) {
+      throw AdmissionError(AdmissionError::Reason::kParse, e.what());
+    }
+    const analysis::Diagnostics diags = analysis::lint_stencil(spec, cfg);
+    if (diags.has_errors())
+      throw AdmissionError(AdmissionError::Reason::kLint,
+                           "spec rejected by lint:\n" + diags.summary());
+    cells = spec.cells();
+    ls_bytes = 1024 +
+               static_cast<std::size_t>(std::max(1, cfg.buffers)) *
+                   stencil::plan_block(spec, rb, cfg.aligned_rows)
+                       .ls_buffer_bytes;
+    job.spec = std::make_shared<const stencil::StencilSpec>(std::move(spec));
+  }
+  if (cfg_.grid_cell_budget > 0 && cells > cfg_.grid_cell_budget)
+    throw AdmissionError(
+        AdmissionError::Reason::kGridBudget,
+        "grid of " + std::to_string(cells) + " cells exceeds the server's " +
+            std::to_string(cfg_.grid_cell_budget) + "-cell budget");
+  if (cfg_.ls_budget_bytes > 0 && ls_bytes > cfg_.ls_budget_bytes)
+    throw AdmissionError(
+        AdmissionError::Reason::kLsBudget,
+        "simulated-LS footprint of " + std::to_string(ls_bytes) +
+            " bytes/SPE exceeds the server's " +
+            std::to_string(cfg_.ls_budget_bytes) + "-byte budget");
+}
+
+int SolveServer::submit(const JobRequest& req) {
+  Job job;
+  job.req = req;
+  try {
+    admit(job);
+  } catch (const AdmissionError&) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.rejected;
+    throw;
+  }
+  int id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.size() >= cfg_.queue_limit) {
+      ++stats_.rejected;
+      throw AdmissionError(
+          AdmissionError::Reason::kQueueFull,
+          "queue full: " + std::to_string(queue_.size()) +
+              " job(s) pending (limit " + std::to_string(cfg_.queue_limit) +
+              ")");
+    }
+    id = next_id_++;
+    job.id = id;
+    if (job.req.name.empty()) job.req.name = "job-" + std::to_string(id);
+    ++stats_.submitted;
+    queue_.push_back(std::move(job));
+  }
+  cv_queue_.notify_one();
+  return id;
+}
+
+void SolveServer::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_queue_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, and nothing left to run
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    JobResult res = run_job(job);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      res.ok ? ++stats_.completed : ++stats_.failed;
+      done_.emplace(job.id, std::move(res));
+    }
+    cv_done_.notify_all();
+  }
+}
+
+JobResult SolveServer::run_job(Job& job) {
+  try {
+    return job.req.kind == JobKind::kSweep ? run_sweep(job)
+                                           : run_stencil(job);
+  } catch (const std::exception& e) {
+    // A failing solve (fault plan kills every SPE, hazard escalation)
+    // takes down its job, never the server.
+    JobResult r;
+    r.id = job.id;
+    r.name = job.req.name;
+    r.kind = job.req.kind;
+    r.ok = false;
+    r.error = e.what();
+    return r;
+  }
+}
+
+std::shared_ptr<const CachedPlan> SolveServer::plan_for_sweep(
+    const sweep::Deck& deck, const CellSweepConfig& cfg, std::uint64_t key,
+    bool& hit) {
+  std::shared_ptr<const CachedPlan> plan = cache_.find(key);
+  if (plan) {
+    hit = true;
+    return plan;
+  }
+  hit = false;
+  auto built = std::make_shared<CachedPlan>();
+  auto quad = std::make_shared<sweep::SnQuadrature>(deck.sn_order);
+  built->nm = sweep::MomentTable(*quad, 2, deck.nm_cap).nm();
+  if (cfg.use_spes) {
+    // Warm the chunk-cost cache for every shape this deck can produce:
+    // diagonals bundle into chunks of 1..kBundleLines lines, and the
+    // fixup iterations price differently. The trace recording here is
+    // exactly the work a cold run would do lazily.
+    auto kernels = std::make_shared<KernelCostModel>(cfg.chip);
+    const int it = deck.problem.grid().it;
+    for (int fixup = 0; fixup < 2; ++fixup)
+      for (int nlines = 1; nlines <= sweep::kBundleLines; ++nlines)
+        kernels->chunk_cost(cfg.kernel, cfg.precision, nlines, it,
+                            built->nm, fixup != 0, cfg.gotos_eliminated);
+    built->kernels = std::move(kernels);
+  }
+  built->quadrature = std::move(quad);
+  return cache_.insert(key, std::move(built));
+}
+
+JobResult SolveServer::run_sweep(Job& job) {
+  sweep::Deck& deck = *job.deck;
+  CellSweepConfig cfg = base_;
+  cfg.sweep = deck.sweep;
+  cfg.sweep.kernel = cfg.kernel;
+  cfg.sweep.pool = &pool_;
+  cfg.spe_allocator = &alloc_;
+  cfg.min_spes = cfg_.min_spes;
+
+  const std::uint64_t key = PlanCache::fingerprint(
+      job_kind_name(JobKind::kSweep), cfg_.stage, job.req.text);
+  bool hit = false;
+  const std::shared_ptr<const CachedPlan> plan =
+      plan_for_sweep(deck, cfg, key, hit);
+  cfg.quadrature = plan->quadrature.get();
+  cfg.warm_kernels = plan->kernels.get();
+
+  CellSweep3D solver(deck.problem, cfg, deck.sn_order, 2, deck.nm_cap);
+  JobResult r;
+  r.id = job.id;
+  r.name = job.req.name;
+  r.kind = JobKind::kSweep;
+  r.report = solver.run(job.req.mode);
+  r.plan_cache_hit = hit;
+  r.ok = true;
+  return r;
+}
+
+JobResult SolveServer::run_stencil(Job& job) {
+  CellSweepConfig cfg = base_;
+  cfg.spe_allocator = &alloc_;
+  cfg.min_spes = cfg_.min_spes;
+
+  const std::uint64_t key = PlanCache::fingerprint(
+      job_kind_name(JobKind::kStencil), cfg_.stage, job.req.text);
+  bool hit = false;
+  std::shared_ptr<const CachedPlan> plan = cache_.find(key);
+  if (plan) {
+    hit = true;
+  } else {
+    auto built = std::make_shared<CachedPlan>();
+    built->spec = job.spec;
+    plan = cache_.insert(key, std::move(built));
+  }
+
+  stencil::CellStencil runner(plan->spec ? *plan->spec : *job.spec, cfg);
+  const stencil::StencilReport rep =
+      runner.run(job.req.mode, pool_.size(), &pool_);
+  JobResult r;
+  r.id = job.id;
+  r.name = job.req.name;
+  r.kind = JobKind::kStencil;
+  r.report = rep.run;
+  r.checksum = rep.checksum;
+  r.residual = rep.residual;
+  r.plan_cache_hit = hit;
+  r.ok = true;
+  return r;
+}
+
+JobResult SolveServer::wait(int id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (id < 1 || id >= next_id_)
+    throw std::invalid_argument("SolveServer::wait: unknown job id " +
+                                std::to_string(id));
+  cv_done_.wait(lock, [&] { return done_.find(id) != done_.end(); });
+  return done_.at(id);
+}
+
+std::vector<JobResult> SolveServer::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock,
+                [&] { return done_.size() == stats_.submitted; });
+  std::vector<JobResult> all;
+  all.reserve(done_.size());
+  for (const auto& [id, res] : done_) all.push_back(res);
+  return all;
+}
+
+SolveServer::Stats SolveServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace cellsweep::core

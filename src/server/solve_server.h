@@ -1,0 +1,198 @@
+// SolveServer: sweep-as-a-service over the simulated Cell chip.
+//
+// PR 5's headline finding -- at paper cube sizes the sweep is
+// dependency-chain-bound and leaves most of the chip slack -- turns
+// deck_runner's one-shot workflow into a multi-tenant question: what
+// throughput does one chip sustain when several solves share it? This
+// server answers it end to end:
+//
+//   * a job queue accepting sweep decks and stencil specs (the two
+//     workload grammars), each solved exactly as deck_runner would;
+//   * admission control that rejects malformed or over-budget inputs
+//     with a typed AdmissionError *before* anything is scheduled,
+//     reusing the static linters (analysis::lint_deck / lint_stencil)
+//     so admission and runtime can never disagree about what is legal;
+//   * N tenant workers solving concurrently, sharing one host
+//     util::ThreadPool (the functional kernels) and one SpeAllocator
+//     (the simulated chip: runs claim SPEs worst-fit and yield them
+//     under pressure at batch boundaries);
+//   * a PlanCache keyed by deck fingerprint, so resubmitted decks skip
+//     the quadrature build and the trace-scheduled kernel calibration
+//     (byte-identical reports either way, pinned by tests).
+//
+// Host concurrency only ever decides *which SPEs* a tenant holds and
+// *when in host time* work runs -- each tenant's simulated clocks
+// advance only with its own workload, and the physics is bitwise
+// independent of tenancy (pinned by tests).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/config.h"
+#include "core/report.h"
+#include "core/spe_allocator.h"
+#include "server/plan_cache.h"
+#include "sweep/deck.h"
+#include "util/thread_pool.h"
+#include "workloads/stencil/spec.h"
+
+namespace cellsweep::core {
+
+enum class JobKind : std::uint8_t { kSweep, kStencil };
+const char* job_kind_name(JobKind k);
+
+/// Thrown by submit() when a job is rejected at admission; the typed
+/// reason lets clients (and tests) react to the cause instead of
+/// pattern-matching message text.
+class AdmissionError : public std::runtime_error {
+ public:
+  enum class Reason : std::uint8_t {
+    kParse,       ///< deck / spec text does not parse
+    kLint,        ///< static linter found errors
+    kLsBudget,    ///< simulated-LS footprint exceeds the server budget
+    kGridBudget,  ///< grid cells exceed the server budget
+    kQueueFull,   ///< queue_limit pending jobs already
+  };
+
+  AdmissionError(Reason reason, const std::string& what)
+      : std::runtime_error(what), reason_(reason) {}
+  Reason reason() const noexcept { return reason_; }
+
+ private:
+  Reason reason_;
+};
+
+const char* admission_reason_name(AdmissionError::Reason r);
+
+struct ServerConfig {
+  /// Concurrent tenant workers (clamped to >= 1). Each runs one solve
+  /// at a time against the shared chip.
+  int tenants = 2;
+  /// Machine switches every job runs under (the Figure 5 ladder).
+  OptimizationStage stage = OptimizationStage::kSpeLsPoke;
+  /// Pending jobs admitted before submit() rejects with kQueueFull.
+  std::size_t queue_limit = 64;
+  /// Admission budget on the per-SPE simulated-LS footprint (resident
+  /// regions + buffers x staging buffer) in bytes. 0 = no extra budget
+  /// beyond the linter's 256 KB capacity check.
+  std::size_t ls_budget_bytes = 0;
+  /// Admission budget on grid cells; 0 = unlimited.
+  long long grid_cell_budget = 0;
+  /// Width of the shared host pool (functional kernels; clamped >= 1).
+  /// Purely host-side: results are bitwise identical for any value.
+  int host_threads = 1;
+  /// Fewest SPEs a tenant may be squeezed to under pressure.
+  int min_spes = 1;
+};
+
+struct JobRequest {
+  JobKind kind = JobKind::kSweep;
+  /// Label in results; defaults to "job-<id>".
+  std::string name;
+  /// Deck (sweep) or spec (stencil) source text.
+  std::string text;
+  RunMode mode = RunMode::kTraceDriven;
+};
+
+struct JobResult {
+  int id = 0;
+  std::string name;
+  JobKind kind = JobKind::kSweep;
+  /// False: the solve itself failed (admission failures never get
+  /// here -- submit() throws instead); `error` has the story.
+  bool ok = false;
+  std::string error;
+  /// The machine-side report, exactly what a solo deck_runner run of
+  /// the same input produces (a stencil job's StencilReport::run).
+  RunReport report;
+  // Stencil functional results (kFunctional stencil jobs only).
+  double checksum = 0;
+  double residual = 0;
+  /// This job reused a cached plan (quadrature + kernel calibration).
+  bool plan_cache_hit = false;
+};
+
+class SolveServer {
+ public:
+  struct Stats {
+    std::uint64_t submitted = 0;  ///< admitted into the queue
+    std::uint64_t completed = 0;  ///< finished ok
+    std::uint64_t failed = 0;     ///< finished with an error
+    std::uint64_t rejected = 0;   ///< refused at admission
+  };
+
+  explicit SolveServer(const ServerConfig& cfg = {});
+  /// Drains the queue (pending jobs still run) and joins the workers.
+  ~SolveServer();
+
+  SolveServer(const SolveServer&) = delete;
+  SolveServer& operator=(const SolveServer&) = delete;
+
+  /// Admission-checks @p req (parse, lint, budgets, queue depth) and
+  /// enqueues it. Returns the job id; throws AdmissionError on
+  /// rejection -- nothing rejected ever reaches a worker.
+  int submit(const JobRequest& req);
+
+  /// Blocks until job @p id completes; throws std::invalid_argument
+  /// for ids submit() never returned.
+  JobResult wait(int id);
+
+  /// Blocks until every submitted job has completed; returns all
+  /// results in submission order.
+  std::vector<JobResult> drain();
+
+  Stats stats() const;
+  PlanCache::Stats plan_cache_stats() const { return cache_.stats(); }
+  SpeAllocator::Stats allocator_stats() const { return alloc_.stats(); }
+  const ServerConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct Job {
+    int id = 0;
+    JobRequest req;
+    // Parsed at admission; exactly one is set.
+    std::optional<sweep::Deck> deck;
+    std::shared_ptr<const stencil::StencilSpec> spec;
+  };
+
+  /// Parse + lint + budget checks; fills job.deck / job.spec. Throws
+  /// AdmissionError.
+  void admit(Job& job) const;
+  void worker_loop();
+  JobResult run_job(Job& job);
+  JobResult run_sweep(Job& job);
+  JobResult run_stencil(Job& job);
+  /// The cached plan for @p deck (building + inserting on miss).
+  std::shared_ptr<const CachedPlan> plan_for_sweep(
+      const sweep::Deck& deck, const CellSweepConfig& cfg,
+      std::uint64_t key, bool& hit);
+
+  ServerConfig cfg_;
+  CellSweepConfig base_;  ///< from_stage(cfg_.stage)
+  util::ThreadPool pool_;
+  SpeAllocator alloc_;
+  PlanCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_queue_;  ///< workers wait for jobs
+  std::condition_variable cv_done_;   ///< clients wait for results
+  std::deque<Job> queue_;
+  std::map<int, JobResult> done_;
+  int next_id_ = 1;
+  bool stopping_ = false;
+  Stats stats_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cellsweep::core

@@ -252,8 +252,8 @@ void SweepState<Real>::sweep_block(const SweepConfig& cfg, bool fixup, int iq,
       }
     };
     const int nchunks = static_cast<int>(plan.chunks().size());
-    if (pool_) {
-      pool_->parallel_for(nchunks, run_chunk);
+    if (active_pool_) {
+      active_pool_->parallel_for(nchunks, run_chunk);
     } else {
       for (int c = 0; c < nchunks; ++c) run_chunk(c, 0);
     }
@@ -374,13 +374,21 @@ SweepRunStats SweepState<Real>::sweep(const SweepConfig& cfg, bool fixup,
   cfg.validate(g.kt, mm);
   current_mmi_ = cfg.mmi;
 
-  // Host executor: one scratch and stats slot per worker. The pool is
-  // kept across sweeps and rebuilt only when the thread count changes.
-  const int threads = cfg.threads;
-  if (threads == 1) {
-    pool_.reset();
-  } else if (!pool_ || pool_->size() != threads) {
-    pool_ = std::make_unique<util::ThreadPool>(threads);
+  // Host executor: an injected shared pool wins (its width sets the
+  // worker count); otherwise one owned pool sized by cfg.threads, kept
+  // across sweeps and rebuilt only when the thread count changes. One
+  // scratch and stats slot per worker either way.
+  int threads = cfg.threads;
+  if (cfg.pool != nullptr) {
+    threads = cfg.pool->size();
+    active_pool_ = threads > 1 ? cfg.pool : nullptr;
+  } else {
+    if (threads == 1) {
+      pool_.reset();
+    } else if (!pool_ || pool_->size() != threads) {
+      pool_ = std::make_unique<util::ThreadPool>(threads);
+    }
+    active_pool_ = pool_.get();
   }
   while (static_cast<int>(scratch_.size()) < threads)
     scratch_.push_back(

@@ -58,6 +58,12 @@ struct SweepConfig {
   /// are bitwise identical for any value, and simulated Cell timing
   /// never depends on it.
   int threads = 1;
+  /// Externally shared host pool (non-owning, may be null). When set
+  /// it overrides `threads`: the sweep runs its chunks on this pool --
+  /// the solve server shares one pool across all tenants -- instead of
+  /// owning one. Same contract as `threads`: results are bitwise
+  /// identical and simulated Cell timing never depends on it.
+  util::ThreadPool* pool = nullptr;
 
   void validate(int kt, int mm) const;
 };
@@ -215,11 +221,14 @@ class SweepState {
   LeakageTally leakage_;
   int current_mmi_ = 1;  // mmi of the sweep in progress (for K tally)
 
-  // Host execution resources, sized by SweepConfig::threads at sweep()
-  // entry. Each worker owns its BundleScratch: SIMD bundles must never
-  // share scratch across threads, and per-worker KernelStats keep the
-  // counters race-free (summed into SweepRunStats after the sweep).
+  // Host execution resources, sized at sweep() entry: the shared
+  // SweepConfig::pool when one is injected, else an owned pool sized by
+  // SweepConfig::threads. Each worker owns its BundleScratch: SIMD
+  // bundles must never share scratch across threads, and per-worker
+  // KernelStats keep the counters race-free (summed into SweepRunStats
+  // after the sweep).
   std::unique_ptr<util::ThreadPool> pool_;  // null when threads == 1
+  util::ThreadPool* active_pool_ = nullptr;  // the pool this sweep uses
   std::vector<std::unique_ptr<BundleScratch<Real>>> scratch_;
   std::vector<KernelStats> worker_stats_;
   std::vector<LineArgs<Real>> diag_args_;  // one diagonal's line args

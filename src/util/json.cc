@@ -49,8 +49,8 @@ class Parser {
   JsonValue parse_value() {
     skip_ws();
     switch (peek()) {
-      case '{': return parse_object();
-      case '[': return parse_array();
+      case '{': return descend(&Parser::parse_object);
+      case '[': return descend(&Parser::parse_array);
       case '"': {
         JsonValue v;
         v.kind = JsonValue::Kind::kString;
@@ -77,6 +77,19 @@ class Parser {
         fail("invalid literal");
       default: return parse_number();
     }
+  }
+
+  /// Recursion guard around the container parsers: parse depth is the
+  /// C++ call-stack depth, so unbounded "[[[[..." input would otherwise
+  /// overflow the stack instead of failing like any other bad input.
+  JsonValue descend(JsonValue (Parser::*parse)()) {
+    if (depth_ >= kMaxJsonDepth)
+      fail("containers nested deeper than " + std::to_string(kMaxJsonDepth) +
+           " levels");
+    ++depth_;
+    JsonValue v = (this->*parse)();
+    --depth_;
+    return v;
   }
 
   JsonValue parse_object() {
@@ -204,6 +217,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;  ///< open containers (see descend)
 };
 
 }  // namespace

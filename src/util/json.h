@@ -21,6 +21,13 @@ class JsonError : public std::runtime_error {
   explicit JsonError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Maximum container nesting the parser accepts. The parser (and the
+/// JsonValue destructor) recurse once per nesting level, so without a
+/// cap a client-supplied "[[[[..." overflows the stack; past this depth
+/// parse_json throws a typed JsonError instead. Far above anything the
+/// repo's own emitters produce (counter trees nest ~5 deep).
+inline constexpr std::size_t kMaxJsonDepth = 128;
+
 /// One JSON value. A tagged union kept simple (vectors stay empty for
 /// scalar kinds); good enough for config-sized documents.
 class JsonValue {
@@ -57,7 +64,8 @@ class JsonValue {
 };
 
 /// Parses one JSON document (trailing whitespace allowed, nothing
-/// else). Throws JsonError on malformed input.
+/// else). Throws JsonError on malformed input or on containers nested
+/// deeper than kMaxJsonDepth.
 JsonValue parse_json(std::string_view text);
 
 }  // namespace cellsweep::util

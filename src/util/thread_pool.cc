@@ -58,6 +58,13 @@ void ThreadPool::parallel_for(int n,
     return;
   }
 
+  // One fork point at a time: concurrent callers (several solve-server
+  // tenants sharing one host pool) queue here. Without this, a second
+  // caller would bump generation_ while the first one's slices are
+  // still running -- workers would skip or re-run slices and the two
+  // jobs' n_/fn_/error_ would interleave.
+  std::lock_guard<std::mutex> fork(fork_mu_);
+
   {
     std::lock_guard<std::mutex> lock(mu_);
     n_ = n;
@@ -73,7 +80,13 @@ void ThreadPool::parallel_for(int n,
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] { return pending_ == 0; });
   fn_ = nullptr;
-  if (error_) std::rethrow_exception(error_);
+  // Detach the error from the pool before rethrowing so a thrown job
+  // can never poison the next fork point (which also clears error_ --
+  // belt and braces; the regression tests pin the reuse contract).
+  std::exception_ptr err = error_;
+  error_ = nullptr;
+  lock.unlock();
+  if (err) std::rethrow_exception(err);
 }
 
 }  // namespace cellsweep::util

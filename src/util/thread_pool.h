@@ -9,6 +9,13 @@
 // thread doubles as worker 0, so a pool of size N uses N-1 extra
 // threads and size 1 degenerates to an inline loop with no threads and
 // no locking at all.
+//
+// One pool may be shared by several client threads (the solve server
+// hands every tenant the same host pool): concurrent parallel_for
+// calls serialize on an internal fork mutex instead of corrupting the
+// generation/pending handshake. Calls never nest -- a job must not
+// call parallel_for on its own pool (it would deadlock on that mutex;
+// before the mutex it silently corrupted the handshake).
 #pragma once
 
 #include <condition_variable>
@@ -37,7 +44,11 @@ class ThreadPool {
   /// until all calls have returned. Worker w executes the contiguous
   /// slice [w*n/size, (w+1)*n/size); worker 0 is the calling thread.
   /// The first exception thrown by any invocation is rethrown here
-  /// (remaining slices still run to completion).
+  /// (remaining slices still run to completion), and the pool stays
+  /// fully usable afterwards: the error slot and the fork handshake
+  /// are reset, so the next call on the same pool runs clean. Safe to
+  /// call from multiple threads (calls serialize); must not be called
+  /// from inside a job running on the same pool.
   void parallel_for(int n, const std::function<void(int index, int worker)>& fn);
 
  private:
@@ -47,6 +58,9 @@ class ThreadPool {
   int size_ = 1;
   std::vector<std::thread> workers_;
 
+  /// Serializes whole fork/join sections; mu_ alone only protects the
+  /// shared fields *within* one section.
+  std::mutex fork_mu_;
   std::mutex mu_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;

@@ -69,6 +69,10 @@ void StencilState::half_sweep(int color, util::ThreadPool& pool) {
 
 void StencilState::run(int threads) {
   util::ThreadPool pool(threads);
+  run(pool);
+}
+
+void StencilState::run(util::ThreadPool& pool) {
   for (int it = 0; it < spec_.iterations; ++it) {
     half_sweep(0, pool);
     half_sweep(1, pool);
@@ -198,7 +202,8 @@ CellStencil::CellStencil(const StencilSpec& spec,
   spec_.validate();
 }
 
-StencilReport CellStencil::run(core::RunMode mode, int threads) {
+StencilReport CellStencil::run(core::RunMode mode, int threads,
+                               util::ThreadPool* pool) {
   StencilReport rep;
   const std::size_t rb = real_bytes_of(cfg_.precision);
 
@@ -280,7 +285,10 @@ StencilReport CellStencil::run(core::RunMode mode, int threads) {
     // trace-driven timing are identical by construction -- and a fault
     // plan degrades only the timing, never these values.
     StencilState state(spec_);
-    state.run(threads);
+    if (pool)
+      state.run(*pool);
+    else
+      state.run(threads);
     rep.checksum = state.checksum();
     rep.residual = state.residual();
   }

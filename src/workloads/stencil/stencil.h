@@ -55,6 +55,9 @@ class StencilState {
   /// Runs spec.iterations full sweeps (red then black half-sweeps) on
   /// @p threads host threads. Bitwise deterministic for any count.
   void run(int threads = 1);
+  /// Same, on an externally shared pool (the solve server's) instead of
+  /// an owned one. Bitwise identical to run(pool.size()).
+  void run(util::ThreadPool& pool);
 
   /// One half-sweep of @p color (0 = even parity of i+j+k, 1 = odd).
   void half_sweep(int color, util::ThreadPool& pool);
@@ -116,10 +119,12 @@ class CellStencil {
   CellStencil(const StencilSpec& spec, const core::CellSweepConfig& cfg);
 
   /// kTraceDriven replays the loop structure only; kFunctional also
-  /// solves the physics on @p threads host threads (identical timing
-  /// -- the machine feed does not depend on the mode or thread count).
+  /// solves the physics on @p threads host threads -- or on @p pool
+  /// when one is injected (the solve server's shared pool; overrides
+  /// threads). Identical timing either way: the machine feed does not
+  /// depend on the mode, thread count or pool.
   StencilReport run(core::RunMode mode = core::RunMode::kTraceDriven,
-                    int threads = 1);
+                    int threads = 1, util::ThreadPool* pool = nullptr);
 
  private:
   StencilSpec spec_;

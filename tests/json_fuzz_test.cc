@@ -126,6 +126,65 @@ TEST(JsonFuzz, RandomGarbageNeverCrashes) {
   }
 }
 
+/// @p depth nested arrays: "[[[...]]]", optionally left unclosed.
+std::string nested_arrays(std::size_t depth, bool closed = true) {
+  std::string doc(depth, '[');
+  if (closed) doc.append(depth, ']');
+  return doc;
+}
+
+TEST(JsonFuzz, NestingUpToTheDepthCapParses) {
+  EXPECT_NO_THROW((void)util::parse_json(nested_arrays(1)));
+  EXPECT_NO_THROW(
+      (void)util::parse_json(nested_arrays(util::kMaxJsonDepth - 1)));
+  EXPECT_NO_THROW(
+      (void)util::parse_json(nested_arrays(util::kMaxJsonDepth)));
+}
+
+TEST(JsonFuzz, NestingJustPastTheCapThrowsTypedError) {
+  EXPECT_THROW((void)util::parse_json(nested_arrays(util::kMaxJsonDepth + 1)),
+               util::JsonError);
+}
+
+TEST(JsonFuzz, PathologicalDepthFailsInsteadOfOverflowingTheStack) {
+  // Before the depth cap this was a stack overflow (one C++ frame per
+  // '['), i.e. a crash any client feeding untrusted JSON could trigger.
+  // Unclosed input makes the point sharper: the parser must reject at
+  // the cap on the way *down*, not after matching brackets.
+  EXPECT_THROW((void)util::parse_json(nested_arrays(200000, false)),
+               util::JsonError);
+  EXPECT_THROW((void)util::parse_json(nested_arrays(200000)),
+               util::JsonError);
+}
+
+TEST(JsonFuzz, MixedObjectArrayNestingCountsBothContainerKinds) {
+  // Each "{"k":[" pair opens two containers; the cap counts them all.
+  std::string under, over;
+  for (std::size_t i = 0; i < util::kMaxJsonDepth / 2; ++i)
+    under += R"({"k":[)";
+  over = under + R"({"k":[)";
+  std::string under_closed = under + "0";
+  std::string over_closed = over + "0";
+  for (std::size_t i = 0; i < util::kMaxJsonDepth / 2; ++i)
+    under_closed += "]}";
+  for (std::size_t i = 0; i < util::kMaxJsonDepth / 2 + 1; ++i)
+    over_closed += "]}";
+  EXPECT_NO_THROW((void)util::parse_json(under_closed));
+  EXPECT_THROW((void)util::parse_json(over_closed), util::JsonError);
+}
+
+TEST(JsonFuzz, DepthErrorMessageNamesTheCap) {
+  try {
+    (void)util::parse_json(nested_arrays(util::kMaxJsonDepth + 1));
+    FAIL() << "depth cap not enforced";
+  } catch (const util::JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find(
+                  std::to_string(util::kMaxJsonDepth)),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(JsonFuzz, OutcomesAreDeterministicPerSeed) {
   auto sweep_outcomes = [] {
     std::vector<Outcome> out;

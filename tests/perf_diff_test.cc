@@ -139,14 +139,16 @@ TEST(PerfDiff, SchemaMismatchIsHardError) {
       diff(bench_doc("1.0"), bench_doc("1.0", "1.0", "cellsweep-bench-v0"));
   EXPECT_FALSE(r.errors.empty());
   EXPECT_FALSE(r.ok());
-  EXPECT_TRUE(r.rows.empty());  // gates fire before any comparison
+  // One-pass contract: the gate failure is reported AND the metric
+  // comparison still runs, so one CI log shows the whole picture.
+  EXPECT_FALSE(r.rows.empty());
 }
 
 TEST(PerfDiff, FingerprintMismatchIsHardError) {
   const PerfDiffResult r = diff(
       bench_doc("1.0"), bench_doc("1.0", "1.0", "cellsweep-bench-v1", "50"));
   EXPECT_FALSE(r.errors.empty());
-  EXPECT_TRUE(r.rows.empty());
+  EXPECT_FALSE(r.rows.empty());  // comparison still ran (one pass)
 
   PerfDiffOptions opt;
   opt.check_fingerprint = false;
@@ -154,6 +156,31 @@ TEST(PerfDiff, FingerprintMismatchIsHardError) {
       bench_doc("1.0"), bench_doc("1.0", "1.0", "cellsweep-bench-v1", "50"),
       opt);
   EXPECT_TRUE(relaxed.ok());
+}
+
+TEST(PerfDiff, ReportsEverySimultaneousRegression) {
+  // Two metrics regress at once: both rows must flag in a single pass.
+  // The old behavior (first failure wins) made CI a fix-one-rerun-
+  // find-the-next loop.
+  const PerfDiffResult r = diff(bench_doc("2.0", "3.0"), bench_doc("1.0"));
+  EXPECT_TRUE(r.regressed());
+  EXPECT_EQ(row_for(r, "seconds")->status, DiffStatus::kRegressed);
+  EXPECT_EQ(row_for(r, "grind_seconds")->status, DiffStatus::kRegressed);
+}
+
+TEST(PerfDiff, ReportsAllGateFailuresAndRegressionsTogether) {
+  // Schema AND scenario AND fingerprint mismatch AND a regressed
+  // metric: every gate failure is collected and the rows still show
+  // the regression.
+  const std::string cur =
+      "{\"schema\": \"cellsweep-bench-v2\", \"scenario\": \"other\", "
+      "\"fingerprint\": {\"cube\": 50, \"iterations\": 12}, \"runs\": ["
+      "{\"name\": \"stage\", \"metrics\": {\"seconds\": 9.0, "
+      "\"grind_seconds\": 1.0}}]}";
+  const PerfDiffResult r = diff(cur, bench_doc("1.0"));
+  EXPECT_GE(r.errors.size(), 3u);  // schema + scenario + fingerprint
+  EXPECT_EQ(row_for(r, "seconds")->status, DiffStatus::kRegressed);
+  EXPECT_EQ(row_for(r, "grind_seconds")->status, DiffStatus::kOk);
 }
 
 TEST(PerfDiff, NullAndAbsentMetricsAreSkipped) {

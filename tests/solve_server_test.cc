@@ -1,0 +1,249 @@
+// core::SolveServer end to end: multi-tenant solves on one simulated
+// chip. The load-bearing contracts:
+//   * physics is bitwise independent of tenancy -- a deck solved while
+//     another tenant shares the chip produces the same solve, checksum
+//     and residual as a solo run (only host scheduling and the
+//     simulated SPE partition differ);
+//   * a plan-cache hit is invisible in the results: resubmitting a deck
+//     yields a byte-identical RunReport, just cheaper to plan;
+//   * admission is typed and airtight: unparsable, lint-rejected and
+//     over-budget jobs throw AdmissionError with the right reason and
+//     never reach a worker.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server/plan_cache.h"
+#include "server/solve_server.h"
+
+namespace cellsweep::core {
+namespace {
+
+// Mirrors examples/decks/tiny8.deck / tiny8.stencil: fast enough to
+// solve functionally many times per test run.
+const char* const kTinyDeck =
+    "it 8  jt 8  kt 8\n"
+    "dx 0.04  dy 0.04  dz 0.04\n"
+    "mk 4  mmi 3\n"
+    "sn 6  moments 6\n"
+    "iterations 2  fixup_from 1\n"
+    "material benchmark 1.0 0.5 0.2 0.05 source 1.0\n";
+
+const char* const kTinyStencil =
+    "nx 8  ny 8  nz 8\n"
+    "bx 4  by 4  bz 4\n"
+    "iterations 2\n";
+
+JobRequest sweep_req(const std::string& name) {
+  JobRequest req;
+  req.kind = JobKind::kSweep;
+  req.name = name;
+  req.text = kTinyDeck;
+  req.mode = RunMode::kFunctional;
+  return req;
+}
+
+JobRequest stencil_req(const std::string& name) {
+  JobRequest req;
+  req.kind = JobKind::kStencil;
+  req.name = name;
+  req.text = kTinyStencil;
+  req.mode = RunMode::kFunctional;
+  return req;
+}
+
+AdmissionError::Reason reason_of(SolveServer& server,
+                                 const JobRequest& req) {
+  try {
+    server.submit(req);
+  } catch (const AdmissionError& e) {
+    return e.reason();
+  }
+  ADD_FAILURE() << "submit() accepted a job that must be rejected";
+  return AdmissionError::Reason::kParse;
+}
+
+TEST(SolveServer, RunsAMixedStreamToCompletion) {
+  ServerConfig cfg;
+  cfg.tenants = 2;
+  cfg.host_threads = 2;
+  SolveServer server(cfg);
+  for (int i = 0; i < 2; ++i) {
+    server.submit(sweep_req("sweep-" + std::to_string(i)));
+    server.submit(stencil_req("stencil-" + std::to_string(i)));
+  }
+  const std::vector<JobResult> results = server.drain();
+  ASSERT_EQ(results.size(), 4u);
+  for (const JobResult& r : results) {
+    EXPECT_TRUE(r.ok) << r.name << ": " << r.error;
+    EXPECT_GT(r.report.seconds, 0.0) << r.name;
+  }
+  const SolveServer::Stats st = server.stats();
+  EXPECT_EQ(st.submitted, 4u);
+  EXPECT_EQ(st.completed, 4u);
+  EXPECT_EQ(st.failed, 0u);
+  EXPECT_EQ(st.rejected, 0u);
+  // Both tenants held chip claims at some point.
+  EXPECT_GE(server.allocator_stats().claims, 4u);
+}
+
+TEST(SolveServer, TenancyNeverPerturbsThePhysics) {
+  // Solo reference: one tenant, whole chip, one job at a time.
+  JobResult solo_sweep, solo_stencil;
+  {
+    SolveServer solo(ServerConfig{});
+    solo_sweep = solo.wait(solo.submit(sweep_req("solo")));
+    solo_stencil = solo.wait(solo.submit(stencil_req("solo")));
+  }
+  ASSERT_TRUE(solo_sweep.ok);
+  ASSERT_TRUE(solo_stencil.ok);
+  ASSERT_TRUE(solo_sweep.report.solve.has_value());
+
+  // Contended run: two tenants racing for the same chip and host pool.
+  ServerConfig cfg;
+  cfg.tenants = 2;
+  cfg.host_threads = 2;
+  SolveServer server(cfg);
+  for (int i = 0; i < 3; ++i) {
+    server.submit(sweep_req("sweep-" + std::to_string(i)));
+    server.submit(stencil_req("stencil-" + std::to_string(i)));
+  }
+  for (const JobResult& r : server.drain()) {
+    ASSERT_TRUE(r.ok) << r.name << ": " << r.error;
+    if (r.kind == JobKind::kSweep) {
+      ASSERT_TRUE(r.report.solve.has_value()) << r.name;
+      EXPECT_EQ(r.report.solve->final_change,
+                solo_sweep.report.solve->final_change) << r.name;
+      EXPECT_EQ(r.report.solve->iterations,
+                solo_sweep.report.solve->iterations) << r.name;
+      EXPECT_EQ(r.report.absorption, solo_sweep.report.absorption)
+          << r.name;
+      EXPECT_EQ(r.report.leakage.total(), solo_sweep.report.leakage.total())
+          << r.name;
+      EXPECT_EQ(r.report.flops, solo_sweep.report.flops) << r.name;
+      EXPECT_EQ(r.report.cell_solves, solo_sweep.report.cell_solves)
+          << r.name;
+    } else {
+      EXPECT_EQ(r.checksum, solo_stencil.checksum) << r.name;
+      EXPECT_EQ(r.residual, solo_stencil.residual) << r.name;
+      EXPECT_EQ(r.report.flops, solo_stencil.report.flops) << r.name;
+    }
+  }
+}
+
+TEST(SolveServer, PlanCacheHitIsByteIdentical) {
+  SolveServer server(ServerConfig{});  // one tenant: runs serialize
+  const JobResult first = server.wait(server.submit(sweep_req("cold")));
+  const JobResult second = server.wait(server.submit(sweep_req("warm")));
+  ASSERT_TRUE(first.ok);
+  ASSERT_TRUE(second.ok);
+  EXPECT_FALSE(first.plan_cache_hit);
+  EXPECT_TRUE(second.plan_cache_hit);
+  // The cached quadrature + warmed kernel calibration must change
+  // nothing observable: every metric byte-identical.
+  EXPECT_EQ(first.report.seconds, second.report.seconds);
+  EXPECT_EQ(first.report.grind_seconds, second.report.grind_seconds);
+  EXPECT_EQ(first.report.traffic_bytes, second.report.traffic_bytes);
+  EXPECT_EQ(first.report.flops, second.report.flops);
+  EXPECT_EQ(first.report.dma_commands, second.report.dma_commands);
+  EXPECT_EQ(first.report.solve->final_change,
+            second.report.solve->final_change);
+
+  // Stencil specs cache under a separate fingerprint kind.
+  const JobResult s1 = server.wait(server.submit(stencil_req("s-cold")));
+  const JobResult s2 = server.wait(server.submit(stencil_req("s-warm")));
+  EXPECT_FALSE(s1.plan_cache_hit);
+  EXPECT_TRUE(s2.plan_cache_hit);
+  EXPECT_EQ(s1.checksum, s2.checksum);
+  EXPECT_EQ(s1.report.seconds, s2.report.seconds);
+
+  const PlanCache::Stats pc = server.plan_cache_stats();
+  EXPECT_EQ(pc.entries, 2u);
+  EXPECT_GE(pc.hits, 2u);
+}
+
+TEST(SolveServer, AdmissionRejectsUnparsableInput) {
+  SolveServer server(ServerConfig{});
+  JobRequest req = sweep_req("garbage");
+  req.text = "this is not a deck\n";
+  EXPECT_EQ(reason_of(server, req), AdmissionError::Reason::kParse);
+  JobRequest sreq = stencil_req("garbage");
+  sreq.text = "nx banana\n";
+  EXPECT_EQ(reason_of(server, sreq), AdmissionError::Reason::kParse);
+  EXPECT_EQ(server.stats().rejected, 2u);
+  EXPECT_EQ(server.stats().submitted, 0u);
+}
+
+TEST(SolveServer, AdmissionRejectsOverLsBudgetDeck) {
+  // The tiny deck needs a few tens of KB of simulated LS; a budget just
+  // above the fixed overhead but below the buffer footprint must bounce
+  // it with the typed reason, before any scheduling.
+  ServerConfig cfg;
+  cfg.ls_budget_bytes = 5 * 1024;
+  SolveServer server(cfg);
+  EXPECT_EQ(reason_of(server, sweep_req("too-big")),
+            AdmissionError::Reason::kLsBudget);
+  EXPECT_EQ(reason_of(server, stencil_req("too-big")),
+            AdmissionError::Reason::kLsBudget);
+  EXPECT_EQ(server.stats().rejected, 2u);
+  // The same deck is admitted once the budget allows it.
+  ServerConfig roomy;
+  roomy.ls_budget_bytes = 256 * 1024;
+  SolveServer ok_server(roomy);
+  EXPECT_TRUE(ok_server.wait(ok_server.submit(sweep_req("fits"))).ok);
+}
+
+TEST(SolveServer, AdmissionRejectsOverGridBudgetDeck) {
+  ServerConfig cfg;
+  cfg.grid_cell_budget = 100;  // the tiny deck has 8^3 = 512 cells
+  SolveServer server(cfg);
+  EXPECT_EQ(reason_of(server, sweep_req("too-many-cells")),
+            AdmissionError::Reason::kGridBudget);
+  EXPECT_EQ(reason_of(server, stencil_req("too-many-cells")),
+            AdmissionError::Reason::kGridBudget);
+}
+
+TEST(SolveServer, QueueLimitRejectsWithTypedReason) {
+  ServerConfig cfg;
+  cfg.tenants = 1;
+  cfg.queue_limit = 1;
+  SolveServer server(cfg);
+  // With one tenant busy and one slot, a burst must eventually bounce.
+  bool bounced = false;
+  for (int i = 0; i < 64 && !bounced; ++i) {
+    try {
+      server.submit(sweep_req("burst-" + std::to_string(i)));
+    } catch (const AdmissionError& e) {
+      EXPECT_EQ(e.reason(), AdmissionError::Reason::kQueueFull);
+      bounced = true;
+    }
+  }
+  EXPECT_TRUE(bounced);
+  for (const JobResult& r : server.drain()) EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(SolveServer, WaitRejectsUnknownIds) {
+  SolveServer server(ServerConfig{});
+  EXPECT_THROW(server.wait(0), std::invalid_argument);
+  EXPECT_THROW(server.wait(42), std::invalid_argument);
+}
+
+TEST(PlanCacheFingerprint, SeparatesKindStageAndContent) {
+  const OptimizationStage s0 = OptimizationStage::kSpeLsPoke;
+  const OptimizationStage s1 = OptimizationStage::kSpeSimd;
+  const std::uint64_t sweep_fp = PlanCache::fingerprint("sweep", s0, "x");
+  // Identical bytes submitted as a stencil spec must never collide with
+  // the same bytes as a sweep deck.
+  EXPECT_NE(sweep_fp, PlanCache::fingerprint("stencil", s0, "x"));
+  EXPECT_NE(sweep_fp, PlanCache::fingerprint("sweep", s1, "x"));
+  EXPECT_NE(sweep_fp, PlanCache::fingerprint("sweep", s0, "y"));
+  EXPECT_EQ(sweep_fp, PlanCache::fingerprint("sweep", s0, "x"));
+  // The separators are part of the hash: moving a byte across the
+  // kind/content boundary changes the fingerprint.
+  EXPECT_NE(PlanCache::fingerprint("ab", s0, "c"),
+            PlanCache::fingerprint("a", s0, "bc"));
+}
+
+}  // namespace
+}  // namespace cellsweep::core

@@ -1,0 +1,170 @@
+// core::SpeAllocator: the NOVA-style worst-fit claim/yield policy that
+// lets concurrent streaming runs share one simulated chip. The tests
+// pin the deterministic placement rules (worst-fit from the longest
+// run, highest-id-first shrink), the pressure protocol (blocked claims
+// force holders to yield; expansion is denied while anyone waits) and
+// the accounting the solve server reports.
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/spe_allocator.h"
+
+namespace cellsweep::core {
+namespace {
+
+/// Spins until @p done() holds (host-time polling; the allocator has no
+/// simulated clock). Bounded so a broken wake-up fails, not hangs.
+template <typename Pred>
+void wait_until(Pred done) {
+  for (int spin = 0; spin < 10000 && !done(); ++spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_TRUE(done());
+}
+
+TEST(SpeAllocator, SoloClaimTakesTheWholeChip) {
+  SpeAllocator alloc(8);
+  SpeAllocator::Claim c = alloc.claim(1, 8);
+  EXPECT_EQ(c.count(), 8);
+  EXPECT_EQ(alloc.free_count(), 0);
+  EXPECT_FALSE(alloc.pressure());
+  alloc.release(c);
+  EXPECT_EQ(alloc.free_count(), 8);
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(SpeAllocator, ArgumentsAreClampedToTheChip) {
+  SpeAllocator alloc(4);
+  SpeAllocator::Claim c = alloc.claim(0, 99);
+  EXPECT_EQ(c.count(), 4);
+  alloc.release(c);
+  EXPECT_THROW(SpeAllocator bad(0), std::invalid_argument);
+}
+
+TEST(SpeAllocator, WorstFitSplitsTheLongestFreeRun) {
+  SpeAllocator alloc(8);
+  SpeAllocator::Claim a = alloc.claim(2, 2);
+  EXPECT_EQ(a.ids, (std::vector<int>{0, 1}));
+  // Longest free run is now [2..7]; the next claim splits its head.
+  SpeAllocator::Claim b = alloc.claim(2, 2);
+  EXPECT_EQ(b.ids, (std::vector<int>{2, 3}));
+  // Free: [0..1] released + [4..7] -- worst-fit prefers the longer run.
+  alloc.release(a);
+  SpeAllocator::Claim c = alloc.claim(3, 3);
+  EXPECT_EQ(c.ids, (std::vector<int>{4, 5, 6}));
+  // Remaining runs: [0..1] (len 2) and [7] (len 1): a 3-SPE claim
+  // stitches them longest-first.
+  SpeAllocator::Claim d = alloc.claim(3, 3);
+  EXPECT_EQ(d.ids, (std::vector<int>{0, 1, 7}));
+  alloc.release(b);
+  alloc.release(c);
+  alloc.release(d);
+  EXPECT_EQ(alloc.free_count(), 8);
+}
+
+TEST(SpeAllocator, ShrinkFreesHighestIdsFirst) {
+  SpeAllocator alloc(8);
+  SpeAllocator::Claim a = alloc.claim(8, 8);
+  alloc.shrink(a, 5);
+  EXPECT_EQ(a.ids, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(alloc.free_count(), 3);
+  alloc.release(a);
+}
+
+TEST(SpeAllocator, ExpandGrowsTowardTargetWhenFree) {
+  SpeAllocator alloc(8);
+  SpeAllocator::Claim a = alloc.claim(2, 2);
+  EXPECT_EQ(alloc.expand(a, 6), 4);
+  EXPECT_EQ(a.count(), 6);
+  EXPECT_EQ(alloc.expand(a, 6), 0);  // already there
+  EXPECT_EQ(alloc.expand(a, 99), 2);  // clamped to the chip
+  EXPECT_EQ(a.count(), 8);
+  alloc.release(a);
+  EXPECT_EQ(alloc.stats().expands, 2u);
+}
+
+TEST(SpeAllocator, ClaimBlocksUntilAHolderYields) {
+  SpeAllocator alloc(8);
+  SpeAllocator::Claim a = alloc.claim(8, 8);
+  SpeAllocator::Claim b;
+  std::atomic<bool> granted{false};
+  std::thread t([&] {
+    b = alloc.claim(2, 8);
+    granted.store(true);
+  });
+  wait_until([&] { return alloc.pressure(); });
+  EXPECT_FALSE(granted.load());
+  // The NOVA yield: the holder sees pressure and shrinks to its fair
+  // share (8 / (1 holder + 1 waiter) = 4).
+  EXPECT_EQ(alloc.fair_share(), 4);
+  alloc.shrink(a, alloc.fair_share());
+  t.join();
+  EXPECT_TRUE(granted.load());
+  // The sole waiter takes everything yielded: [4..7].
+  EXPECT_EQ(b.ids, (std::vector<int>{4, 5, 6, 7}));
+  EXPECT_EQ(alloc.stats().waited_claims, 1u);
+  alloc.release(a);
+  alloc.release(b);
+}
+
+TEST(SpeAllocator, GrantIsCappedAtFairShareWhileOthersWait) {
+  SpeAllocator alloc(8);
+  SpeAllocator::Claim a = alloc.claim(8, 8);
+  SpeAllocator::Claim b, c;
+  std::thread tb([&] { b = alloc.claim(1, 8); });
+  std::thread tc([&] { c = alloc.claim(1, 8); });
+  wait_until([&] { return alloc.stats().waited_claims == 2u; });
+  // Fair share with 1 holder + 2 waiters is 8/3 = 2: yield to it.
+  EXPECT_EQ(alloc.fair_share(), 2);
+  alloc.shrink(a, 2);
+  tb.join();
+  tc.join();
+  // Whichever waiter woke first still saw the other waiting, so its
+  // grant was capped at the then-fair share (4); the last claimant
+  // takes what is left (2). Between them the chip is exactly full.
+  std::vector<int> counts{b.count(), c.count()};
+  std::sort(counts.begin(), counts.end());
+  EXPECT_EQ(counts, (std::vector<int>{2, 4}));
+  EXPECT_EQ(alloc.free_count(), 0);
+  EXPECT_EQ(alloc.stats().peak_tenants, 3);
+  alloc.release(a);
+  alloc.release(b);
+  alloc.release(c);
+}
+
+TEST(SpeAllocator, ExpandIsDeniedWhileAnyClaimWaits) {
+  SpeAllocator alloc(8);
+  SpeAllocator::Claim a = alloc.claim(4, 4);
+  SpeAllocator::Claim b;
+  std::thread t([&] { b = alloc.claim(8, 8); });
+  wait_until([&] { return alloc.pressure(); });
+  // Four SPEs are free, but the waiter has first call on them.
+  EXPECT_EQ(alloc.expand(a, 8), 0);
+  EXPECT_EQ(a.count(), 4);
+  alloc.release(a);
+  t.join();
+  EXPECT_EQ(b.count(), 8);
+  alloc.release(b);
+}
+
+TEST(SpeAllocator, StatsCountTheWholeLifecycle) {
+  SpeAllocator alloc(8);
+  SpeAllocator::Claim a = alloc.claim(2, 2);
+  SpeAllocator::Claim b = alloc.claim(2, 2);
+  alloc.expand(a, 3);
+  alloc.shrink(a, 1);
+  alloc.release(a);
+  alloc.release(b);
+  const SpeAllocator::Stats s = alloc.stats();
+  EXPECT_EQ(s.claims, 2u);
+  EXPECT_EQ(s.expands, 1u);
+  EXPECT_EQ(s.shrinks, 3u);  // the explicit shrink + both releases
+  EXPECT_EQ(s.waited_claims, 0u);
+  EXPECT_EQ(s.peak_tenants, 2);
+}
+
+}  // namespace
+}  // namespace cellsweep::core

@@ -3,6 +3,8 @@
 // invariant of the streaming discipline (counter partition, hazard
 // cleanliness, observability purity) is checked independently of any
 // real workload's arithmetic.
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -165,6 +167,94 @@ TEST(StreamingPipeline, HorizonIsMonotoneAndGated) {
   pipeline.run_batch(batch, chain_deps, false);
   EXPECT_GT(pipeline.horizon(), after_first + 12345);
   pipeline.finish();
+}
+
+TEST(StreamingPipeline, SoloAllocatorRunIsByteIdenticalToNoAllocator) {
+  const core::RunReport bare = run_identity(core::StreamConfig{});
+
+  // A solo tenant on a shared allocator keeps the whole chip (no
+  // pressure, no shrink), so every simulated number must be
+  // bit-identical to the allocator-free build -- the contract that
+  // keeps the single-tenant perf baselines valid.
+  core::StreamConfig cfg;
+  core::SpeAllocator alloc(cfg.chip.num_spes);
+  cfg.spe_allocator = &alloc;
+  const core::RunReport shared = run_identity(cfg);
+  EXPECT_EQ(shared.seconds, bare.seconds);
+  EXPECT_EQ(shared.traffic_bytes, bare.traffic_bytes);
+  EXPECT_EQ(shared.dma_commands, bare.dma_commands);
+  EXPECT_EQ(shared.counters.value("run_ticks"),
+            bare.counters.value("run_ticks"));
+  EXPECT_EQ(alloc.free_count(), cfg.chip.num_spes);  // released at finish
+
+  // The allocator counter subtree is gated exactly like "faults": only
+  // an allocator-attached run grows one.
+  EXPECT_EQ(bare.counters.find_child("allocator"), nullptr);
+  const sim::CounterSet* a = shared.counters.find_child("allocator");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->value("spes_final"), cfg.chip.num_spes);
+  EXPECT_EQ(a->value("spes_min"), cfg.chip.num_spes);
+  EXPECT_EQ(a->value("spes_max"), cfg.chip.num_spes);
+  EXPECT_EQ(a->value("rebalance_shrinks"), 0.0);
+}
+
+TEST(StreamingPipeline, SqueezedTenantStillCompletesAllWork) {
+  // Pin half the chip under a blocker claim: the pipeline must run the
+  // identity workload to completion on the remaining SPEs, slower but
+  // with identical workload totals.
+  const core::RunReport bare = run_identity(core::StreamConfig{});
+  core::StreamConfig cfg;
+  core::SpeAllocator alloc(cfg.chip.num_spes);
+  core::SpeAllocator::Claim blocker =
+      alloc.claim(cfg.chip.num_spes / 2, cfg.chip.num_spes / 2);
+  cfg.spe_allocator = &alloc;
+  const core::RunReport squeezed = run_identity(cfg);
+  alloc.release(blocker);
+  EXPECT_EQ(squeezed.chunks, bare.chunks);
+  EXPECT_EQ(squeezed.flops, bare.flops);
+  EXPECT_EQ(squeezed.traffic_bytes, bare.traffic_bytes);
+  EXPECT_GE(squeezed.seconds, bare.seconds);
+  const sim::CounterSet* a = squeezed.counters.find_child("allocator");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->value("spes_max"), cfg.chip.num_spes / 2.0);
+}
+
+TEST(StreamingPipeline, AllocatorWidthMismatchThrows) {
+  core::StreamConfig cfg;
+  core::SpeAllocator narrow(cfg.chip.num_spes + 1);
+  cfg.spe_allocator = &narrow;
+  core::LsPlacement placement;
+  placement.buffer_bytes = tiny_plan().ls_buffer_bytes;
+  EXPECT_THROW(core::StreamingPipeline(cfg, placement),
+               std::invalid_argument);
+}
+
+TEST(StreamingPipeline, TwoPipelinesShareOneChipUnderPressure) {
+  // Two tenants on one allocator, run from two host threads. Timing
+  // depends on host interleaving (who yields when), but both runs must
+  // complete all their work and release every SPE.
+  core::SpeAllocator alloc(core::StreamConfig{}.chip.num_spes);
+  core::RunReport r1, r2;
+  std::thread t1([&] {
+    core::StreamConfig cfg;
+    cfg.spe_allocator = &alloc;
+    r1 = run_identity(cfg, 8, 24);
+  });
+  std::thread t2([&] {
+    core::StreamConfig cfg;
+    cfg.spe_allocator = &alloc;
+    r2 = run_identity(cfg, 8, 24);
+  });
+  t1.join();
+  t2.join();
+  const core::RunReport bare = run_identity(core::StreamConfig{}, 8, 24);
+  for (const core::RunReport* r : {&r1, &r2}) {
+    EXPECT_EQ(r->chunks, bare.chunks);
+    EXPECT_EQ(r->flops, bare.flops);
+    EXPECT_EQ(r->traffic_bytes, bare.traffic_bytes);
+  }
+  EXPECT_EQ(alloc.free_count(), alloc.num_spes());
+  EXPECT_GE(alloc.stats().claims, 2u);
 }
 
 TEST(StreamingPipeline, OverfullPlacementThrows) {

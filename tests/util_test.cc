@@ -358,6 +358,81 @@ TEST(ThreadPool, SizeOneRunsInline) {
   });
 }
 
+TEST(ThreadPool, ThrowingJobDoesNotPoisonTheNextJob) {
+  // Regression: job A throws, job B on the same pool must still compute
+  // correct results -- the error slot is detached before rethrow, so no
+  // stale exception or corrupted fork handshake leaks across jobs.
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    EXPECT_THROW(pool.parallel_for(32,
+                                   [&](int i, int) {
+                                     if (i % 7 == 3)
+                                       throw std::runtime_error("job A");
+                                   }),
+                 std::runtime_error);
+    std::vector<int> out(16, 0);
+    pool.parallel_for(16, [&](int i, int) { out[i] = i * i; });
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(out[i], i * i) << i;
+  }
+}
+
+TEST(ThreadPool, ConcurrentCallersShareOnePoolSafely) {
+  // The solve server hands every tenant the same host pool: concurrent
+  // parallel_for calls must serialize instead of interleaving their
+  // generation/pending handshakes.
+  ThreadPool pool(4);
+  constexpr int kCallers = 4;
+  constexpr int kRounds = 50;
+  constexpr int kN = 64;
+  std::vector<long> sums(kCallers, 0);
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      for (int round = 0; round < kRounds; ++round) {
+        std::vector<std::atomic<int>> hits(kN);
+        pool.parallel_for(kN, [&](int i, int) {
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+        });
+        for (auto& h : hits) sums[static_cast<std::size_t>(c)] += h.load();
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (long s : sums) EXPECT_EQ(s, static_cast<long>(kRounds) * kN);
+}
+
+TEST(ThreadPool, ThrowingCallerDoesNotPoisonConcurrentCallers) {
+  ThreadPool pool(4);
+  std::atomic<int> thrown{0};
+  std::atomic<int> clean{0};
+  std::thread chaos([&] {
+    for (int round = 0; round < 40; ++round) {
+      try {
+        pool.parallel_for(16, [&](int i, int) {
+          if (i == 3) throw std::runtime_error("chaos");
+        });
+      } catch (const std::runtime_error&) {
+        thrown.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  std::thread steady([&] {
+    for (int round = 0; round < 40; ++round) {
+      std::atomic<int> sum{0};
+      pool.parallel_for(8, [&](int i, int) {
+        sum.fetch_add(i, std::memory_order_relaxed);
+      });
+      if (sum.load() == 28) clean.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  chaos.join();
+  steady.join();
+  // Every throwing round rethrew exactly once, and every clean round
+  // computed the right sum: errors never cross caller boundaries.
+  EXPECT_EQ(thrown.load(), 40);
+  EXPECT_EQ(clean.load(), 40);
+}
+
 TEST(ThreadPool, ReusableAcrossManyRounds) {
   ThreadPool pool(4);
   long total = 0;

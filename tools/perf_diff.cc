@@ -112,21 +112,31 @@ int main(int argc, char** argv) {
   }
 
   const analysis::PerfDiffResult res = analysis::diff_bench(cur, base, opt);
+
+  // One pass, full picture: the comparison table (whatever rows were
+  // structurally comparable) prints first, then every gate/structure
+  // error -- so a CI log shows schema AND fingerprint AND regressed
+  // metrics together instead of one failure per rerun.
+  if (!res.rows.empty()) {
+    util::TextTable table(
+        {"run", "metric", "baseline", "current", "ratio", "status"});
+    for (const analysis::DiffRow& r : res.rows) {
+      const bool skipped = r.status == analysis::DiffStatus::kSkipped;
+      table.add_row({r.run, r.metric,
+                     skipped ? "-" : util::cformat("%.6g", r.baseline),
+                     skipped ? "-" : util::cformat("%.6g", r.current),
+                     skipped ? r.note : util::cformat("%.3f", r.ratio),
+                     analysis::diff_status_name(r.status)});
+    }
+    table.print(std::cout);
+  }
   for (const std::string& e : res.errors)
     std::cerr << "perf_diff: error: " << e << "\n";
-  if (!res.errors.empty()) return 2;
-
-  util::TextTable table(
-      {"run", "metric", "baseline", "current", "ratio", "status"});
-  for (const analysis::DiffRow& r : res.rows) {
-    const bool skipped = r.status == analysis::DiffStatus::kSkipped;
-    table.add_row({r.run, r.metric,
-                   skipped ? "-" : util::cformat("%.6g", r.baseline),
-                   skipped ? "-" : util::cformat("%.6g", r.current),
-                   skipped ? r.note : util::cformat("%.3f", r.ratio),
-                   analysis::diff_status_name(r.status)});
+  if (!res.errors.empty()) {
+    std::cerr << "perf_diff: " << res.errors.size()
+              << " error(s); the files are not comparable\n";
+    return 2;
   }
-  table.print(std::cout);
   if (res.regressed()) {
     std::cout << "perf_diff: REGRESSION against "
               << paths[1] << " (threshold "
