@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "sim/time.h"
+#include "util/concurrency_check.h"
 
 namespace cellsweep::analysis {
 
@@ -41,10 +42,17 @@ struct Diagnostic {
   std::string to_string() const;
 };
 
-/// Ordered collection of findings.
+/// Ordered collection of findings. Not a shared sink: a Diagnostics
+/// belongs to the checker (and thus the tenant thread) that fills it,
+/// and the ThreadConfined guard reports any accidental cross-thread
+/// append. Copies start unconfined, so returning one by value (the
+/// linters do) hands ownership to whichever thread touches it next.
 class Diagnostics {
  public:
-  void report(Diagnostic d) { entries_.push_back(std::move(d)); }
+  void report(Diagnostic d) {
+    confined_.check("Diagnostics::report");
+    entries_.push_back(std::move(d));
+  }
 
   /// Convenience: append an error finding at simulated time @p at.
   void error(std::string rule, std::string where, sim::Tick at,
@@ -65,9 +73,13 @@ class Diagnostics {
   /// All findings, one per line (empty string when clean).
   std::string summary() const;
 
-  void clear() noexcept { entries_.clear(); }
+  void clear() noexcept {
+    entries_.clear();
+    confined_.reset();  // a cleared sink may move to another thread
+  }
 
  private:
+  util::ThreadConfined confined_;
   std::vector<Diagnostic> entries_;
 };
 

@@ -49,6 +49,7 @@ sim::Tick DispatchFabric::send_message(sim::LatencyServer& server,
 }
 
 sim::Tick DispatchFabric::acquire_work(sim::Tick now, SyncProtocol protocol) {
+  confined_.check("DispatchFabric::acquire_work");
   ++grants_;
   switch (protocol) {
     case SyncProtocol::kMailbox:
@@ -66,6 +67,7 @@ sim::Tick DispatchFabric::acquire_work(sim::Tick now, SyncProtocol protocol) {
 }
 
 sim::Tick DispatchFabric::report_done(sim::Tick now, SyncProtocol protocol) {
+  confined_.check("DispatchFabric::report_done");
   ++reports_;
   // Completion polling is much cheaper than a grant: the PPE reads one
   // status word (and interleaves the polls with its dispatch work), so
@@ -102,6 +104,9 @@ void DispatchFabric::publish_counters(sim::CounterSet& out) const {
 }
 
 void DispatchFabric::reset() noexcept {
+  // A reset fabric may legitimately be re-driven by a different tenant
+  // thread; confinement restarts with the new first caller.
+  confined_.reset();
   ppe_mailbox_.reset();
   ppe_poke_.reset();
   atomic_unit_.reset();

@@ -26,6 +26,7 @@
 #include "cellsim/spec.h"
 #include "sim/resource.h"
 #include "sim/time.h"
+#include "util/concurrency_check.h"
 
 namespace cellsweep::sim {
 class CounterSet;
@@ -78,6 +79,12 @@ class DispatchFabric {
   void reset() noexcept;
 
  private:
+  /// Simulated time is advanced by exactly one tenant thread; the
+  /// latency-server queues are plain fields with no lock. The guard
+  /// makes a cross-thread acquire/report a deterministic report
+  /// instead of corrupted simulated clocks.
+  util::ThreadConfined confined_;
+
   CellSpec spec_;
   sim::LatencyServer ppe_mailbox_;
   sim::LatencyServer ppe_poke_;

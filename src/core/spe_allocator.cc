@@ -5,9 +5,12 @@
 
 namespace cellsweep::core {
 
+using util::MutexLock;
+
 SpeAllocator::SpeAllocator(int num_spes) : num_spes_(num_spes) {
   if (num_spes < 1)
     throw std::invalid_argument("SpeAllocator: num_spes must be >= 1");
+  MutexLock lock(mu_);
   free_.assign(static_cast<std::size_t>(num_spes), 1);
 }
 
@@ -60,11 +63,11 @@ SpeAllocator::Claim SpeAllocator::claim(int min_spes, int max_spes) {
   const int lo = std::clamp(min_spes, 1, num_spes_);
   const int hi = std::clamp(std::max(max_spes, lo), 1, num_spes_);
 
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (free_count_locked() < lo) {
     ++waiters_;
     ++stats_.waited_claims;
-    cv_.wait(lock, [&] { return free_count_locked() >= lo; });
+    while (free_count_locked() < lo) cv_.wait(mu_);
     --waiters_;
   }
 
@@ -83,7 +86,7 @@ SpeAllocator::Claim SpeAllocator::claim(int min_spes, int max_spes) {
 }
 
 int SpeAllocator::expand(Claim& c, int target_total) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Regrowth is opportunistic: anyone blocked in claim() has first
   // call on free SPEs, so expansion under pressure is denied outright.
   if (waiters_ > 0) return 0;
@@ -97,39 +100,63 @@ int SpeAllocator::expand(Claim& c, int target_total) {
   return static_cast<int>(got.size());
 }
 
+bool SpeAllocator::shrink_locked(Claim& c, int target) {
+  bool freed = false;
+  while (c.count() > target) {
+    free_[static_cast<std::size_t>(c.ids.back())] = 1;
+    c.ids.pop_back();
+    freed = true;
+  }
+  if (freed) ++stats_.shrinks;
+  if (c.empty() && freed) --holders_;
+  return freed;
+}
+
 void SpeAllocator::shrink(Claim& c, int target_total) {
   const int target = std::max(0, target_total);
   bool freed = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    while (c.count() > target) {
-      free_[static_cast<std::size_t>(c.ids.back())] = 1;
-      c.ids.pop_back();
-      freed = true;
-    }
-    if (freed) ++stats_.shrinks;
-    if (c.empty() && freed) --holders_;
+    MutexLock lock(mu_);
+    freed = shrink_locked(c, target);
   }
   if (freed) cv_.notify_all();
 }
 
+bool SpeAllocator::shrink_to_fair_share(Claim& c, int need, int min_spes) {
+  bool freed = false;
+  {
+    MutexLock lock(mu_);
+    // Pressure, fair share and the yield itself are decided under one
+    // hold of mu_: the old pressure()-then-shrink() sequence could act
+    // on a waiter that had already been served (a wasted yield) or
+    // miss one that arrived in between.
+    if (waiters_ == 0) return false;
+    const int target =
+        std::max(min_spes, std::min(need, fair_share_locked()));
+    if (c.count() <= target) return false;
+    freed = shrink_locked(c, target);
+  }
+  if (freed) cv_.notify_all();
+  return freed;
+}
+
 bool SpeAllocator::pressure() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return waiters_ > 0;
 }
 
 int SpeAllocator::fair_share() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return fair_share_locked();
 }
 
 int SpeAllocator::free_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return free_count_locked();
 }
 
 SpeAllocator::Stats SpeAllocator::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

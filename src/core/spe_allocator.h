@@ -12,8 +12,9 @@
 //     (worst-fit: splitting the biggest run keeps the leftover runs as
 //     large as possible for the next tenant);
 //   * a holder only shrinks when another tenant is *waiting*
-//     (pressure()), down to its fair share -- so a solo tenant keeps
-//     the whole chip and its timing stays byte-identical to the
+//     (shrink_to_fair_share() evaluates pressure and yields in one
+//     critical section), down to its fair share -- so a solo tenant
+//     keeps the whole chip and its timing stays byte-identical to the
 //     no-allocator build (pinned by tests and the perf baselines);
 //   * expand() is the opportunistic regrow after pressure passes; it
 //     is denied while anyone waits.
@@ -21,13 +22,17 @@
 // Host-side synchronization only: claims move between *batches* of a
 // StreamingPipeline run, never mid-wave, and no simulated tick depends
 // on when (in host time) a claim was granted -- each tenant's simulated
-// clocks advance only with its own workload. Thread-safe.
+// clocks advance only with its own workload. Thread-safe; every field
+// is GUARDED_BY(mu_) and the contract is compile-checked under clang
+// -Wthread-safety.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "util/lock_ranks.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace cellsweep::core {
 
@@ -58,47 +63,60 @@ class SpeAllocator {
   /// grant is additionally capped at the fair share (never below
   /// min_spes), so one greedy tenant cannot starve the queue. Both
   /// arguments are clamped to [1, num_spes], with max >= min.
-  Claim claim(int min_spes, int max_spes);
+  Claim claim(int min_spes, int max_spes) EXCLUDES(mu_);
 
   /// Non-blocking growth of @p c toward @p target_total SPEs. Denied
   /// (returns 0) while any claim() is waiting; otherwise grants up to
   /// the free count, worst-fit. Returns the number of SPEs added.
-  int expand(Claim& c, int target_total);
+  int expand(Claim& c, int target_total) EXCLUDES(mu_);
 
   /// Releases members of @p c (largest indices first) until it holds
   /// @p target_total; target_total <= 0 releases everything. Wakes
   /// waiting claims.
-  void shrink(Claim& c, int target_total);
+  void shrink(Claim& c, int target_total) EXCLUDES(mu_);
+
+  /// The NOVA yield as one atomic decision: if any claim() is blocked,
+  /// shrinks @p c to max(@p min_spes, min(@p need, fair share)) and
+  /// returns true; returns false (touching nothing) when nobody waits
+  /// or the claim is already at or below the target. Replaces the
+  /// racy pressure()-then-fair_share()-then-shrink() sequence, whose
+  /// predicate could go stale between the three lock acquisitions.
+  bool shrink_to_fair_share(Claim& c, int need, int min_spes) EXCLUDES(mu_);
 
   /// shrink(c, 0): the tenant is done with the chip.
-  void release(Claim& c) { shrink(c, 0); }
+  void release(Claim& c) EXCLUDES(mu_) { shrink(c, 0); }
 
   /// True while at least one claim() is blocked: holders should shrink
   /// toward fair_share() at their next batch boundary (the NOVA yield).
-  bool pressure() const;
+  /// Snapshot only -- a decision must use shrink_to_fair_share().
+  bool pressure() const EXCLUDES(mu_);
 
   /// num_spes / (holders + waiters), at least 1: the equal split of the
   /// chip over everyone who wants a piece right now.
-  int fair_share() const;
+  int fair_share() const EXCLUDES(mu_);
 
   int num_spes() const noexcept { return num_spes_; }
-  int free_count() const;
-  Stats stats() const;
+  int free_count() const EXCLUDES(mu_);
+  Stats stats() const EXCLUDES(mu_);
 
  private:
-  /// Takes up to @p want SPEs from the largest contiguous free runs
-  /// (mu_ held). Never returns fewer than are free when want >= free.
-  std::vector<int> take_worst_fit(int want);
-  int free_count_locked() const;
-  int fair_share_locked() const;
+  /// Takes up to @p want SPEs from the largest contiguous free runs.
+  /// Never returns fewer than are free when want >= free.
+  std::vector<int> take_worst_fit(int want) REQUIRES(mu_);
+  /// Frees members of @p c (largest ids first) down to @p target;
+  /// returns true when anything was released.
+  bool shrink_locked(Claim& c, int target) REQUIRES(mu_);
+  int free_count_locked() const REQUIRES(mu_);
+  int fair_share_locked() const REQUIRES(mu_);
 
   const int num_spes_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<char> free_;  ///< free_[s] != 0: SPE s unclaimed
-  int holders_ = 0;         ///< claims currently live
-  int waiters_ = 0;         ///< claim() calls currently blocked
-  Stats stats_{};
+  mutable util::Mutex mu_{util::lockrank::kSpeAllocator, "SpeAllocator::mu_"};
+  util::CondVar cv_;  ///< waits on mu_ for SPEs to come free
+  /// free_[s] != 0: SPE s unclaimed.
+  std::vector<char> free_ GUARDED_BY(mu_);
+  int holders_ GUARDED_BY(mu_) = 0;  ///< claims currently live
+  int waiters_ GUARDED_BY(mu_) = 0;  ///< claim() calls currently blocked
+  Stats stats_ GUARDED_BY(mu_) = {};
 };
 
 }  // namespace cellsweep::core

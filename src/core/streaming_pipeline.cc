@@ -146,15 +146,12 @@ void StreamingPipeline::rebalance(std::size_t batch_chunks) {
                         1) /
                        static_cast<std::size_t>(cfg_.buffers)),
       min_spes_, machine_.num_spes());
-  if (alloc.pressure()) {
-    // The NOVA yield: someone is blocked in claim(), so fall back to
-    // the fair share (or to `need`, if the batch cannot use even that).
-    const int target =
-        std::max(min_spes_, std::min(need, alloc.fair_share()));
-    if (claim_.count() > target) {
-      alloc.shrink(claim_, target);
-      ++rebalance_shrinks_;
-    }
+  // The NOVA yield, pressure check and target computation in one
+  // critical section inside the allocator: the old pressure() /
+  // fair_share() / shrink() sequence could act on a waiter that had
+  // already been served, or miss one arriving between the calls.
+  if (alloc.shrink_to_fair_share(claim_, need, min_spes_)) {
+    ++rebalance_shrinks_;
   } else if (claim_.count() < need) {
     // Slack returned: regrow opportunistically (denied under pressure).
     if (alloc.expand(claim_, need) > 0) ++rebalance_expands_;
@@ -167,6 +164,7 @@ void StreamingPipeline::rebalance(std::size_t batch_chunks) {
 }
 
 void StreamingPipeline::memory_pass(const char* name, double bytes) {
+  confined_.check("StreamingPipeline::memory_pass");
   // One streaming pass over main memory (the sweep's source-moment
   // rebuild, the stencil's residual reduction). Bandwidth-bound; the
   // arithmetic is fully pipelined underneath. Serializes: the pass
@@ -294,6 +292,7 @@ cell::DmaRequest StreamingPipeline::make_request(const TransferPlan& plan,
 void StreamingPipeline::run_batch(const std::vector<StreamChunkSpec>& specs,
                                   const DependencyPolicy& deps,
                                   bool new_block) {
+  confined_.check("StreamingPipeline::run_batch");
   // A new pipeline block starts behind everything outstanding (the
   // sweep's blocks are sequential -- the paper's sweep() processes
   // them in order) and forgets the upstream chunk history.
@@ -576,6 +575,7 @@ void StreamingPipeline::run_batch(const std::vector<StreamChunkSpec>& specs,
 }
 
 RunReport StreamingPipeline::finish() {
+  confined_.check("StreamingPipeline::finish");
   RunReport r;
   const sim::Tick end = next_barrier_;
   if (observer_) observer_->on_run_end(end);

@@ -44,6 +44,7 @@
 #include "sim/counters.h"
 #include "sim/fault.h"
 #include "sim/trace.h"
+#include "util/concurrency_check.h"
 
 namespace cellsweep::analysis {
 class Diagnostics;
@@ -211,6 +212,13 @@ class StreamingPipeline {
   /// toward `need` = ceil(batch chunks / buffers) clamped to
   /// [min_spes, chip width]. Rebuilds claimed_.
   void rebalance(std::size_t batch_chunks);
+
+  /// A pipeline is confined to its tenant thread: the simulated clocks
+  /// are plain fields, and only claim_ transitions (which go through
+  /// the allocator's lock) are ever visible across threads. The guard
+  /// turns an accidental cross-thread run_batch/finish into a
+  /// deterministic report instead of a silent data race.
+  util::ThreadConfined confined_;
 
   StreamConfig cfg_;
   cell::CellProcessor machine_;

@@ -7,6 +7,8 @@
 
 namespace cellsweep::msg {
 
+using util::MutexLock;
+
 int Communicator::size() const noexcept { return world_->size(); }
 
 void Communicator::send(int dst, int tag, std::span<const double> data) {
@@ -43,6 +45,7 @@ World::World(int num_ranks) : num_ranks_(num_ranks) {
   mailboxes_.reserve(num_ranks_);
   for (int i = 0; i < num_ranks_; ++i)
     mailboxes_.push_back(std::make_unique<Mailbox>());
+  MutexLock lock(degrade_mu_);
   send_delay_us_.assign(num_ranks_, 0);
 }
 
@@ -50,6 +53,10 @@ void World::degrade_rank(int rank, int delay_us) {
   if (rank < 0 || rank >= num_ranks_)
     throw MsgError("degrade_rank: rank out of range");
   if (delay_us < 0) throw MsgError("degrade_rank: negative delay");
+  // Callers may degrade (or heal) a rank while its thread is mid-run;
+  // post() reads the table under the same lock, so the new delay takes
+  // effect at the sender's next send with no torn read.
+  MutexLock lock(degrade_mu_);
   send_delay_us_[rank] = delay_us;
 }
 
@@ -72,29 +79,46 @@ void World::run(const std::function<void(Communicator&)>& program) {
     if (e) std::rethrow_exception(e);
 }
 
-void World::post(int src, int dst, int tag, std::vector<double> payload) {
-  if (send_delay_us_[src] > 0)
-    std::this_thread::sleep_for(std::chrono::microseconds(send_delay_us_[src]));
-  Mailbox& box = *mailboxes_[dst];
+void World::Mailbox::post(int src, int tag, std::vector<double> payload) {
   {
-    std::lock_guard<std::mutex> lock(box.mu);
-    box.queues[{src, tag}].push_back(std::move(payload));
+    MutexLock lock(mu);
+    queues[{src, tag}].push_back(std::move(payload));
   }
-  box.cv.notify_all();
+  cv.notify_all();
 }
 
-std::vector<double> World::take(int dst, int src, int tag) {
-  Mailbox& box = *mailboxes_[dst];
-  std::unique_lock<std::mutex> lock(box.mu);
-  auto& queue = box.queues[{src, tag}];
-  box.cv.wait(lock, [&] { return !queue.empty(); });
+std::vector<double> World::Mailbox::take(int src, int tag) {
+  MutexLock lock(mu);
+  // The queue reference is re-looked-up after every wakeup: another
+  // (src, tag) stream may rehash the map while we sleep. (Explicit
+  // loop rather than a wait-predicate lambda so the guarded reads are
+  // analyzed in this lock context.)
+  while (queues[{src, tag}].empty()) cv.wait(mu);
+  auto& queue = queues[{src, tag}];
   std::vector<double> m = std::move(queue.front());
   queue.pop_front();
   return m;
 }
 
+void World::post(int src, int dst, int tag, std::vector<double> payload) {
+  int delay_us = 0;
+  {
+    MutexLock lock(degrade_mu_);
+    delay_us = send_delay_us_[src];
+  }
+  // The stall happens outside every lock: a degraded sender slows only
+  // itself, never a receiver blocked on an unrelated mailbox.
+  if (delay_us > 0)
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+  mailboxes_[dst]->post(src, tag, std::move(payload));
+}
+
+std::vector<double> World::take(int dst, int src, int tag) {
+  return mailboxes_[dst]->take(src, tag);
+}
+
 void World::barrier_wait() {
-  std::unique_lock<std::mutex> lock(barrier_mu_);
+  MutexLock lock(barrier_mu_);
   const std::uint64_t gen = barrier_generation_;
   if (++barrier_waiting_ == num_ranks_) {
     barrier_waiting_ = 0;
@@ -102,11 +126,11 @@ void World::barrier_wait() {
     barrier_cv_.notify_all();
     return;
   }
-  barrier_cv_.wait(lock, [&] { return barrier_generation_ != gen; });
+  while (barrier_generation_ == gen) barrier_cv_.wait(barrier_mu_);
 }
 
 double World::reduce(double value, int rank, bool maximum) {
-  std::unique_lock<std::mutex> lock(reduce_mu_);
+  MutexLock lock(reduce_mu_);
   const std::uint64_t gen = reduce_generation_;
   if (reduce_arrived_ == 0) reduce_slots_.assign(num_ranks_, 0.0);
   reduce_slots_[rank] = value;
@@ -122,7 +146,7 @@ double World::reduce(double value, int rank, bool maximum) {
     reduce_cv_.notify_all();
     return reduce_result_;
   }
-  reduce_cv_.wait(lock, [&] { return reduce_generation_ != gen; });
+  while (reduce_generation_ == gen) reduce_cv_.wait(reduce_mu_);
   return reduce_result_;
 }
 

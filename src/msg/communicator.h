@@ -12,16 +12,18 @@
 // scheduling, so results are bit-reproducible.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <stdexcept>
 #include <vector>
+
+#include "util/lock_ranks.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace cellsweep::msg {
 
@@ -92,36 +94,51 @@ class World {
  private:
   friend class Communicator;
 
+  /// One rank's inbox. Each Mailbox is its own capability (leaf lock):
+  /// a sender locks only the destination's box, a receiver only its
+  /// own, so no two mailbox locks ever nest.
   struct Mailbox {
-    std::mutex mu;
-    std::condition_variable cv;
+    /// Enqueues one message from @p src under @p tag (send order kept).
+    void post(int src, int tag, std::vector<double> payload) EXCLUDES(mu);
+    /// Blocks until a (src, tag) message is available and dequeues it.
+    std::vector<double> take(int src, int tag) EXCLUDES(mu);
+
+    util::Mutex mu{util::lockrank::kMsgMailbox, "World::Mailbox::mu"};
+    util::CondVar cv;
     // Keyed by (src, tag); each queue preserves send order.
-    std::map<std::pair<int, int>, std::deque<std::vector<double>>> queues;
+    std::map<std::pair<int, int>, std::deque<std::vector<double>>> queues
+        GUARDED_BY(mu);
   };
 
   void post(int src, int dst, int tag, std::vector<double> payload);
   std::vector<double> take(int dst, int src, int tag);
 
-  void barrier_wait();
-  double reduce(double value, int rank, bool maximum);
+  void barrier_wait() EXCLUDES(barrier_mu_);
+  double reduce(double value, int rank, bool maximum) EXCLUDES(reduce_mu_);
 
   int num_ranks_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
-  std::vector<int> send_delay_us_;  ///< per-rank degraded-node stall
+
+  /// Guards the degraded-node table: degrade_rank() may be called from
+  /// the driver thread while rank threads are mid-run, racing their
+  /// post() reads (pinned by a test).
+  mutable util::Mutex degrade_mu_{util::lockrank::kMsgDegrade,
+                                  "World::degrade_mu_"};
+  std::vector<int> send_delay_us_ GUARDED_BY(degrade_mu_);
 
   // Barrier state (generation-counted central barrier).
-  std::mutex barrier_mu_;
-  std::condition_variable barrier_cv_;
-  int barrier_waiting_ = 0;
-  std::uint64_t barrier_generation_ = 0;
+  util::Mutex barrier_mu_{util::lockrank::kMsgBarrier, "World::barrier_mu_"};
+  util::CondVar barrier_cv_;
+  int barrier_waiting_ GUARDED_BY(barrier_mu_) = 0;
+  std::uint64_t barrier_generation_ GUARDED_BY(barrier_mu_) = 0;
 
   // Reduction scratch (single in-flight reduction, barrier-bracketed).
-  std::mutex reduce_mu_;
-  std::condition_variable reduce_cv_;
-  std::vector<double> reduce_slots_;
-  int reduce_arrived_ = 0;
-  std::uint64_t reduce_generation_ = 0;
-  double reduce_result_ = 0.0;
+  util::Mutex reduce_mu_{util::lockrank::kMsgReduce, "World::reduce_mu_"};
+  util::CondVar reduce_cv_;
+  std::vector<double> reduce_slots_ GUARDED_BY(reduce_mu_);
+  int reduce_arrived_ GUARDED_BY(reduce_mu_) = 0;
+  std::uint64_t reduce_generation_ GUARDED_BY(reduce_mu_) = 0;
+  double reduce_result_ GUARDED_BY(reduce_mu_) = 0.0;
 };
 
 }  // namespace cellsweep::msg

@@ -25,7 +25,7 @@ std::uint64_t PlanCache::fingerprint(std::string_view workload_kind,
 }
 
 std::shared_ptr<const CachedPlan> PlanCache::find(std::uint64_t key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++misses_;
@@ -37,13 +37,13 @@ std::shared_ptr<const CachedPlan> PlanCache::find(std::uint64_t key) {
 
 std::shared_ptr<const CachedPlan> PlanCache::insert(
     std::uint64_t key, std::shared_ptr<const CachedPlan> plan) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const auto [it, inserted] = entries_.emplace(key, std::move(plan));
   return it->second;
 }
 
 PlanCache::Stats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return Stats{hits_, misses_, entries_.size()};
 }
 

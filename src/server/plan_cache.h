@@ -22,12 +22,14 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string_view>
 
 #include "core/config.h"
 #include "core/kernel_timing.h"
 #include "sweep/quadrature.h"
+#include "util/lock_ranks.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "workloads/stencil/spec.h"
 
 namespace cellsweep::core {
@@ -63,20 +65,25 @@ class PlanCache {
                                    std::string_view content);
 
   /// The cached plan under @p key, or null (counts a hit / miss).
-  std::shared_ptr<const CachedPlan> find(std::uint64_t key);
+  std::shared_ptr<const CachedPlan> find(std::uint64_t key) EXCLUDES(mu_);
 
   /// Stores @p plan under @p key and returns the canonical entry: the
   /// already-present one when another tenant won the build race.
   std::shared_ptr<const CachedPlan> insert(
-      std::uint64_t key, std::shared_ptr<const CachedPlan> plan);
+      std::uint64_t key, std::shared_ptr<const CachedPlan> plan)
+      EXCLUDES(mu_);
 
-  Stats stats() const;
+  Stats stats() const EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::uint64_t, std::shared_ptr<const CachedPlan>> entries_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  /// Leaf lock over the entry map and counters; plan *contents* are
+  /// immutable once published (shared_ptr<const>), so only the map
+  /// itself needs the guard.
+  mutable util::Mutex mu_{util::lockrank::kPlanCache, "PlanCache::mu_"};
+  std::map<std::uint64_t, std::shared_ptr<const CachedPlan>> entries_
+      GUARDED_BY(mu_);
+  std::uint64_t hits_ GUARDED_BY(mu_) = 0;
+  std::uint64_t misses_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cellsweep::core

@@ -11,6 +11,9 @@
 #include "workloads/stencil/stencil.h"
 
 namespace cellsweep::core {
+
+using util::MutexLock;
+
 namespace {
 
 std::size_t real_bytes_of(Precision p) {
@@ -48,7 +51,7 @@ SolveServer::SolveServer(const ServerConfig& cfg)
 
 SolveServer::~SolveServer() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
   cv_queue_.notify_all();
@@ -122,13 +125,13 @@ int SolveServer::submit(const JobRequest& req) {
   try {
     admit(job);
   } catch (const AdmissionError&) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.rejected;
     throw;
   }
   int id = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (queue_.size() >= cfg_.queue_limit) {
       ++stats_.rejected;
       throw AdmissionError(
@@ -151,15 +154,18 @@ void SolveServer::worker_loop() {
   for (;;) {
     Job job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_queue_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      // Predicate re-checked under mu_ on every wakeup (and visibly so
+      // to the thread-safety analysis: the guarded reads sit in this
+      // function, not in a lambda analyzed without the lock context).
+      while (!stopping_ && queue_.empty()) cv_queue_.wait(mu_);
       if (queue_.empty()) return;  // stopping, and nothing left to run
       job = std::move(queue_.front());
       queue_.pop_front();
     }
     JobResult res = run_job(job);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       res.ok ? ++stats_.completed : ++stats_.failed;
       done_.emplace(job.id, std::move(res));
     }
@@ -274,18 +280,19 @@ JobResult SolveServer::run_stencil(Job& job) {
 }
 
 JobResult SolveServer::wait(int id) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (id < 1 || id >= next_id_)
     throw std::invalid_argument("SolveServer::wait: unknown job id " +
                                 std::to_string(id));
-  cv_done_.wait(lock, [&] { return done_.find(id) != done_.end(); });
+  while (done_.find(id) == done_.end()) cv_done_.wait(mu_);
+  // The result is copied out while mu_ is still held: done_ may grow
+  // (and rebalance its tree) the moment the lock drops.
   return done_.at(id);
 }
 
 std::vector<JobResult> SolveServer::drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_done_.wait(lock,
-                [&] { return done_.size() == stats_.submitted; });
+  MutexLock lock(mu_);
+  while (done_.size() != stats_.submitted) cv_done_.wait(mu_);
   std::vector<JobResult> all;
   all.reserve(done_.size());
   for (const auto& [id, res] : done_) all.push_back(res);
@@ -293,7 +300,7 @@ std::vector<JobResult> SolveServer::drain() {
 }
 
 SolveServer::Stats SolveServer::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

@@ -26,12 +26,10 @@
 // independent of tenancy (pinned by tests).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -43,6 +41,9 @@
 #include "core/spe_allocator.h"
 #include "server/plan_cache.h"
 #include "sweep/deck.h"
+#include "util/lock_ranks.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 #include "workloads/stencil/spec.h"
 
@@ -141,17 +142,17 @@ class SolveServer {
   /// Admission-checks @p req (parse, lint, budgets, queue depth) and
   /// enqueues it. Returns the job id; throws AdmissionError on
   /// rejection -- nothing rejected ever reaches a worker.
-  int submit(const JobRequest& req);
+  int submit(const JobRequest& req) EXCLUDES(mu_);
 
   /// Blocks until job @p id completes; throws std::invalid_argument
   /// for ids submit() never returned.
-  JobResult wait(int id);
+  JobResult wait(int id) EXCLUDES(mu_);
 
   /// Blocks until every submitted job has completed; returns all
   /// results in submission order.
-  std::vector<JobResult> drain();
+  std::vector<JobResult> drain() EXCLUDES(mu_);
 
-  Stats stats() const;
+  Stats stats() const EXCLUDES(mu_);
   PlanCache::Stats plan_cache_stats() const { return cache_.stats(); }
   SpeAllocator::Stats allocator_stats() const { return alloc_.stats(); }
   const ServerConfig& config() const noexcept { return cfg_; }
@@ -166,10 +167,13 @@ class SolveServer {
   };
 
   /// Parse + lint + budget checks; fills job.deck / job.spec. Throws
-  /// AdmissionError.
-  void admit(Job& job) const;
-  void worker_loop();
-  JobResult run_job(Job& job);
+  /// AdmissionError. Runs entirely outside mu_: admission work never
+  /// blocks the queue.
+  void admit(Job& job) const EXCLUDES(mu_);
+  void worker_loop() EXCLUDES(mu_);
+  /// Runs one job to completion. mu_ is never held here: a solve may
+  /// take seconds and claims SPEs / the host pool on its own locks.
+  JobResult run_job(Job& job) EXCLUDES(mu_);
   JobResult run_sweep(Job& job);
   JobResult run_stencil(Job& job);
   /// The cached plan for @p deck (building + inserting on miss).
@@ -183,14 +187,18 @@ class SolveServer {
   SpeAllocator alloc_;
   PlanCache cache_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_queue_;  ///< workers wait for jobs
-  std::condition_variable cv_done_;   ///< clients wait for results
-  std::deque<Job> queue_;
-  std::map<int, JobResult> done_;
-  int next_id_ = 1;
-  bool stopping_ = false;
-  Stats stats_;
+  /// Guards the job queue, the result map and the server stats -- the
+  /// only state tenant workers and clients share directly. Leaf lock:
+  /// nothing else is ever acquired while it is held (jobs run outside
+  /// it), so it cannot participate in a deadlock cycle.
+  mutable util::Mutex mu_{util::lockrank::kSolveServer, "SolveServer::mu_"};
+  util::CondVar cv_queue_;  ///< workers wait on mu_ for jobs
+  util::CondVar cv_done_;   ///< clients wait on mu_ for results
+  std::deque<Job> queue_ GUARDED_BY(mu_);
+  std::map<int, JobResult> done_ GUARDED_BY(mu_);
+  int next_id_ GUARDED_BY(mu_) = 1;
+  bool stopping_ GUARDED_BY(mu_) = false;
+  Stats stats_ GUARDED_BY(mu_);
 
   std::vector<std::thread> workers_;
 };

@@ -46,6 +46,7 @@ std::string json_escape(const std::string& s) {
 }
 
 int ChromeTraceWriter::track(const std::string& name) {
+  confined_.check("ChromeTraceWriter::track");
   for (std::size_t i = 0; i < tracks_.size(); ++i)
     if (tracks_[i] == name) return static_cast<int>(i);
   tracks_.push_back(name);
@@ -54,17 +55,20 @@ int ChromeTraceWriter::track(const std::string& name) {
 
 void ChromeTraceWriter::span(int track, const char* name,
                              const char* category, Tick start, Tick end) {
+  confined_.check("ChromeTraceWriter::span");
   events_.push_back(Event{Phase::kSpan, track, name, category, start,
                           end >= start ? end - start : 0, 0.0});
 }
 
 void ChromeTraceWriter::instant(int track, const char* name,
                                 const char* category, Tick at) {
+  confined_.check("ChromeTraceWriter::instant");
   events_.push_back(Event{Phase::kInstant, track, name, category, at, 0, 0.0});
 }
 
 void ChromeTraceWriter::counter(int track, const char* name, Tick at,
                                 double value) {
+  confined_.check("ChromeTraceWriter::counter");
   events_.push_back(Event{Phase::kCounter, track, name, nullptr, at, 0, value});
 }
 

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "sim/time.h"
+#include "util/concurrency_check.h"
 
 namespace cellsweep::sim {
 
@@ -58,7 +59,10 @@ class TraceSink {
 
 /// TraceSink that accumulates events and writes Chrome trace-event
 /// JSON. Events are kept in arrival order; write() may be called any
-/// time (typically once, after the run).
+/// time (typically once, after the run). One writer serves one run on
+/// one thread -- the event buffer is unlocked, and a ThreadConfined
+/// guard turns cross-thread emission into a deterministic report
+/// (multi-tenant runs must give each tenant its own sink).
 class ChromeTraceWriter : public TraceSink {
  public:
   int track(const std::string& name) override;
@@ -87,6 +91,7 @@ class ChromeTraceWriter : public TraceSink {
     double value;   // counters only
   };
 
+  util::ThreadConfined confined_;
   std::vector<std::string> tracks_;
   std::vector<Event> events_;
 };

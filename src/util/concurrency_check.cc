@@ -1,0 +1,43 @@
+#include "util/concurrency_check.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cellsweep::util {
+namespace {
+
+[[noreturn]] void default_handler_abort(const std::string& message) {
+  std::fprintf(stderr, "cellsweep concurrency violation: %s\n",
+               message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+std::atomic<ConcurrencyViolationHandler> g_handler{nullptr};
+
+}  // namespace
+
+ConcurrencyViolationHandler set_concurrency_violation_handler(
+    ConcurrencyViolationHandler handler) {
+  return g_handler.exchange(handler, std::memory_order_acq_rel);
+}
+
+void concurrency_violation(const std::string& message) {
+  ConcurrencyViolationHandler handler =
+      g_handler.load(std::memory_order_acquire);
+  if (handler) handler(message);
+  // Either no handler was installed, or the installed one returned:
+  // the invariant is broken and running on would turn a precise report
+  // into an undebuggable deadlock or race somewhere downstream.
+  default_handler_abort(message);
+}
+
+void ThreadConfined::report_cross_thread(const char* what) const {
+  concurrency_violation(std::string(what) +
+                        ": thread-confined object touched from a second "
+                        "thread (owner fixed at first use; call reset() at a "
+                        "quiescent point to hand off)");
+}
+
+}  // namespace cellsweep::util

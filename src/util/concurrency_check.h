@@ -1,0 +1,80 @@
+// Runtime concurrency-contract checking shared by the lock-rank
+// checker (util/mutex.h) and the thread-confinement guard below.
+//
+// CELLSWEEP_CONCURRENCY_CHECK (default 1) compiles the checks in;
+// define it to 0 to strip every check to nothing. The checks are
+// host-side only and O(held locks) per acquisition, so they stay on in
+// all shipped build types -- the simulated clocks never see them.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#ifndef CELLSWEEP_CONCURRENCY_CHECK
+#define CELLSWEEP_CONCURRENCY_CHECK 1
+#endif
+
+namespace cellsweep::util {
+
+/// Called with a human-readable description when a concurrency
+/// contract is broken (lock-rank order violation, recursive
+/// acquisition, cross-thread use of a thread-confined object). The
+/// handler must either throw or not return; if it returns, the process
+/// aborts anyway -- the broken invariant cannot be run past.
+using ConcurrencyViolationHandler = void (*)(const std::string& message);
+
+/// Installs @p handler and returns the previous one. Passing nullptr
+/// restores the default (print to stderr and abort) -- the behavior CI
+/// and production runs rely on. Tests install a throwing handler to
+/// assert on violations.
+ConcurrencyViolationHandler set_concurrency_violation_handler(
+    ConcurrencyViolationHandler handler);
+
+/// Reports a violation through the installed handler, aborting if the
+/// handler declines to throw.
+void concurrency_violation(const std::string& message);
+
+/// Debug ownership guard for objects whose concurrency contract is
+/// "touched by exactly one thread": the machine-model state a tenant
+/// drives (StreamingPipeline, cell::DispatchFabric) and the
+/// observation sinks it feeds (analysis::Diagnostics,
+/// sim::ChromeTraceWriter). The first thread to call check() becomes
+/// the owner; any other thread calling check() is a violation. Copying
+/// or moving yields a fresh, unowned guard (a copy is a handoff).
+class ThreadConfined {
+ public:
+  ThreadConfined() noexcept = default;
+  ThreadConfined(const ThreadConfined&) noexcept {}
+  ThreadConfined& operator=(const ThreadConfined&) noexcept { return *this; }
+
+  /// Claims ownership for the calling thread on first use; reports a
+  /// violation naming @p what when any other thread calls later.
+  void check(const char* what) const {
+#if CELLSWEEP_CONCURRENCY_CHECK
+    const std::thread::id self = std::this_thread::get_id();
+    std::thread::id owner = owner_.load(std::memory_order_relaxed);
+    if (owner == std::thread::id()) {
+      if (owner_.compare_exchange_strong(owner, self,
+                                         std::memory_order_relaxed))
+        return;
+    }
+    if (owner != self) report_cross_thread(what);
+#else
+    (void)what;
+#endif
+  }
+
+  /// Releases ownership at a quiescent point (e.g. before handing the
+  /// object to another thread).
+  void reset() noexcept {
+    owner_.store(std::thread::id(), std::memory_order_relaxed);
+  }
+
+ private:
+  void report_cross_thread(const char* what) const;
+
+  mutable std::atomic<std::thread::id> owner_{};
+};
+
+}  // namespace cellsweep::util

@@ -1,0 +1,111 @@
+#include "util/mutex.h"
+
+#include <string>
+
+namespace cellsweep::util {
+
+#if CELLSWEEP_CONCURRENCY_CHECK
+
+namespace {
+
+// Per-thread stack of held mutexes. Depth is bounded by the deepest
+// legal nesting (currently 2: ThreadPool fork -> state) plus slack for
+// tests; overflow degrades to not-checked rather than to a false
+// positive.
+constexpr int kMaxHeld = 16;
+
+struct HeldStack {
+  const Mutex* items[kMaxHeld];
+  int count = 0;
+};
+
+thread_local HeldStack tl_held;
+
+std::string describe(const Mutex& m) {
+  return std::string(m.name()) + " (rank " + std::to_string(m.rank()) + ")";
+}
+
+}  // namespace
+
+void Mutex::rank_check_acquire() const {
+  const HeldStack& held = tl_held;
+  for (int i = 0; i < held.count; ++i) {
+    const Mutex* h = held.items[i];
+    if (h == this) {
+      concurrency_violation("recursive acquisition of " + describe(*this));
+      return;
+    }
+    if (h->rank_ >= rank_) {
+      concurrency_violation(
+          "lock-rank order violation: acquiring " + describe(*this) +
+          " while holding " + describe(*h) +
+          " -- acquisition order must be strictly rank-increasing "
+          "(see src/util/lock_ranks.h)");
+      return;
+    }
+  }
+}
+
+void Mutex::rank_push() const {
+  HeldStack& held = tl_held;
+  if (held.count < kMaxHeld) held.items[held.count++] = this;
+}
+
+void Mutex::rank_pop() const {
+  HeldStack& held = tl_held;
+  // Locks are almost always released in LIFO order, but out-of-order
+  // release (hand-over-hand) is legal: remove by search from the top.
+  for (int i = held.count - 1; i >= 0; --i) {
+    if (held.items[i] != this) continue;
+    for (int j = i; j + 1 < held.count; ++j) held.items[j] = held.items[j + 1];
+    --held.count;
+    return;
+  }
+  // Not on the stack: either the stack overflowed (tolerated) or this
+  // is a genuine unlock-without-lock. With a bounded legal nesting
+  // depth the former cannot happen in-tree, so report.
+  if (held.count < kMaxHeld)
+    concurrency_violation("unlocking " + describe(*this) +
+                          " which this thread does not hold");
+}
+
+void Mutex::lock() {
+  rank_check_acquire();
+  mu_.lock();
+  rank_push();
+}
+
+void Mutex::unlock() {
+  rank_pop();
+  mu_.unlock();
+}
+
+bool Mutex::try_lock() {
+  rank_check_acquire();
+  if (!mu_.try_lock()) return false;
+  rank_push();
+  return true;
+}
+
+#else  // !CELLSWEEP_CONCURRENCY_CHECK
+
+void Mutex::rank_check_acquire() const {}
+void Mutex::rank_push() const {}
+void Mutex::rank_pop() const {}
+void Mutex::lock() { mu_.lock(); }
+void Mutex::unlock() { mu_.unlock(); }
+bool Mutex::try_lock() { return mu_.try_lock(); }
+
+#endif  // CELLSWEEP_CONCURRENCY_CHECK
+
+void CondVar::wait(Mutex& mu) {
+  // Adopt the already-held native mutex, block, and give ownership
+  // back without running our rank bookkeeping: the waiter logically
+  // holds the lock for the whole wait (the TSA annotation says the
+  // same thing to the static analysis).
+  std::unique_lock<std::mutex> native(mu.native_handle(), std::adopt_lock);
+  cv_.wait(native);
+  native.release();
+}
+
+}  // namespace cellsweep::util

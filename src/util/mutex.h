@@ -1,0 +1,115 @@
+// Annotated, rank-checked synchronization primitives.
+//
+// util::Mutex wraps std::mutex with two layers the raw type cannot
+// give us:
+//
+//   * Clang Thread Safety Analysis capability annotations
+//     (util/thread_annotations.h), so GUARDED_BY / REQUIRES contracts
+//     over this mutex are compile-checked under -Wthread-safety;
+//   * a runtime lock-rank checker: every Mutex is constructed with a
+//     rank from util/lock_ranks.h, and a thread may only acquire a
+//     mutex whose rank is strictly greater than every rank it already
+//     holds. Out-of-order or recursive acquisition reports through
+//     util::concurrency_violation (default: abort), making the
+//     process-wide lock order a machine-checked invariant instead of a
+//     convention -- any would-be deadlock cycle dies at its first
+//     inverted edge, deterministically, not just when the scheduler
+//     happens to interleave badly.
+//
+// CondVar pairs with Mutex the way std::condition_variable pairs with
+// std::mutex. It deliberately has no predicate overload: write the
+//     while (!predicate) cv.wait(mu);
+// loop in the calling function, where the analysis can see that the
+// predicate reads its GUARDED_BY state under the lock (a lambda
+// predicate would be analyzed as a separate, annotation-free function
+// and defeat the check).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/concurrency_check.h"
+#include "util/thread_annotations.h"
+
+namespace cellsweep::util {
+
+class CAPABILITY("mutex") Mutex {
+ public:
+  /// @p rank must come from util/lock_ranks.h (the lock_rank_audit
+  /// tool enforces this over src/); @p name appears in violation
+  /// reports and must outlive the mutex (a string literal).
+  explicit Mutex(int rank, const char* name = "mutex") noexcept
+      : rank_(rank), name_(name) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE();
+  void unlock() RELEASE();
+  bool try_lock() TRY_ACQUIRE(true);
+
+  int rank() const noexcept { return rank_; }
+  const char* name() const noexcept { return name_; }
+
+  /// The wrapped handle, for CondVar only: waiting must release and
+  /// reacquire the native mutex without disturbing the rank stack (the
+  /// waiter still logically holds the lock).
+  std::mutex& native_handle() noexcept { return mu_; }
+
+ private:
+  void rank_check_acquire() const;
+  void rank_push() const;
+  void rank_pop() const;
+
+  std::mutex mu_;
+  const int rank_;
+  const char* const name_;
+};
+
+/// RAII lock for util::Mutex (the annotated std::lock_guard /
+/// std::unique_lock replacement). unlock()/lock() allow the
+/// drop-the-lock-early pattern; the destructor releases only if held.
+/// The shape follows the scoped-capability example in the Clang TSA
+/// documentation, which the analysis understands natively.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.lock();
+  }
+  ~MutexLock() RELEASE() {
+    if (held_) mu_.unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void unlock() RELEASE() {
+    mu_.unlock();
+    held_ = false;
+  }
+  void lock() ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+/// Condition variable over util::Mutex. wait() must be called with
+/// @p mu held; it releases the native mutex while blocked and holds it
+/// again on return. The rank stack is intentionally left untouched
+/// across the wait: the waiting thread acquires nothing while blocked,
+/// and on wakeup it holds exactly what it held before.
+class CondVar {
+ public:
+  void wait(Mutex& mu) REQUIRES(mu);
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace cellsweep::util

@@ -1,0 +1,90 @@
+// Clang Thread Safety Analysis annotation macros.
+//
+// These expand to Clang's capability attributes
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) so a clang
+// build with -Wthread-safety turns the locking conventions that used
+// to live in comments into compile errors: which mutex guards which
+// field (GUARDED_BY), which methods must / must not be entered with a
+// lock held (REQUIRES / EXCLUDES), and which calls change the set of
+// held locks (ACQUIRE / RELEASE). On every other compiler the macros
+// vanish, so the annotated tree stays a plain C++20 build for GCC.
+//
+// The CI `thread-safety` job builds the whole tree with clang and
+// -Werror=thread-safety; tests/compile_fail/ holds translation units
+// with seeded violations that must break that build (and a clean
+// control that must not).
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define CELLSWEEP_TSA_ATTR_(x) __attribute__((x))
+#else
+#define CELLSWEEP_TSA_ATTR_(x)  // no-op outside clang
+#endif
+
+// A type that acts as a lock (util::Mutex). The string names the
+// capability kind in diagnostics ("mutex").
+#ifndef CAPABILITY
+#define CAPABILITY(x) CELLSWEEP_TSA_ATTR_(capability(x))
+#endif
+
+// An RAII type that acquires a capability in its constructor and
+// releases it in its destructor (util::MutexLock).
+#ifndef SCOPED_CAPABILITY
+#define SCOPED_CAPABILITY CELLSWEEP_TSA_ATTR_(scoped_lockable)
+#endif
+
+// Data member readable/writable only while holding the given mutex.
+#ifndef GUARDED_BY
+#define GUARDED_BY(x) CELLSWEEP_TSA_ATTR_(guarded_by(x))
+#endif
+
+// Pointer member whose *pointee* is guarded by the given mutex.
+#ifndef PT_GUARDED_BY
+#define PT_GUARDED_BY(x) CELLSWEEP_TSA_ATTR_(pt_guarded_by(x))
+#endif
+
+// Function that may only be called while holding the listed mutexes
+// (they stay held across the call).
+#ifndef REQUIRES
+#define REQUIRES(...) CELLSWEEP_TSA_ATTR_(requires_capability(__VA_ARGS__))
+#endif
+
+// Function that must NOT be entered with the listed mutexes held
+// (it acquires them itself; catches self-deadlock at compile time).
+#ifndef EXCLUDES
+#define EXCLUDES(...) CELLSWEEP_TSA_ATTR_(locks_excluded(__VA_ARGS__))
+#endif
+
+// Function that acquires the listed mutexes (or, with no argument on
+// a member of a SCOPED_CAPABILITY type, the managed one).
+#ifndef ACQUIRE
+#define ACQUIRE(...) CELLSWEEP_TSA_ATTR_(acquire_capability(__VA_ARGS__))
+#endif
+
+// Function that releases the listed mutexes.
+#ifndef RELEASE
+#define RELEASE(...) CELLSWEEP_TSA_ATTR_(release_capability(__VA_ARGS__))
+#endif
+
+// Function that acquires the mutex iff it returns the given value.
+#ifndef TRY_ACQUIRE
+#define TRY_ACQUIRE(...) \
+  CELLSWEEP_TSA_ATTR_(try_acquire_capability(__VA_ARGS__))
+#endif
+
+// Function returning a reference to the mutex that guards its result.
+#ifndef RETURN_CAPABILITY
+#define RETURN_CAPABILITY(x) CELLSWEEP_TSA_ATTR_(lock_returned(x))
+#endif
+
+// Runtime assertion that the calling thread holds the mutex; tells
+// the analysis to treat it as held from here on.
+#ifndef ASSERT_CAPABILITY
+#define ASSERT_CAPABILITY(x) CELLSWEEP_TSA_ATTR_(assert_capability(x))
+#endif
+
+// Escape hatch for code whose locking discipline is correct but
+// beyond the analysis. Use with a comment saying why.
+#ifndef NO_THREAD_SAFETY_ANALYSIS
+#define NO_THREAD_SAFETY_ANALYSIS CELLSWEEP_TSA_ATTR_(no_thread_safety_analysis)
+#endif

@@ -10,24 +10,25 @@ ThreadPool::ThreadPool(int threads) : size_(threads < 1 ? 1 : threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   start_cv_.notify_all();
   for (std::thread& t : workers_) t.join();
 }
 
-void ThreadPool::run_slice(int worker) noexcept {
+void ThreadPool::run_slice(int worker, int n,
+                           const std::function<void(int, int)>& fn) noexcept {
   // Static partition: contiguous slice per worker, remainder spread
   // over the leading workers by the w*n/size rounding.
-  const int begin = static_cast<int>(
-      static_cast<std::int64_t>(worker) * n_ / size_);
-  const int end = static_cast<int>(
-      static_cast<std::int64_t>(worker + 1) * n_ / size_);
+  const int begin =
+      static_cast<int>(static_cast<std::int64_t>(worker) * n / size_);
+  const int end =
+      static_cast<int>(static_cast<std::int64_t>(worker + 1) * n / size_);
   try {
-    for (int i = begin; i < end; ++i) (*fn_)(i, worker);
+    for (int i = begin; i < end; ++i) fn(i, worker);
   } catch (...) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!error_) error_ = std::current_exception();
   }
 }
@@ -35,15 +36,22 @@ void ThreadPool::run_slice(int worker) noexcept {
 void ThreadPool::worker_loop(int worker) {
   std::uint64_t seen = 0;
   for (;;) {
+    // Snapshot the task while holding the lock that published it; the
+    // slice then runs from locals, so no handshake field is ever read
+    // outside mu_.
+    int n;
+    const std::function<void(int, int)>* fn;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      MutexLock lock(mu_);
+      while (!stop_ && generation_ == seen) start_cv_.wait(mu_);
       if (stop_) return;
       seen = generation_;
+      n = n_;
+      fn = fn_;
     }
-    run_slice(worker);
+    run_slice(worker, n, *fn);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --pending_;
     }
     done_cv_.notify_one();
@@ -63,10 +71,10 @@ void ThreadPool::parallel_for(int n,
   // caller would bump generation_ while the first one's slices are
   // still running -- workers would skip or re-run slices and the two
   // jobs' n_/fn_/error_ would interleave.
-  std::lock_guard<std::mutex> fork(fork_mu_);
+  MutexLock fork(fork_mu_);
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     n_ = n;
     fn_ = &fn;
     error_ = nullptr;
@@ -75,17 +83,19 @@ void ThreadPool::parallel_for(int n,
   }
   start_cv_.notify_all();
 
-  run_slice(0);  // the calling thread is worker 0
+  run_slice(0, n, fn);  // the calling thread is worker 0
 
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] { return pending_ == 0; });
-  fn_ = nullptr;
-  // Detach the error from the pool before rethrowing so a thrown job
-  // can never poison the next fork point (which also clears error_ --
-  // belt and braces; the regression tests pin the reuse contract).
-  std::exception_ptr err = error_;
-  error_ = nullptr;
-  lock.unlock();
+  std::exception_ptr err;
+  {
+    MutexLock lock(mu_);
+    while (pending_ != 0) done_cv_.wait(mu_);
+    fn_ = nullptr;
+    // Detach the error from the pool before rethrowing so a thrown job
+    // can never poison the next fork point (which also clears error_ --
+    // belt and braces; the regression tests pin the reuse contract).
+    err = error_;
+    error_ = nullptr;
+  }
   if (err) std::rethrow_exception(err);
 }
 

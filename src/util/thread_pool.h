@@ -15,16 +15,25 @@
 // calls serialize on an internal fork mutex instead of corrupting the
 // generation/pending handshake. Calls never nest -- a job must not
 // call parallel_for on its own pool (it would deadlock on that mutex;
-// before the mutex it silently corrupted the handshake).
+// before the mutex it silently corrupted the handshake; the lock-rank
+// checker now reports the recursive claim deterministically).
+//
+// Concurrency contract (compile-checked under clang -Wthread-safety,
+// rank-checked at runtime): every handshake field is GUARDED_BY(mu_);
+// workers copy their task (n, fn) under mu_ when they observe a new
+// generation, so no protocol field is ever read outside the lock.
+// fork_mu_ ranks strictly before mu_ (see util/lock_ranks.h).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/lock_ranks.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace cellsweep::util {
 
@@ -49,27 +58,34 @@ class ThreadPool {
   /// are reset, so the next call on the same pool runs clean. Safe to
   /// call from multiple threads (calls serialize); must not be called
   /// from inside a job running on the same pool.
-  void parallel_for(int n, const std::function<void(int index, int worker)>& fn);
+  void parallel_for(int n, const std::function<void(int index, int worker)>& fn)
+      EXCLUDES(fork_mu_, mu_);
 
  private:
-  void worker_loop(int worker);
-  void run_slice(int worker) noexcept;
+  void worker_loop(int worker) EXCLUDES(mu_);
+  /// Runs worker @p worker's slice of [0, n). Takes the task by value
+  /// so nothing is read from the shared handshake state mid-slice.
+  void run_slice(int worker, int n,
+                 const std::function<void(int, int)>& fn) noexcept
+      EXCLUDES(mu_);
 
   int size_ = 1;
   std::vector<std::thread> workers_;
 
   /// Serializes whole fork/join sections; mu_ alone only protects the
   /// shared fields *within* one section.
-  std::mutex fork_mu_;
-  std::mutex mu_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  std::uint64_t generation_ = 0;  // bumped per parallel_for; wakes workers
-  int pending_ = 0;               // helper workers still running this gen
-  int n_ = 0;
-  const std::function<void(int, int)>* fn_ = nullptr;
-  std::exception_ptr error_;
-  bool stop_ = false;
+  Mutex fork_mu_{lockrank::kThreadPoolFork, "ThreadPool::fork_mu_"};
+  Mutex mu_{lockrank::kThreadPoolState, "ThreadPool::mu_"};
+  CondVar start_cv_;  ///< workers wait on mu_ for a new generation
+  CondVar done_cv_;   ///< the forking thread waits on mu_ for pending_==0
+  /// Bumped per parallel_for; wakes workers.
+  std::uint64_t generation_ GUARDED_BY(mu_) = 0;
+  /// Helper workers still running this generation.
+  int pending_ GUARDED_BY(mu_) = 0;
+  int n_ GUARDED_BY(mu_) = 0;
+  const std::function<void(int, int)>* fn_ GUARDED_BY(mu_) = nullptr;
+  std::exception_ptr error_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace cellsweep::util

@@ -1,0 +1,49 @@
+// Control for the compile-fail battery: the same shapes as the
+// deliberately broken TUs next door, written correctly. This one MUST
+// compile under clang -Wthread-safety -Werror=thread-safety -- it
+// proves the failures over there come from the seeded violations, not
+// from the annotation wrappers themselves tripping the analysis.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    cellsweep::util::MutexLock lock(mu_);
+    ++count_;
+  }
+
+  int value() const {
+    cellsweep::util::MutexLock lock(mu_);
+    return count_;
+  }
+
+ private:
+  mutable cellsweep::util::Mutex mu_{1, "Counter::mu_"};
+  int count_ GUARDED_BY(mu_) = 0;
+};
+
+class Table {
+ public:
+  int size_locked() const REQUIRES(mu_) { return size_; }
+
+  int size() const {
+    cellsweep::util::MutexLock lock(mu_);
+    return size_locked();
+  }
+
+ private:
+  mutable cellsweep::util::Mutex mu_{1, "Table::mu_"};
+  int size_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  Table t;
+  return c.value() + t.size();
+}

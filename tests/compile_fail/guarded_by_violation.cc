@@ -1,0 +1,33 @@
+// Compile-fail seed: reading a GUARDED_BY member without its lock.
+//
+// This translation unit must NOT compile under clang -Wthread-safety
+// -Werror=thread-safety; the `compile_fail_guarded_by` test builds it
+// and asserts the build breaks (WILL_FAIL). If this file ever starts
+// compiling, the thread-safety gate has silently stopped analyzing --
+// exactly the regression the test exists to catch.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    // BUG (deliberate): `count_` is GUARDED_BY(mu_), and no lock is
+    // held here. Clang: "writing variable 'count_' requires holding
+    // mutex 'mu_' exclusively [-Werror,-Wthread-safety-analysis]".
+    ++count_;
+  }
+
+ private:
+  cellsweep::util::Mutex mu_{1, "Counter::mu_"};
+  int count_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Compile-fail seed: calling a REQUIRES(mu) function without the lock.
+//
+// Must NOT compile under clang -Wthread-safety -Werror=thread-safety
+// (see guarded_by_violation.cc for the test contract).
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Table {
+ public:
+  int size_locked() const REQUIRES(mu_) { return size_; }
+
+  int size() const {
+    // BUG (deliberate): size_locked() requires mu_, which is not held.
+    // Clang: "calling function 'size_locked' requires holding mutex
+    // 'mu_' exclusively".
+    return size_locked();
+  }
+
+ private:
+  mutable cellsweep::util::Mutex mu_{1, "Table::mu_"};
+  int size_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Table t;
+  return t.size();
+}

@@ -1,0 +1,8 @@
+// Test fixture: a mutex-free source tree, so registry-focused audit
+// runs (e.g. the cyclic-registry test) exercise only the registry
+// checks.
+#pragma once
+
+namespace fixture {
+inline int answer() { return 42; }
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Test fixture: a deliberately CYCLIC lock-order registry. Never
+// included by real code -- tools/lock_rank_audit must reject it (the
+// `lock_rank_audit_rejects_cycle` test pins that the cycle detector
+// actually detects).
+//
+// The declared nesting closes a loop, and its last edge is also
+// rank-decreasing; both checks must fire.
+// LOCK_ORDER: kAlpha -> kBeta
+// LOCK_ORDER: kBeta -> kGamma
+// LOCK_ORDER: kGamma -> kAlpha
+#pragma once
+
+inline constexpr int kAlpha = 10;
+inline constexpr int kBeta = 20;
+inline constexpr int kGamma = 30;

@@ -1,0 +1,18 @@
+// Test fixture: a util::Mutex constructed without a lockrank:: rank
+// and a raw std::mutex. Never compiled -- tools/lock_rank_audit must
+// flag both (the `lock_rank_audit_rejects_unranked` test pins it).
+#pragma once
+
+#include <mutex>
+
+#include "util/mutex.h"
+
+namespace fixture {
+
+class Bad {
+ private:
+  cellsweep::util::Mutex mu_{7, "Bad::mu_"};  // no lockrank:: rank
+  std::mutex raw_;                            // unsanctioned primitive
+};
+
+}  // namespace fixture

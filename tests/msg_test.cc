@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <thread>
+#include <vector>
 
 #include "msg/cart_grid.h"
 #include "msg/communicator.h"
@@ -248,6 +250,46 @@ TEST(CartGrid, DegenerateAndNonSquareShapes) {
     EXPECT_EQ(col.neighbor(r, Direction::kEast), -1);
   }
   EXPECT_EQ(col.wave_depth(3, 0, 0), col.y_of(3));
+}
+
+
+TEST(Msg, DegradeAndHealMidRunIsSafeAndDeterministic) {
+  // degrade_rank() may fire from the driver thread while rank threads
+  // are mid-send: the delay table is lock-protected, so this is a
+  // legal (if racy-in-ordering) thing to do, and the matched-message
+  // streams keep the results bit-identical regardless of when the
+  // degradation lands. Regression test for the unsynchronized
+  // send_delay_us_ access this would have been before the lock.
+  World world(2);
+  std::atomic<bool> stop{false};
+  std::thread flipper([&] {
+    int delay = 1;
+    while (!stop.load()) {
+      world.degrade_rank(0, delay);
+      delay = delay == 1 ? 0 : 1;  // degrade, heal, degrade, ...
+    }
+  });
+  const int rounds = 200;
+  std::vector<double> echoed;
+  world.run([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < rounds; ++i) {
+        comm.send(1, 1, std::vector<double>{static_cast<double>(i)});
+        const auto back = comm.recv(1, 2);
+        ASSERT_EQ(back.size(), 1u);
+        echoed.push_back(back[0]);
+      }
+    } else {
+      for (int i = 0; i < rounds; ++i) {
+        const auto m = comm.recv(0, 1);
+        comm.send(0, 2, std::vector<double>{m[0] * 2.0});
+      }
+    }
+  });
+  stop.store(true);
+  flipper.join();
+  ASSERT_EQ(echoed.size(), static_cast<std::size_t>(rounds));
+  for (int i = 0; i < rounds; ++i) EXPECT_DOUBLE_EQ(echoed[i], 2.0 * i);
 }
 
 }  // namespace

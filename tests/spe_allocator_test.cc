@@ -166,5 +166,69 @@ TEST(SpeAllocator, StatsCountTheWholeLifecycle) {
   EXPECT_EQ(s.peak_tenants, 2);
 }
 
+
+TEST(SpeAllocator, ShrinkToFairShareIsANoOpWithoutWaiters) {
+  SpeAllocator alloc(8);
+  SpeAllocator::Claim a = alloc.claim(8, 8);
+  // No pressure: the atomic yield must refuse to touch the claim, so a
+  // solo tenant keeps the whole chip (the byte-identical-timing
+  // guarantee the perf baselines pin).
+  EXPECT_FALSE(alloc.shrink_to_fair_share(a, /*need=*/8, /*min_spes=*/1));
+  EXPECT_EQ(a.count(), 8);
+  EXPECT_EQ(alloc.stats().shrinks, 0u);
+  alloc.release(a);
+}
+
+TEST(SpeAllocator, ShrinkToFairShareYieldsToABlockedClaimant) {
+  SpeAllocator alloc(8);
+  SpeAllocator::Claim a = alloc.claim(8, 8);
+  SpeAllocator::Claim b;
+  std::atomic<bool> granted{false};
+  std::thread t([&] {
+    b = alloc.claim(2, 8);
+    granted.store(true);
+  });
+  wait_until([&] { return alloc.pressure(); });
+  EXPECT_FALSE(granted.load());
+  // One decision, one critical section: pressure is observed, the fair
+  // share (8 / 2 = 4) computed and the yield performed without the lock
+  // ever dropping in between.
+  EXPECT_TRUE(alloc.shrink_to_fair_share(a, /*need=*/8, /*min_spes=*/1));
+  EXPECT_EQ(a.count(), 4);
+  t.join();
+  EXPECT_TRUE(granted.load());
+  EXPECT_EQ(b.ids, (std::vector<int>{4, 5, 6, 7}));
+  // Repeating the yield with the waiter served changes nothing.
+  EXPECT_FALSE(alloc.shrink_to_fair_share(a, /*need=*/8, /*min_spes=*/1));
+  EXPECT_EQ(a.count(), 4);
+  alloc.release(a);
+  alloc.release(b);
+}
+
+TEST(SpeAllocator, ShrinkToFairShareRespectsNeedAndFloor) {
+  SpeAllocator alloc(8);
+  SpeAllocator::Claim a = alloc.claim(8, 8);
+  SpeAllocator::Claim b;
+  std::thread t([&] { b = alloc.claim(1, 1); });
+  wait_until([&] { return alloc.pressure(); });
+  // Fair share is 4, but a batch that can only feed two SPEs yields
+  // down to need=2 -- never below the min_spes floor (3 here), which
+  // wins when it is higher than what the batch needs.
+  EXPECT_TRUE(alloc.shrink_to_fair_share(a, /*need=*/2, /*min_spes=*/3));
+  EXPECT_EQ(a.count(), 3);
+  t.join();
+  EXPECT_EQ(b.count(), 1);
+  // Already at the target: a second yield reports nothing to give even
+  // under renewed pressure.
+  SpeAllocator::Claim c;
+  std::thread t2([&] { c = alloc.claim(8, 8); });
+  wait_until([&] { return alloc.pressure(); });
+  EXPECT_FALSE(alloc.shrink_to_fair_share(a, /*need=*/2, /*min_spes=*/3));
+  alloc.release(a);
+  alloc.release(b);
+  t2.join();
+  alloc.release(c);
+}
+
 }  // namespace
 }  // namespace cellsweep::core

@@ -451,5 +451,32 @@ TEST(ThreadPool, ReusableAcrossManyRounds) {
   EXPECT_EQ(total, expected);
 }
 
+
+TEST(ThreadPool, WorkersRunTheJobTheyWereWokenFor) {
+  // Regression for the run_slice contract: a worker must execute the
+  // exact (task, n) pair published by the generation that woke it --
+  // the pair is snapshotted under the lock and passed by value, so a
+  // back-to-back job swap from another caller can never hand a worker
+  // the next job's function with the previous job's range (which
+  // manifested as out-of-bounds indices when n shrank between jobs).
+  ThreadPool pool(4);
+  std::vector<std::thread> callers;
+  std::atomic<bool> mismatch{false};
+  for (int c = 0; c < 3; ++c) {
+    callers.emplace_back([&, c] {
+      // Each caller's jobs alternate wildly in size; every index seen
+      // must belong to the range this caller submitted.
+      for (int round = 0; round < 60; ++round) {
+        const int n = (c + 1) * (round % 5 == 0 ? 96 : 2);
+        pool.parallel_for(n, [&, n](int i, int) {
+          if (i < 0 || i >= n) mismatch.store(true);
+        });
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_FALSE(mismatch.load());
+}
+
 }  // namespace
 }  // namespace cellsweep::util

@@ -1,0 +1,247 @@
+#!/usr/bin/env python3
+"""Static audit of the lock-rank registry and the annotated mutex surface.
+
+Checks, in order:
+  1. The registry (src/util/lock_ranks.h) parses: `inline constexpr int
+     kName = N;` rows with unique names and unique values.
+  2. Every `// LOCK_ORDER: kA -> kB [-> kC ...]` edge declared in the
+     registry connects known names and is strictly rank-increasing
+     (the invariant the runtime checker enforces per thread).
+  3. The declared lock-order graph is acyclic.
+  4. Every `util::Mutex` declaration under src/ is constructed with a
+     `lockrank::` rank from the registry -- adding a mutex without
+     registering its rank is an error.
+  5. No raw `std::mutex` / `std::condition_variable` / lock wrappers
+     survive under src/ outside the util::Mutex implementation itself:
+     the annotated wrappers are the only sanctioned primitives.
+
+Emits the lock-order DAG as Graphviz DOT with --dot (every registry
+rank is a node, declared nestings are edges, nodes referenced by a
+Mutex declaration carry the referencing files as a label).
+
+Exit status: 0 clean, 1 any violation. Used by the `lock_rank_audit`
+CTest (label `static`) and the thread-safety CI job.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+RANK_ROW = re.compile(r"^inline constexpr int (k\w+) = (\d+);", re.MULTILINE)
+ORDER_ROW = re.compile(r"^//\s*LOCK_ORDER:\s*(.+)$", re.MULTILINE)
+MUTEX_DECL = re.compile(r"\bMutex\b\s+(\w+)\s*([{(][^;]*);", re.DOTALL)
+RAW_PRIMITIVE = re.compile(
+    r"\bstd::(mutex|condition_variable|lock_guard|unique_lock|scoped_lock"
+    r"|shared_mutex|recursive_mutex)\b")
+
+# Files allowed to touch the raw primitives: the wrapper implementation.
+RAW_ALLOWED = {
+    os.path.join("util", "mutex.h"),
+    os.path.join("util", "mutex.cc"),
+}
+
+
+def strip_comments(text):
+    """Removes // and /* */ comments (keeps line structure for line
+    numbers) and string literals, so commented-out code never trips a
+    check."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            seg = text[i:(n if j < 0 else j + 2)]
+            out.append("\n" * seg.count("\n"))
+            i = n if j < 0 else j + 2
+        elif c == '"':
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 2 if text[j] == "\\" else 1
+            out.append('""')
+            i = min(j + 1, n)
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def parse_registry(path, errors):
+    """Returns (ranks: name -> value, edges: [(outer, inner)])."""
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    ranks = {}
+    values = {}
+    for name, value in RANK_ROW.findall(text):
+        value = int(value)
+        if name in ranks:
+            errors.append(f"{path}: duplicate rank name {name}")
+        elif value in values:
+            errors.append(
+                f"{path}: rank value {value} used by both {values[value]} "
+                f"and {name}")
+        else:
+            ranks[name] = value
+            values[value] = name
+    if not ranks:
+        errors.append(f"{path}: no rank rows found "
+                      "(expected `inline constexpr int kName = N;`)")
+    edges = []
+    for chain in ORDER_ROW.findall(text):
+        names = [p.strip() for p in chain.split("->")]
+        if len(names) < 2:
+            errors.append(f"{path}: LOCK_ORDER needs at least two names: "
+                          f"{chain.strip()!r}")
+            continue
+        for outer, inner in zip(names, names[1:]):
+            for name in (outer, inner):
+                if name not in ranks:
+                    errors.append(
+                        f"{path}: LOCK_ORDER names unknown rank {name}")
+            edges.append((outer, inner))
+    return ranks, edges
+
+
+def check_edges(ranks, edges, errors):
+    for outer, inner in edges:
+        if outer in ranks and inner in ranks and ranks[outer] >= ranks[inner]:
+            errors.append(
+                f"edge {outer} -> {inner} is not rank-increasing "
+                f"({ranks[outer]} >= {ranks[inner]}): the runtime checker "
+                "would reject this nesting")
+
+
+def check_acyclic(ranks, edges, errors):
+    graph = {name: [] for name in ranks}
+    for outer, inner in edges:
+        if outer in graph and inner in ranks:
+            graph[outer].append(inner)
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {name: WHITE for name in graph}
+
+    def dfs(node, path):
+        color[node] = GRAY
+        path.append(node)
+        for nxt in graph.get(node, ()):
+            if color.get(nxt) == GRAY:
+                cycle = path[path.index(nxt):] + [nxt]
+                errors.append(
+                    "lock-order cycle: " + " -> ".join(cycle))
+                return True
+            if color.get(nxt) == WHITE and dfs(nxt, path):
+                return True
+        path.pop()
+        color[node] = BLACK
+        return False
+
+    for name in graph:
+        if color[name] == WHITE and dfs(name, []):
+            return
+
+
+def scan_sources(src_root, ranks, errors):
+    """Returns rank name -> [relpath ...] of referencing declarations."""
+    used = {name: [] for name in ranks}
+    for dirpath, _, filenames in os.walk(src_root):
+        for filename in sorted(filenames):
+            if not filename.endswith((".h", ".cc")):
+                continue
+            path = os.path.join(dirpath, filename)
+            rel = os.path.relpath(path, src_root)
+            with open(path, encoding="utf-8") as f:
+                text = strip_comments(f.read())
+            for match in RAW_PRIMITIVE.finditer(text):
+                if rel in RAW_ALLOWED:
+                    continue
+                line = text.count("\n", 0, match.start()) + 1
+                errors.append(
+                    f"{rel}:{line}: raw {match.group(0)} -- use the "
+                    "annotated util::Mutex / util::CondVar wrappers")
+            for match in MUTEX_DECL.finditer(text):
+                var, args = match.group(1), match.group(2)
+                line = text.count("\n", 0, match.start()) + 1
+                rank_ref = re.search(r"lockrank::(k\w+)", args)
+                if not rank_ref:
+                    errors.append(
+                        f"{rel}:{line}: util::Mutex {var} constructed "
+                        "without a lockrank:: rank -- register one in "
+                        "src/util/lock_ranks.h")
+                elif rank_ref.group(1) not in ranks:
+                    errors.append(
+                        f"{rel}:{line}: util::Mutex {var} names "
+                        f"{rank_ref.group(1)}, which is not in the registry")
+                else:
+                    used[rank_ref.group(1)].append(f"{rel}:{line}")
+    return used
+
+
+def emit_dot(path, ranks, edges, used):
+    lines = ["digraph lock_order {"]
+    lines.append('  rankdir="LR";')
+    lines.append('  node [shape=box, fontname="monospace"];')
+    for name in sorted(ranks, key=ranks.get):
+        sites = used.get(name, [])
+        label = f"{name}\\nrank {ranks[name]}"
+        for site in sites:
+            label += f"\\n{site}"
+        lines.append(f'  {name} [label="{label}"];')
+    for outer, inner in edges:
+        lines.append(f"  {outer} -> {inner};")
+    lines.append("}")
+    text = "\n".join(lines) + "\n"
+    if path == "-":
+        sys.stdout.write(text)
+    else:
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(text)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: the script's "
+                             "parent directory's parent)")
+    parser.add_argument("--registry", default=None,
+                        help="rank registry header (default: "
+                             "<root>/src/util/lock_ranks.h)")
+    parser.add_argument("--src", default=None,
+                        help="source tree to scan (default: <root>/src)")
+    parser.add_argument("--dot", default=None, metavar="PATH",
+                        help="write the lock-order DAG as Graphviz DOT "
+                             "('-' for stdout)")
+    args = parser.parse_args()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    registry = args.registry or os.path.join(root, "src", "util",
+                                             "lock_ranks.h")
+    src_root = args.src or os.path.join(root, "src")
+
+    errors = []
+    ranks, edges = parse_registry(registry, errors)
+    check_edges(ranks, edges, errors)
+    check_acyclic(ranks, edges, errors)
+    used = {}
+    if os.path.isdir(src_root):
+        used = scan_sources(src_root, ranks, errors)
+    if args.dot:
+        emit_dot(args.dot, ranks, edges, used)
+
+    if errors:
+        for e in errors:
+            print(f"lock_rank_audit: error: {e}", file=sys.stderr)
+        print(f"lock_rank_audit: {len(errors)} error(s)", file=sys.stderr)
+        return 1
+    n_used = sum(1 for sites in used.values() if sites)
+    print(f"lock_rank_audit: OK -- {len(ranks)} rank(s), {len(edges)} "
+          f"declared edge(s), {n_used} rank(s) referenced by util::Mutex "
+          "declarations, no cycles")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
