@@ -3,7 +3,7 @@
 // simulated experiment and prints paper-reported vs measured rows.
 //
 // Besides the human-readable tables, every bench can emit a
-// machine-readable BENCH_<scenario>.json (schema "cellsweep-bench-v1")
+// machine-readable BENCH_<scenario>.json (schema "cellsweep-bench-v2")
 // via --json <dir>: config fingerprint, per-run metrics (grind time,
 // traffic, utilizations), the full hardware counter tree and per-stage
 // deltas. tools/perf_diff compares two such files and fails CI on
@@ -27,7 +27,7 @@
 namespace cellsweep::bench {
 
 /// The BENCH JSON layout version (tools/perf_diff checks it).
-inline constexpr const char* kBenchSchema = "cellsweep-bench-v1";
+inline constexpr const char* kBenchSchema = "cellsweep-bench-v2";
 
 /// Runs one optimization stage on an n-cubed benchmark problem with the
 /// paper's deck (12 iterations, fixups in the last two) and returns the

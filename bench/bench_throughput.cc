@@ -14,8 +14,10 @@
 //   * a discrete-event queue model then replays a mixed sweep+stencil
 //     job stream through 1 tenant (the whole chip, jobs back to back)
 //     and 2 tenants (half the chip each, jobs picked FIFO), yielding
-//     makespan, jobs/s and p50/p99 completion latency in *simulated*
-//     seconds.
+//     makespan, jobs/s and p50/p95/p99 completion latency in
+//     *simulated* seconds -- aggregate and per tenant, through the same
+//     util::Histogram the live SolveServer uses, so bench and server
+//     quantize latency identically.
 //
 // Everything is a pure function of the deck, so the emitted
 // BENCH_throughput.json is byte-stable and perf-gated in CI like the
@@ -24,6 +26,7 @@
 
 #include "bench/bench_common.h"
 #include "core/spe_allocator.h"
+#include "util/histogram.h"
 #include "workloads/stencil/stencil.h"
 
 namespace {
@@ -83,6 +86,7 @@ double stencil_service_s(int cube, int width) {
 struct QueueOutcome {
   double makespan_s = 0;
   std::vector<double> latency_s;  ///< per-job completion time
+  std::vector<int> worker;        ///< tenant that served each job
 };
 
 /// FIFO queue through @p tenants equal workers: every job is present at
@@ -91,24 +95,26 @@ QueueOutcome run_queue(int tenants, const std::vector<double>& service_s) {
   QueueOutcome out;
   std::vector<double> free_at(static_cast<std::size_t>(tenants), 0.0);
   out.latency_s.reserve(service_s.size());
+  out.worker.reserve(service_s.size());
   for (const double s : service_s) {
     std::size_t w = 0;
     for (std::size_t i = 1; i < free_at.size(); ++i)
       if (free_at[i] < free_at[w]) w = i;
     free_at[w] += s;
     out.latency_s.push_back(free_at[w]);
+    out.worker.push_back(static_cast<int>(w));
     out.makespan_s = std::max(out.makespan_s, free_at[w]);
   }
   return out;
 }
 
-double percentile(std::vector<double> v, double p) {
-  if (v.empty()) return 0;
-  std::sort(v.begin(), v.end());
-  const double rank = p * static_cast<double>(v.size());
-  std::size_t idx = static_cast<std::size_t>(std::ceil(rank));
-  idx = std::min(std::max<std::size_t>(idx, 1), v.size()) - 1;
-  return v[idx];
+/// Aggregate latency histogram (same binning as the live server's
+/// per-tenant latency families, so percentiles quantize identically).
+util::Histogram latency_hist(const QueueOutcome& q, int tenant = -1) {
+  util::Histogram h;
+  for (std::size_t i = 0; i < q.latency_s.size(); ++i)
+    if (tenant < 0 || q.worker[i] == tenant) h.add(q.latency_s[i]);
+  return h;
 }
 
 void write_metric(std::ostream& os, const char* key, double v,
@@ -163,15 +169,33 @@ int main(int argc, char** argv) {
   const Row rows[] = {{"serial-1-tenant", &serial}, {"2-tenant", &shared}};
 
   util::TextTable table({"regime", "makespan [s]", "jobs/s", "p50 [s]",
-                         "p99 [s]"});
+                         "p95 [s]", "p99 [s]"});
   for (const Row& row : rows) {
+    const util::Histogram h = latency_hist(*row.q);
     table.add_row({row.name, bench::fmt("%.4f", row.q->makespan_s),
                    bench::fmt("%.4f", static_cast<double>(jobs) /
                                           row.q->makespan_s),
-                   bench::fmt("%.4f", percentile(row.q->latency_s, 0.50)),
-                   bench::fmt("%.4f", percentile(row.q->latency_s, 0.99))});
+                   bench::fmt("%.4f", h.percentile(0.50)),
+                   bench::fmt("%.4f", h.percentile(0.95)),
+                   bench::fmt("%.4f", h.percentile(0.99))});
   }
   table.print(std::cout);
+
+  // Per-tenant view of the shared regime: with the lowest-index
+  // tie-break both tenants see the same alternating sweep/stencil mix,
+  // so their percentiles should track each other closely.
+  std::cout << "\n";
+  util::TextTable per_tenant({"2-tenant regime", "jobs", "p50 [s]",
+                              "p95 [s]", "p99 [s]"});
+  for (int t = 0; t < kTenants; ++t) {
+    const util::Histogram h = latency_hist(shared, t);
+    per_tenant.add_row({"tenant " + std::to_string(t),
+                        std::to_string(h.count()),
+                        bench::fmt("%.4f", h.percentile(0.50)),
+                        bench::fmt("%.4f", h.percentile(0.95)),
+                        bench::fmt("%.4f", h.percentile(0.99))});
+  }
+  per_tenant.print(std::cout);
 
   const double speedup = serial.makespan_s / shared.makespan_s;
   std::cout << "\nPer-tenant width " << share << "/" << chip_spes
@@ -202,11 +226,24 @@ int main(int argc, char** argv) {
     for (const Row& row : rows) {
       os << (first_run ? "\n" : ",\n") << "    {\"name\": \"" << row.name
          << "\",\n     \"metrics\": {";
+      const util::Histogram h = latency_hist(*row.q);
       write_metric(os, "seconds", row.q->makespan_s, true);
       write_metric(os, "jobs_per_s",
                    static_cast<double>(jobs) / row.q->makespan_s);
-      write_metric(os, "latency_p50_s", percentile(row.q->latency_s, 0.50));
-      write_metric(os, "latency_p99_s", percentile(row.q->latency_s, 0.99));
+      write_metric(os, "latency_p50_s", h.percentile(0.50));
+      write_metric(os, "latency_p95_s", h.percentile(0.95));
+      write_metric(os, "latency_p99_s", h.percentile(0.99));
+      const int tenants_here = row.q == &shared ? kTenants : 1;
+      for (int t = 0; t < tenants_here; ++t) {
+        const util::Histogram th = latency_hist(*row.q, t);
+        const std::string prefix = "tenant" + std::to_string(t);
+        write_metric(os, (prefix + "_latency_p50_s").c_str(),
+                     th.percentile(0.50));
+        write_metric(os, (prefix + "_latency_p95_s").c_str(),
+                     th.percentile(0.95));
+        write_metric(os, (prefix + "_latency_p99_s").c_str(),
+                     th.percentile(0.99));
+      }
       os << "},\n     \"counters\": null}";
       first_run = false;
     }

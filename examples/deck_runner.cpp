@@ -12,15 +12,24 @@
 //   $ ./deck_runner --workload=stencil examples/decks/heat32.stencil
 //   $ ./deck_runner --workload=stencil lint examples/decks/*.stencil
 //   $ ./deck_runner serve --tenants=2 a.deck b.deck heat32.stencil
+//   $ ./deck_runner serve --metrics-out=prom.txt --metrics-interval=200 \
+//         --trace jobs.json --metrics server.json \
+//         --flight-recorder=flightrec a.deck b.deck   # server telemetry
+#include <atomic>
+#include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <thread>
 
 #include "analysis/diagnostics.h"
 #include "analysis/hazard.h"
 #include "analysis/lint.h"
+#include "core/job_trace.h"
 #include "core/metrics.h"
+#include "core/metrics_registry.h"
 #include "core/orchestrator.h"
 #include "server/solve_server.h"
 #include "sim/counters.h"
@@ -203,6 +212,8 @@ int run_serve(const util::CliParser& cli, core::OptimizationStage stage) {
 
   core::ServerConfig scfg;
   scfg.stage = stage;
+  std::string metrics_out, metrics_path, trace_path, faults_arg;
+  long interval_ms = 0;
   try {
     scfg.tenants = static_cast<int>(cli.get_int("tenants"));
     scfg.queue_limit = static_cast<std::size_t>(
@@ -211,9 +222,23 @@ int run_serve(const util::CliParser& cli, core::OptimizationStage stage) {
         static_cast<std::size_t>(std::max(0L, cli.get_int("ls-budget")));
     scfg.grid_cell_budget = cli.get_int("grid-budget");
     scfg.host_threads = static_cast<int>(cli.get_int("threads"));
+    scfg.flight_recorder_path = cli.get_string("flight-recorder");
+    metrics_out = cli.get_string("metrics-out");
+    interval_ms = std::max(0L, cli.get_int("metrics-interval"));
+    metrics_path = cli.get_string("metrics");
+    trace_path = cli.get_string("trace");
+    faults_arg = cli.get_string("faults");
   } catch (const util::CliError& e) {
     std::cerr << "deck_runner serve: " << e.what() << "\n";
     return 1;
+  }
+  if (!faults_arg.empty()) {
+    try {
+      scfg.faults = sim::parse_fault_spec(faults_arg);
+    } catch (const sim::FaultSpecError& e) {
+      std::cerr << "deck_runner serve: --faults: " << e.what() << "\n";
+      return 1;
+    }
   }
   const core::RunMode mode = cli.get_bool("functional")
                                  ? core::RunMode::kFunctional
@@ -222,6 +247,26 @@ int run_serve(const util::CliParser& cli, core::OptimizationStage stage) {
   core::SolveServer server(scfg);
   std::cout << "Serving " << paths.size() << " job(s) on " << scfg.tenants
             << " tenant(s), stage " << core::stage_name(stage) << "\n";
+
+  // --metrics-out: Prometheus text exposition snapshots. With a
+  // positive --metrics-interval a poller thread overwrites the file
+  // every interval while jobs run; the final snapshot is always
+  // written after the drain either way.
+  const auto write_exposition = [&server, &metrics_out] {
+    if (metrics_out.empty()) return;
+    std::ofstream os(metrics_out);
+    if (os) core::write_prometheus(os, server.metrics_snapshot());
+  };
+  std::atomic<bool> poll_stop{false};
+  std::thread poller;
+  if (!metrics_out.empty() && interval_ms > 0) {
+    poller = std::thread([&] {
+      while (!poll_stop.load(std::memory_order_relaxed)) {
+        write_exposition();
+        std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+      }
+    });
+  }
 
   int rejected = 0;
   for (const std::string& path : paths) {
@@ -271,6 +316,43 @@ int run_serve(const util::CliParser& cli, core::OptimizationStage stage) {
     }
   }
 
+  if (poller.joinable()) {
+    poll_stop.store(true, std::memory_order_relaxed);
+    poller.join();
+  }
+  write_exposition();
+  if (!metrics_out.empty())
+    std::cout << "Prometheus exposition -> " << metrics_out << "\n";
+
+  // --trace in serve mode: the host-time job-lifecycle timeline
+  // (admission + per-tenant tracks), not a simulated-machine trace.
+  if (!trace_path.empty()) {
+    sim::ChromeTraceWriter writer;
+    core::write_job_trace_events(writer, server.traced_jobs());
+    std::ofstream os(trace_path);
+    if (!os) {
+      std::cerr << "deck_runner serve: cannot write trace file " << trace_path
+                << "\n";
+      return 1;
+    }
+    writer.write(os);
+    std::cout << "Job trace: " << writer.event_count() << " events on "
+              << writer.track_count() << " tracks -> " << trace_path << "\n";
+  }
+
+  // --metrics in serve mode: the server telemetry document (schema v4
+  // with the "server" section populated).
+  if (!metrics_path.empty()) {
+    std::ofstream os(metrics_path);
+    if (!os) {
+      std::cerr << "deck_runner serve: cannot write metrics file "
+                << metrics_path << "\n";
+      return 1;
+    }
+    core::write_server_metrics_json(os, server);
+    std::cout << "Server metrics -> " << metrics_path << "\n";
+  }
+
   const core::SolveServer::Stats st = server.stats();
   const core::PlanCache::Stats pc = server.plan_cache_stats();
   const core::SpeAllocator::Stats al = server.allocator_stats();
@@ -278,11 +360,52 @@ int run_serve(const util::CliParser& cli, core::OptimizationStage stage) {
             << " completed, " << st.failed << " failed, " << st.rejected
             << " rejected\n"
             << "Plan cache: " << pc.hits << " hit(s), " << pc.misses
-            << " miss(es), " << pc.entries << " plan(s)\n"
+            << " miss(es), " << pc.evictions << " eviction(s), "
+            << pc.entries << " plan(s)\n"
             << "SPE allocator: " << al.claims << " claim(s), " << al.expands
             << " expand(s), " << al.shrinks << " shrink(s), "
             << al.waited_claims << " waited, peak " << al.peak_tenants
             << " tenant(s)\n";
+
+  // Per-tenant latency summary from the metrics registry.
+  {
+    const core::MetricsRegistry::Snapshot snap = server.metrics_snapshot();
+    const auto hist_pct = [&snap](const char* fam, const std::string& label,
+                                  double p) {
+      const core::MetricsRegistry::Family* f = snap.find(fam);
+      const core::MetricsRegistry::Entry* e = f ? f->find(label) : nullptr;
+      return e ? e->hist.percentile(p) : std::nan("");
+    };
+    const auto counter = [&snap](const char* fam, const std::string& label) {
+      const core::MetricsRegistry::Family* f = snap.find(fam);
+      const core::MetricsRegistry::Entry* e = f ? f->find(label) : nullptr;
+      return e ? e->value : 0.0;
+    };
+    const auto sec = [](double v) {
+      if (!std::isfinite(v)) return std::string("-");
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.4f", v);
+      return std::string(buf);
+    };
+    util::TextTable table({"tenant", "done", "failed", "queue p50 [s]",
+                           "queue p99 [s]", "service p50 [s]",
+                           "service p95 [s]", "service p99 [s]"});
+    for (int t = 0; t < scfg.tenants; ++t) {
+      const std::string label = "tenant=\"" + std::to_string(t) + "\"";
+      table.add_row(
+          {"tenant-" + std::to_string(t),
+           std::to_string(static_cast<long long>(
+               counter("cellsweep_jobs_completed_total", label))),
+           std::to_string(static_cast<long long>(
+               counter("cellsweep_jobs_failed_total", label))),
+           sec(hist_pct("cellsweep_queue_wait_seconds", label, 0.50)),
+           sec(hist_pct("cellsweep_queue_wait_seconds", label, 0.99)),
+           sec(hist_pct("cellsweep_service_seconds", label, 0.50)),
+           sec(hist_pct("cellsweep_service_seconds", label, 0.95)),
+           sec(hist_pct("cellsweep_service_seconds", label, 0.99))});
+    }
+    table.print(std::cout);
+  }
   return rejected + failed;
 }
 
@@ -305,10 +428,12 @@ int main(int argc, char** argv) {
                "bitwise identical for any value)");
   cli.add_flag("trace", "",
                "write a Chrome trace-event JSON of the simulated run "
-               "(load in chrome://tracing or ui.perfetto.dev)");
+               "(load in chrome://tracing or ui.perfetto.dev); in serve "
+               "mode: the host-time job-lifecycle timeline instead");
   cli.add_flag("metrics", "",
                "write run metrics (timing, stall breakdown, DMA "
-               "histograms) as JSON");
+               "histograms) as JSON; in serve mode: the server "
+               "telemetry document");
   cli.add_flag("counters", "false",
                "attach the time-sliced profiler and print a hardware "
                "counter summary; --counters=N sets the profile window "
@@ -323,6 +448,15 @@ int main(int argc, char** argv) {
                "footprint in bytes (0 = linter capacity check only)");
   cli.add_flag("grid-budget", "0",
                "serve: admission budget on grid cells (0 = unlimited)");
+  cli.add_flag("metrics-out", "",
+               "serve: write Prometheus text-exposition snapshots of the "
+               "server metrics to this file");
+  cli.add_flag("metrics-interval", "0",
+               "serve: overwrite --metrics-out every N milliseconds while "
+               "jobs run (0 = final snapshot only)");
+  cli.add_flag("flight-recorder", "",
+               "serve: dump the event ring to <prefix>-<ms>-<n>.json on "
+               "job failure, queue-full or fault failover");
   cli.add_flag("faults", "",
                "seeded fault injection, e.g. "
                "--faults=seed=42,dma=0.001,spe=7:down (keys: seed, dma, "

@@ -1,7 +1,7 @@
 // Machine-readable perf regression checking.
 //
 // Compares two BENCH_<scenario>.json documents (bench/bench_common.h
-// emits them; schema "cellsweep-bench-v1") run by run and metric by
+// emits them; schema "cellsweep-bench-v2") run by run and metric by
 // metric. The contract mirrors perf-CI practice:
 //   * schema-version or scenario mismatch is a hard error, never a
 //     silent pass -- a layout change must come with a regenerated
@@ -30,7 +30,7 @@ class JsonValue;
 namespace cellsweep::analysis {
 
 /// The BENCH JSON layout version this differ understands.
-inline constexpr const char* kBenchSchema = "cellsweep-bench-v1";
+inline constexpr const char* kBenchSchema = "cellsweep-bench-v2";
 
 struct PerfDiffOptions {
   /// Allowed relative growth of a lower-is-better metric.

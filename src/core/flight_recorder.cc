@@ -1,0 +1,78 @@
+#include "core/flight_recorder.h"
+
+#include <ostream>
+#include <utility>
+
+#include "sim/trace.h"
+#include "util/units.h"
+
+namespace cellsweep::core {
+
+void FlightRecorder::record(double t_s, std::string kind, int job_id,
+                            int tenant, std::string detail) {
+  Event e;
+  e.t_s = t_s;
+  e.kind = std::move(kind);
+  e.job_id = job_id;
+  e.tenant = tenant;
+  e.detail = std::move(detail);
+  util::MutexLock lock(mu_);
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(e));
+    head_ = ring_.size() % capacity_;
+    return;
+  }
+  ring_[head_] = std::move(e);
+  head_ = (head_ + 1) % capacity_;
+}
+
+std::vector<FlightRecorder::Event> FlightRecorder::events() const {
+  util::MutexLock lock(mu_);
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+    return out;
+  }
+  // Full ring: head_ is the oldest slot.
+  for (std::size_t i = 0; i < capacity_; ++i)
+    out.push_back(ring_[(head_ + i) % capacity_]);
+  return out;
+}
+
+std::uint64_t FlightRecorder::dropped() const {
+  util::MutexLock lock(mu_);
+  return total_ - ring_.size();
+}
+
+void FlightRecorder::dump(std::ostream& os) const {
+  // One critical section: the window and its dropped count must agree.
+  std::vector<Event> evs;
+  std::uint64_t lost;
+  {
+    util::MutexLock lock(mu_);
+    evs.reserve(ring_.size());
+    if (ring_.size() < capacity_) {
+      evs = ring_;
+    } else {
+      for (std::size_t i = 0; i < capacity_; ++i)
+        evs.push_back(ring_[(head_ + i) % capacity_]);
+    }
+    lost = total_ - ring_.size();
+  }
+  os << "{\n  \"schema\": \"cellsweep-flightrec-v1\",\n  \"capacity\": "
+     << capacity_ << ",\n  \"dropped\": " << lost << ",\n  \"events\": [";
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    const Event& e = evs[i];
+    os << (i ? ",\n    " : "\n    ") << "{\"t_s\": "
+       << util::cformat("%.9f", e.t_s) << ", \"kind\": \""
+       << sim::json_escape(e.kind) << "\", \"job\": " << e.job_id
+       << ", \"tenant\": " << e.tenant << ", \"detail\": \""
+       << sim::json_escape(e.detail) << "\"}";
+  }
+  if (!evs.empty()) os << "\n  ";
+  os << "]\n}\n";
+}
+
+}  // namespace cellsweep::core

@@ -1,0 +1,76 @@
+// FlightRecorder: a bounded ring buffer of recent server events.
+//
+// Aggregate metrics (MetricsRegistry) say *that* something went wrong;
+// they can't say *what happened just before*. The flight recorder
+// keeps the last N lifecycle / allocator / fault events -- admissions,
+// rejections, dequeues, SPE claims and shrinks, job failures -- in a
+// fixed-size ring, and the server dumps the window to a timestamped
+// JSON file when something notable happens: a job fails, admission
+// hits queue-full, or a FaultPlan-injected SPE death forces failover.
+//
+// Lossless within the window: events inside the ring are never
+// coalesced or sampled. Once the ring wraps, the oldest events fall
+// off and dropped() counts them, so a dump always states exactly how
+// much history preceded it.
+//
+// Recording takes a rank-annotated util::Mutex (kFlightRecorder, above
+// every lock that might be held at a record site) and copies a few
+// words -- cheap enough to leave armed permanently. Observation-only,
+// like every telemetry layer here: nothing reads the ring back into a
+// scheduling or admission decision.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/lock_ranks.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace cellsweep::core {
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+  struct Event {
+    double t_s = 0;     ///< host seconds since server start
+    std::string kind;   ///< "admit", "reject", "dequeue", "fail", ...
+    int job_id = -1;    ///< -1 when the event is not job-scoped
+    int tenant = -1;    ///< worker index; -1 when not tenant-scoped
+    std::string detail; ///< free-form context ("reason=queue-full", ...)
+  };
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Appends an event, evicting the oldest once the ring is full.
+  void record(double t_s, std::string kind, int job_id, int tenant,
+              std::string detail) EXCLUDES(mu_);
+
+  /// Events currently in the window, oldest first.
+  std::vector<Event> events() const EXCLUDES(mu_);
+
+  /// Events that have fallen off the ring since construction.
+  std::uint64_t dropped() const EXCLUDES(mu_);
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Writes the window as one JSON object: {"schema", "capacity",
+  /// "dropped", "events": [...]} -- the payload of a
+  /// flightrec-<ms>-<seq>.json dump file. Deterministic for a given
+  /// ring state.
+  void dump(std::ostream& os) const EXCLUDES(mu_);
+
+ private:
+  const std::size_t capacity_;
+  mutable util::Mutex mu_{util::lockrank::kFlightRecorder,
+                          "FlightRecorder::mu_"};
+  std::vector<Event> ring_ GUARDED_BY(mu_);  ///< circular once full
+  std::size_t head_ GUARDED_BY(mu_) = 0;     ///< next write slot
+  std::uint64_t total_ GUARDED_BY(mu_) = 0;  ///< lifetime record() count
+};
+
+}  // namespace cellsweep::core

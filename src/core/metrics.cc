@@ -159,6 +159,9 @@ void write_metrics_json(std::ostream& os, const RunReport& r) {
        << ", \"dropped_messages\": " << r.faults.dropped_messages
        << ", \"mic_throttled\": " << r.faults.mic_throttled << "}";
   }
+  // Solo runs have no server; the serve path writes its own document
+  // (write_server_metrics_json) with this key populated.
+  os << ",\n  \"server\": null";
   os << "\n}\n";
 }
 

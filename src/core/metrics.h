@@ -6,9 +6,12 @@
 // tree and the time-sliced utilization profile -- as a single JSON
 // object, so runs can be diffed, plotted and regression-tracked without
 // scraping the human-readable tables. The top-level "schema" key
-// ("cellsweep-metrics-v3") versions the layout; v3 added the "faults"
+// ("cellsweep-metrics-v4") versions the layout; v3 added the "faults"
 // section (an object when fault injection was armed for the run, null
-// otherwise). Non-finite values (the
+// otherwise); v4 added the "server" section (the solve server's
+// telemetry document -- always null in a solo run's metrics, see
+// write_server_metrics_json in server/solve_server.h for the served
+// shape). Non-finite values (the
 // empty RunningStats contract returns NaN for all moments) serialize as
 // JSON null. All numeric formatting is locale-independent
 // (util::cformat), so output is byte-stable across environments.
@@ -26,7 +29,7 @@ namespace cellsweep::core {
 struct RunReport;
 
 /// The metrics JSON layout version emitted by write_metrics_json.
-inline constexpr const char* kMetricsSchema = "cellsweep-metrics-v3";
+inline constexpr const char* kMetricsSchema = "cellsweep-metrics-v4";
 
 /// Writes @p r as one JSON object to @p os.
 void write_metrics_json(std::ostream& os, const RunReport& r);

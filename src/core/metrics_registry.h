@@ -1,0 +1,141 @@
+// MetricsRegistry: the server-side metrics surface (DESIGN.md
+// section 2i).
+//
+// The sim-side stack (counters, traces, time-sliced profiles) measures
+// *simulated* time; nothing measured the server's *host-side* behavior
+// -- queue depth under load, per-tenant latency distributions,
+// admission outcomes. MetricsRegistry is that layer: a small,
+// deterministic, thread-safe registry of named metric families in the
+// four shapes the telemetry needs:
+//
+//   * counter  -- monotone accumulating double (jobs admitted, ...);
+//   * gauge    -- last-write-wins level (current queue depth);
+//   * histogram-- util::Histogram of observations (latency seconds);
+//   * series   -- bounded (host-time, value) samples (queue depth over
+//                 time), folded by decimation once the cap is hit so
+//                 memory stays bounded on any run length.
+//
+// Families carry an optional label (already formatted as Prometheus
+// key="value" pairs, e.g. `tenant="0"`); (family, label) pairs are
+// independent entries. snapshot() returns everything sorted by family
+// name then label, so two snapshots of the same state are equal and
+// serialize byte-identically -- the property the exposition formats
+// and the tests rely on.
+//
+// Exposition: write_prometheus() renders a snapshot in the Prometheus
+// text format (histograms as cumulative `_bucket{le=...}` families
+// with `_sum`/`_count`); write_snapshot_json() renders the same data
+// as the "families" array of the metrics JSON v4 "server" section.
+//
+// Observation-only contract: recording is host-side bookkeeping; no
+// simulated tick, admission decision or scheduling choice may ever
+// read a metric back. Solo-run perf baselines stay byte-identical
+// with the registry armed (pinned by tools/perf_diff in CI).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/histogram.h"
+#include "util/lock_ranks.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace cellsweep::core {
+
+enum class MetricType : std::uint8_t { kCounter, kGauge, kHistogram, kSeries };
+
+const char* metric_type_name(MetricType t);
+
+class MetricsRegistry {
+ public:
+  /// Series entries are decimated 2:1 (keep every other sample) when
+  /// they reach this cap, so long runs keep a bounded, evenly thinned
+  /// history instead of growing without limit.
+  static constexpr std::size_t kMaxSeriesSamples = 2048;
+
+  struct Entry {
+    std::string label;  ///< formatted label pairs ("" = unlabelled)
+    double value = 0;   ///< counters and gauges
+    util::Histogram hist;
+    std::vector<std::pair<double, double>> samples;  ///< (host_s, value)
+  };
+
+  struct Family {
+    std::string name;
+    MetricType type = MetricType::kCounter;
+    std::string help;
+    std::vector<Entry> entries;  ///< sorted by label
+
+    const Entry* find(const std::string& label) const;
+  };
+
+  /// Deterministic point-in-time copy: families sorted by name,
+  /// entries by label.
+  struct Snapshot {
+    std::vector<Family> families;
+    const Family* find(const std::string& name) const;
+  };
+
+  /// Adds @p delta (default 1) to counter @p family / @p label,
+  /// registering the family on first use. @p help is retained from the
+  /// first registration. Throws std::logic_error if @p family exists
+  /// with a different type (one name, one shape -- exposition formats
+  /// require it).
+  void counter_add(const std::string& family, const std::string& label,
+                   double delta = 1.0, const char* help = "") EXCLUDES(mu_);
+
+  /// Sets gauge @p family / @p label to @p value.
+  void gauge_set(const std::string& family, const std::string& label,
+                 double value, const char* help = "") EXCLUDES(mu_);
+
+  /// Records @p value into histogram @p family / @p label (default
+  /// util::Histogram latency layout).
+  void observe(const std::string& family, const std::string& label,
+               double value, const char* help = "") EXCLUDES(mu_);
+
+  /// Appends (@p host_s, @p value) to series @p family / @p label.
+  void series_sample(const std::string& family, const std::string& label,
+                     double host_s, double value, const char* help = "")
+      EXCLUDES(mu_);
+
+  Snapshot snapshot() const EXCLUDES(mu_);
+
+ private:
+  struct Key {
+    std::string family;
+    std::string label;
+    bool operator<(const Key& o) const {
+      return family != o.family ? family < o.family : label < o.label;
+    }
+  };
+
+  Entry& entry(const Key& key, MetricType type, const char* help)
+      REQUIRES(mu_);
+
+  mutable util::Mutex mu_{util::lockrank::kMetricsRegistry,
+                          "MetricsRegistry::mu_"};
+  std::map<std::string, std::pair<MetricType, std::string>> families_
+      GUARDED_BY(mu_);  ///< name -> (type, help)
+  std::map<Key, Entry> entries_ GUARDED_BY(mu_);
+};
+
+/// Renders @p snap in the Prometheus text exposition format
+/// (version 0.0.4): `# HELP` / `# TYPE` headers per family, histogram
+/// entries as cumulative `<name>_bucket{le="..."}` plus `_sum` and
+/// `_count`, series as a gauge holding the last sample. Deterministic:
+/// equal snapshots emit identical bytes.
+void write_prometheus(std::ostream& os, const MetricsRegistry::Snapshot& snap);
+
+/// Renders @p snap as a JSON array of family objects (the "families"
+/// key of the metrics JSON v4 "server" section). @p indent is the
+/// column the array starts at.
+void write_snapshot_json(std::ostream& os,
+                         const MetricsRegistry::Snapshot& snap,
+                         int indent = 0);
+
+}  // namespace cellsweep::core

@@ -1,11 +1,24 @@
 #include "core/spe_allocator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 namespace cellsweep::core {
 
 using util::MutexLock;
+
+namespace {
+/// Per-thread blocked-in-claim() seconds, bracketed by the server
+/// around each job (see reset_thread_claim_wait()).
+thread_local double t_claim_wait_s = 0.0;
+}  // namespace
+
+void SpeAllocator::reset_thread_claim_wait() noexcept {
+  t_claim_wait_s = 0.0;
+}
+
+double SpeAllocator::thread_claim_wait_s() noexcept { return t_claim_wait_s; }
 
 SpeAllocator::SpeAllocator(int num_spes) : num_spes_(num_spes) {
   if (num_spes < 1)
@@ -64,12 +77,22 @@ SpeAllocator::Claim SpeAllocator::claim(int min_spes, int max_spes) {
   const int hi = std::clamp(std::max(max_spes, lo), 1, num_spes_);
 
   MutexLock lock(mu_);
+  double waited_s = 0.0;
   if (free_count_locked() < lo) {
     ++waiters_;
     ++stats_.waited_claims;
+    // Host time blocked, for the claim-wait histogram and the per-job
+    // trace. Measured around the wait only; an immediate grant records
+    // a zero sample without touching the clock.
+    const auto blocked_from = std::chrono::steady_clock::now();
     while (free_count_locked() < lo) cv_.wait(mu_);
+    waited_s = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - blocked_from)
+                   .count();
     --waiters_;
   }
+  stats_.claim_wait_s.add(waited_s);
+  t_claim_wait_s += waited_s;
 
   // Grant size: everything asked for that is free -- but while others
   // are still queued behind us, no more than the fair share (never

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/histogram.h"
 #include "util/lock_ranks.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
@@ -54,6 +55,10 @@ class SpeAllocator {
     std::uint64_t shrinks = 0;      ///< shrink() calls that released SPEs
     std::uint64_t waited_claims = 0;///< claims that had to block
     int peak_tenants = 0;           ///< most simultaneous holders
+    /// Host seconds each claim() spent blocked (one sample per grant,
+    /// 0 for immediate grants). Host-side telemetry only: no simulated
+    /// tick ever reads it.
+    util::Histogram claim_wait_s;
   };
 
   explicit SpeAllocator(int num_spes);
@@ -98,6 +103,15 @@ class SpeAllocator {
   int num_spes() const noexcept { return num_spes_; }
   int free_count() const EXCLUDES(mu_);
   Stats stats() const EXCLUDES(mu_);
+
+  /// Zeroes this thread's blocked-in-claim() accumulator. The solve
+  /// server brackets each job with reset + read so a job's claim wait
+  /// can be attributed to its JobTrace (claims happen on the worker
+  /// thread that runs the job).
+  static void reset_thread_claim_wait() noexcept;
+  /// Host seconds this thread has spent blocked in claim() since the
+  /// last reset_thread_claim_wait().
+  static double thread_claim_wait_s() noexcept;
 
  private:
   /// Takes up to @p want SPEs from the largest contiguous free runs.

@@ -39,12 +39,23 @@ std::shared_ptr<const CachedPlan> PlanCache::insert(
     std::uint64_t key, std::shared_ptr<const CachedPlan> plan) {
   util::MutexLock lock(mu_);
   const auto [it, inserted] = entries_.emplace(key, std::move(plan));
+  if (inserted) {
+    order_.push_back(key);
+    // FIFO eviction once over capacity: drop the oldest insertion.
+    // Running jobs keep their plan alive through their own shared_ptr;
+    // only the cache's canonical copy is released.
+    while (max_entries_ > 0 && entries_.size() > max_entries_) {
+      entries_.erase(order_.front());
+      order_.pop_front();
+      ++evictions_;
+    }
+  }
   return it->second;
 }
 
 PlanCache::Stats PlanCache::stats() const {
   util::MutexLock lock(mu_);
-  return Stats{hits_, misses_, entries_.size()};
+  return Stats{hits_, misses_, evictions_, entries_.size()};
 }
 
 }  // namespace cellsweep::core

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <string_view>
@@ -55,8 +56,16 @@ class PlanCache {
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
     std::size_t entries = 0;
   };
+
+  /// @p max_entries bounds the cache; 0 (the default) is unbounded.
+  /// When full, insert evicts in FIFO (insertion) order -- evicting
+  /// only drops the canonical pointer, so plans still in use by a
+  /// running job stay alive through their own shared_ptrs.
+  explicit PlanCache(std::size_t max_entries = 0)
+      : max_entries_(max_entries) {}
 
   /// FNV-1a over (workload kind, stage, content bytes), with
   /// separators so no two distinct triples concatenate identically.
@@ -79,11 +88,15 @@ class PlanCache {
   /// Leaf lock over the entry map and counters; plan *contents* are
   /// immutable once published (shared_ptr<const>), so only the map
   /// itself needs the guard.
+  const std::size_t max_entries_;
   mutable util::Mutex mu_{util::lockrank::kPlanCache, "PlanCache::mu_"};
   std::map<std::uint64_t, std::shared_ptr<const CachedPlan>> entries_
       GUARDED_BY(mu_);
+  /// Keys in insertion order (FIFO eviction victims from the front).
+  std::deque<std::uint64_t> order_ GUARDED_BY(mu_);
   std::uint64_t hits_ GUARDED_BY(mu_) = 0;
   std::uint64_t misses_ GUARDED_BY(mu_) = 0;
+  std::uint64_t evictions_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cellsweep::core

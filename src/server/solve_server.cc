@@ -1,13 +1,17 @@
 #include "server/solve_server.h"
 
 #include <algorithm>
+#include <fstream>
+#include <ostream>
 #include <utility>
 
 #include "analysis/lint.h"
+#include "core/metrics.h"
 #include "core/orchestrator.h"
 #include "core/workload.h"
 #include "sweep/kernel_simd.h"
 #include "sweep/plan.h"
+#include "util/units.h"
 #include "workloads/stencil/stencil.h"
 
 namespace cellsweep::core {
@@ -18,6 +22,18 @@ namespace {
 
 std::size_t real_bytes_of(Precision p) {
   return p == Precision::kDouble ? 8 : 4;
+}
+
+std::string tenant_label(int tenant) {
+  return "tenant=\"" + std::to_string(tenant) + "\"";
+}
+
+/// A run needed the fault machinery's failover path: SPEs were dead at
+/// boot or died mid-run, or chunks had to be redispatched.
+bool saw_failover(const RunReport& r) {
+  return r.faults.enabled &&
+         (r.faults.spes_disabled > 0 || r.faults.spes_failed > 0 ||
+          r.faults.redispatched_chunks > 0);
 }
 
 }  // namespace
@@ -33,6 +49,7 @@ const char* admission_reason_name(AdmissionError::Reason r) {
     case AdmissionError::Reason::kLsBudget: return "ls-budget";
     case AdmissionError::Reason::kGridBudget: return "grid-budget";
     case AdmissionError::Reason::kQueueFull: return "queue-full";
+    case AdmissionError::Reason::kShutdown: return "shutdown";
   }
   return "unknown";
 }
@@ -41,12 +58,15 @@ SolveServer::SolveServer(const ServerConfig& cfg)
     : cfg_(cfg),
       base_(CellSweepConfig::from_stage(cfg.stage)),
       pool_(std::max(1, cfg.host_threads)),
-      alloc_(base_.chip.num_spes) {
+      alloc_(base_.chip.num_spes),
+      cache_(cfg.plan_cache_capacity),
+      recorder_(cfg.flight_recorder_capacity) {
   cfg_.tenants = std::max(1, cfg_.tenants);
   cfg_.queue_limit = std::max<std::size_t>(1, cfg_.queue_limit);
+  base_.faults = cfg_.faults;
   workers_.reserve(static_cast<std::size_t>(cfg_.tenants));
   for (int t = 0; t < cfg_.tenants; ++t)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, t] { worker_loop(t); });
 }
 
 SolveServer::~SolveServer() {
@@ -55,7 +75,57 @@ SolveServer::~SolveServer() {
     stopping_ = true;
   }
   cv_queue_.notify_all();
+  join_workers();
+}
+
+void SolveServer::join_workers() {
+  {
+    MutexLock lock(mu_);
+    if (joined_) return;
+    joined_ = true;
+  }
   for (std::thread& w : workers_) w.join();
+}
+
+void SolveServer::stop() {
+  std::vector<Job> cancelled;
+  {
+    MutexLock lock(mu_);
+    stopping_ = true;
+    while (!queue_.empty()) {
+      cancelled.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+  }
+  cv_queue_.notify_all();
+
+  // Publish every cancelled job as a failed result carrying the partial
+  // lifecycle trace it accumulated (admission + enqueue stamps;
+  // complete stays false). drain()/wait() then see them like any other
+  // finished job instead of hanging on results that will never come.
+  const double now = clock_.now_s();
+  for (Job& job : cancelled) {
+    recorder_.record(now, "cancel", job.id, -1, "reason=server-stop");
+    metrics_.counter_add("cellsweep_jobs_cancelled_total", "", 1.0,
+                         "Queued jobs cancelled by server stop");
+    JobResult r;
+    r.id = job.id;
+    r.name = job.req.name;
+    r.kind = job.req.kind;
+    r.ok = false;
+    r.error = "cancelled: server stopped before the job ran";
+    r.trace = job.trace;
+    {
+      MutexLock lock(mu_);
+      ++stats_.cancelled;
+      ++stats_.failed;
+      done_.emplace(job.id, std::move(r));
+    }
+  }
+  if (!cancelled.empty()) cv_done_.notify_all();
+  recorder_.record(clock_.now_s(), "stop", -1, -1,
+                   "cancelled=" + std::to_string(cancelled.size()));
+  join_workers();
 }
 
 void SolveServer::admit(Job& job) const {
@@ -122,16 +192,33 @@ void SolveServer::admit(Job& job) const {
 int SolveServer::submit(const JobRequest& req) {
   Job job;
   job.req = req;
+  job.trace.admit_start_s = clock_.now_s();
   try {
     admit(job);
-  } catch (const AdmissionError&) {
-    MutexLock lock(mu_);
-    ++stats_.rejected;
+  } catch (const AdmissionError& e) {
+    {
+      MutexLock lock(mu_);
+      ++stats_.rejected;
+    }
+    metrics_.counter_add(
+        "cellsweep_jobs_rejected_total",
+        std::string("reason=\"") + admission_reason_name(e.reason()) + "\"",
+        1.0, "Jobs refused at admission, by typed reason");
+    recorder_.record(clock_.now_s(), "reject", -1, -1,
+                     std::string("reason=") + admission_reason_name(e.reason()) +
+                         " name=" + (req.name.empty() ? "?" : req.name));
     throw;
   }
+  job.trace.admit_end_s = clock_.now_s();
   int id = 0;
-  {
+  std::size_t depth = 0;
+  try {
     MutexLock lock(mu_);
+    if (stopping_) {
+      ++stats_.rejected;
+      throw AdmissionError(AdmissionError::Reason::kShutdown,
+                           "server is stopping; no new work accepted");
+    }
     if (queue_.size() >= cfg_.queue_limit) {
       ++stats_.rejected;
       throw AdmissionError(
@@ -143,16 +230,42 @@ int SolveServer::submit(const JobRequest& req) {
     id = next_id_++;
     job.id = id;
     if (job.req.name.empty()) job.req.name = "job-" + std::to_string(id);
+    job.trace.enqueue_s = clock_.now_s();
     ++stats_.submitted;
     queue_.push_back(std::move(job));
+    depth = queue_.size();
+  } catch (const AdmissionError& e) {
+    const char* reason = admission_reason_name(e.reason());
+    metrics_.counter_add("cellsweep_jobs_rejected_total",
+                         std::string("reason=\"") + reason + "\"", 1.0,
+                         "Jobs refused at admission, by typed reason");
+    recorder_.record(clock_.now_s(), "reject", -1, -1,
+                     std::string("reason=") + reason +
+                         " name=" + (req.name.empty() ? "?" : req.name));
+    // An admission storm pushing the queue to its limit is exactly the
+    // incident the flight recorder exists for: dump the window.
+    if (e.reason() == AdmissionError::Reason::kQueueFull)
+      dump_flight("queue-full");
+    throw;
   }
   cv_queue_.notify_one();
+  metrics_.counter_add("cellsweep_jobs_admitted_total", "", 1.0,
+                       "Jobs accepted into the queue");
+  metrics_.gauge_set("cellsweep_queue_depth", "",
+                     static_cast<double>(depth),
+                     "Jobs currently queued (not yet dequeued)");
+  metrics_.series_sample("cellsweep_queue_depth_series", "", clock_.now_s(),
+                         static_cast<double>(depth),
+                         "Queue depth over host time");
+  recorder_.record(clock_.now_s(), "admit", id, -1,
+                   "depth=" + std::to_string(depth));
   return id;
 }
 
-void SolveServer::worker_loop() {
+void SolveServer::worker_loop(int tenant) {
   for (;;) {
     Job job;
+    std::size_t depth = 0;
     {
       MutexLock lock(mu_);
       // Predicate re-checked under mu_ on every wakeup (and visibly so
@@ -162,8 +275,62 @@ void SolveServer::worker_loop() {
       if (queue_.empty()) return;  // stopping, and nothing left to run
       job = std::move(queue_.front());
       queue_.pop_front();
+      depth = queue_.size();
     }
+    job.trace.tenant = tenant;
+    job.trace.dequeue_s = clock_.now_s();
+    metrics_.gauge_set("cellsweep_queue_depth", "",
+                       static_cast<double>(depth),
+                       "Jobs currently queued (not yet dequeued)");
+    metrics_.series_sample("cellsweep_queue_depth_series", "",
+                           job.trace.dequeue_s, static_cast<double>(depth),
+                           "Queue depth over host time");
+    recorder_.record(job.trace.dequeue_s, "dequeue", job.id, tenant,
+                     "name=" + job.req.name);
+
     JobResult res = run_job(job);
+    res.trace.report_s = clock_.now_s();
+    res.trace.complete = true;
+
+    // Per-tenant latency distributions: queue wait (enqueue->dequeue)
+    // and service time (solver entry->exit). Recorded outside mu_.
+    const std::string label = tenant_label(tenant);
+    const double qw = res.trace.queue_wait_s();
+    if (JobTrace::reached(qw))
+      metrics_.observe("cellsweep_queue_wait_seconds", label, qw,
+                       "Host seconds a job waited in the queue");
+    const double svc = res.trace.service_s();
+    if (JobTrace::reached(svc))
+      metrics_.observe("cellsweep_service_seconds", label, svc,
+                       "Host seconds a job spent in the solver");
+    metrics_.counter_add(res.ok ? "cellsweep_jobs_completed_total"
+                                : "cellsweep_jobs_failed_total",
+                         label, 1.0,
+                         res.ok ? "Jobs finished ok, by tenant"
+                                : "Jobs finished with an error, by tenant");
+    if (res.ok && res.plan_cache_hit)
+      metrics_.counter_add("cellsweep_plan_cache_job_hits_total", label, 1.0,
+                           "Jobs that reused a cached plan, by tenant");
+
+    const bool failover = res.ok && saw_failover(res.report);
+    recorder_.record(res.trace.report_s, res.ok ? "complete" : "fail",
+                     job.id, tenant,
+                     res.ok ? "name=" + job.req.name
+                            : "name=" + job.req.name + " error=" + res.error);
+    if (failover)
+      recorder_.record(
+          clock_.now_s(), "failover", job.id, tenant,
+          "spes_disabled=" + std::to_string(res.report.faults.spes_disabled) +
+              " spes_failed=" +
+              std::to_string(res.report.faults.spes_failed) +
+              " redispatched=" +
+              std::to_string(res.report.faults.redispatched_chunks));
+
+    // Dump before publishing: a client woken by its result must be
+    // able to see the post-mortem file already on disk.
+    if (!res.ok) dump_flight("job-failure");
+    if (failover) dump_flight("failover");
+
     {
       MutexLock lock(mu_);
       res.ok ? ++stats_.completed : ++stats_.failed;
@@ -175,17 +342,23 @@ void SolveServer::worker_loop() {
 
 JobResult SolveServer::run_job(Job& job) {
   try {
-    return job.req.kind == JobKind::kSweep ? run_sweep(job)
-                                           : run_stencil(job);
+    JobResult r = job.req.kind == JobKind::kSweep ? run_sweep(job)
+                                                  : run_stencil(job);
+    r.trace = job.trace;
+    return r;
   } catch (const std::exception& e) {
     // A failing solve (fault plan kills every SPE, hazard escalation)
     // takes down its job, never the server.
+    if (JobTrace::reached(job.trace.run_start_s) &&
+        !JobTrace::reached(job.trace.run_end_s))
+      job.trace.run_end_s = clock_.now_s();
     JobResult r;
     r.id = job.id;
     r.name = job.req.name;
     r.kind = job.req.kind;
     r.ok = false;
     r.error = e.what();
+    r.trace = job.trace;
     return r;
   }
 }
@@ -231,8 +404,10 @@ JobResult SolveServer::run_sweep(Job& job) {
   const std::uint64_t key = PlanCache::fingerprint(
       job_kind_name(JobKind::kSweep), cfg_.stage, job.req.text);
   bool hit = false;
+  job.trace.plan_start_s = clock_.now_s();
   const std::shared_ptr<const CachedPlan> plan =
       plan_for_sweep(deck, cfg, key, hit);
+  job.trace.plan_end_s = clock_.now_s();
   cfg.quadrature = plan->quadrature.get();
   cfg.warm_kernels = plan->kernels.get();
 
@@ -241,7 +416,13 @@ JobResult SolveServer::run_sweep(Job& job) {
   r.id = job.id;
   r.name = job.req.name;
   r.kind = JobKind::kSweep;
+  // The solver claims SPEs on this thread: the thread-local
+  // accumulator attributes exactly this job's blocked time.
+  SpeAllocator::reset_thread_claim_wait();
+  job.trace.run_start_s = clock_.now_s();
   r.report = solver.run(job.req.mode);
+  job.trace.run_end_s = clock_.now_s();
+  job.trace.claim_wait_s = SpeAllocator::thread_claim_wait_s();
   r.plan_cache_hit = hit;
   r.ok = true;
   return r;
@@ -255,6 +436,7 @@ JobResult SolveServer::run_stencil(Job& job) {
   const std::uint64_t key = PlanCache::fingerprint(
       job_kind_name(JobKind::kStencil), cfg_.stage, job.req.text);
   bool hit = false;
+  job.trace.plan_start_s = clock_.now_s();
   std::shared_ptr<const CachedPlan> plan = cache_.find(key);
   if (plan) {
     hit = true;
@@ -263,10 +445,15 @@ JobResult SolveServer::run_stencil(Job& job) {
     built->spec = job.spec;
     plan = cache_.insert(key, std::move(built));
   }
+  job.trace.plan_end_s = clock_.now_s();
 
   stencil::CellStencil runner(plan->spec ? *plan->spec : *job.spec, cfg);
+  SpeAllocator::reset_thread_claim_wait();
+  job.trace.run_start_s = clock_.now_s();
   const stencil::StencilReport rep =
       runner.run(job.req.mode, pool_.size(), &pool_);
+  job.trace.run_end_s = clock_.now_s();
+  job.trace.claim_wait_s = SpeAllocator::thread_claim_wait_s();
   JobResult r;
   r.id = job.id;
   r.name = job.req.name;
@@ -302,6 +489,163 @@ std::vector<JobResult> SolveServer::drain() {
 SolveServer::Stats SolveServer::stats() const {
   MutexLock lock(mu_);
   return stats_;
+}
+
+std::vector<TracedJob> SolveServer::traced_jobs() const {
+  MutexLock lock(mu_);
+  std::vector<TracedJob> jobs;
+  jobs.reserve(done_.size());
+  // done_ is keyed by job id, so iteration is submission order.
+  for (const auto& [id, res] : done_)
+    jobs.push_back(TracedJob{id, res.name, res.trace});
+  return jobs;
+}
+
+void SolveServer::dump_flight(const char* trigger) {
+  metrics_.counter_add("cellsweep_flightrec_dumps_total",
+                       std::string("trigger=\"") + trigger + "\"", 1.0,
+                       "Flight-recorder dumps, by trigger");
+  if (cfg_.flight_recorder_path.empty()) return;
+  const int seq = dump_seq_.fetch_add(1);
+  const std::string path = cfg_.flight_recorder_path + "-" +
+                           std::to_string(HostClock::wall_ms()) + "-" +
+                           std::to_string(seq) + ".json";
+  std::ofstream out(path);
+  if (out) recorder_.dump(out);
+}
+
+namespace {
+
+/// One single-entry family for the derived (non-registry) stats.
+MetricsRegistry::Family derived_family(const std::string& name,
+                                       MetricType type, const char* help,
+                                       double value) {
+  MetricsRegistry::Family f;
+  f.name = name;
+  f.type = type;
+  f.help = help;
+  MetricsRegistry::Entry e;
+  e.value = value;
+  f.entries.push_back(std::move(e));
+  return f;
+}
+
+}  // namespace
+
+MetricsRegistry::Snapshot SolveServer::metrics_snapshot() const {
+  MetricsRegistry::Snapshot snap = metrics_.snapshot();
+
+  // Families derived from the component stats at call time, so one
+  // snapshot covers the whole server without the components having to
+  // push into the registry on their hot paths.
+  const SpeAllocator::Stats as = alloc_.stats();
+  const PlanCache::Stats cs = cache_.stats();
+  const util::ThreadPool::Telemetry pt = pool_.telemetry();
+  std::vector<MetricsRegistry::Family> extra;
+  extra.push_back(derived_family("cellsweep_spe_claims_total",
+                                 MetricType::kCounter,
+                                 "SPE allocator claim() grants",
+                                 static_cast<double>(as.claims)));
+  extra.push_back(derived_family("cellsweep_spe_expands_total",
+                                 MetricType::kCounter,
+                                 "SPE claims grown after pressure passed",
+                                 static_cast<double>(as.expands)));
+  extra.push_back(derived_family("cellsweep_spe_shrinks_total",
+                                 MetricType::kCounter,
+                                 "SPE claims shrunk (yields and releases)",
+                                 static_cast<double>(as.shrinks)));
+  extra.push_back(derived_family("cellsweep_spe_waited_claims_total",
+                                 MetricType::kCounter,
+                                 "SPE claims that had to block",
+                                 static_cast<double>(as.waited_claims)));
+  extra.push_back(derived_family("cellsweep_spe_peak_tenants",
+                                 MetricType::kGauge,
+                                 "Most simultaneous SPE claim holders",
+                                 static_cast<double>(as.peak_tenants)));
+  {
+    MetricsRegistry::Family f;
+    f.name = "cellsweep_spe_claim_wait_seconds";
+    f.type = MetricType::kHistogram;
+    f.help = "Host seconds claim() calls spent blocked";
+    MetricsRegistry::Entry e;
+    e.hist = as.claim_wait_s;
+    f.entries.push_back(std::move(e));
+    extra.push_back(std::move(f));
+  }
+  extra.push_back(derived_family("cellsweep_plan_cache_hits_total",
+                                 MetricType::kCounter, "Plan-cache hits",
+                                 static_cast<double>(cs.hits)));
+  extra.push_back(derived_family("cellsweep_plan_cache_misses_total",
+                                 MetricType::kCounter, "Plan-cache misses",
+                                 static_cast<double>(cs.misses)));
+  extra.push_back(derived_family("cellsweep_plan_cache_evictions_total",
+                                 MetricType::kCounter,
+                                 "Plan-cache FIFO evictions",
+                                 static_cast<double>(cs.evictions)));
+  extra.push_back(derived_family("cellsweep_plan_cache_entries",
+                                 MetricType::kGauge,
+                                 "Plans currently cached",
+                                 static_cast<double>(cs.entries)));
+  extra.push_back(derived_family("cellsweep_pool_forks_total",
+                                 MetricType::kCounter,
+                                 "Host-pool parallel_for dispatches",
+                                 static_cast<double>(pt.forks)));
+  extra.push_back(derived_family("cellsweep_pool_items_total",
+                                 MetricType::kCounter,
+                                 "Host-pool work items dispatched",
+                                 static_cast<double>(pt.items)));
+  extra.push_back(derived_family("cellsweep_pool_peak_fork_queue",
+                                 MetricType::kGauge,
+                                 "Most concurrent host-pool fork callers",
+                                 static_cast<double>(pt.peak_fork_queue)));
+  extra.push_back(derived_family("cellsweep_pool_utilization",
+                                 MetricType::kGauge,
+                                 "Busy fraction of host-pool capacity "
+                                 "while forks were live",
+                                 pool_.utilization()));
+  extra.push_back(derived_family("cellsweep_flightrec_dropped_total",
+                                 MetricType::kCounter,
+                                 "Events aged out of the flight recorder",
+                                 static_cast<double>(recorder_.dropped())));
+
+  // Merge, keeping the sorted-by-name snapshot contract. Derived names
+  // never collide with registry names by construction.
+  for (MetricsRegistry::Family& f : extra)
+    snap.families.push_back(std::move(f));
+  std::sort(snap.families.begin(), snap.families.end(),
+            [](const MetricsRegistry::Family& a,
+               const MetricsRegistry::Family& b) { return a.name < b.name; });
+  return snap;
+}
+
+void write_server_metrics_json(std::ostream& os, const SolveServer& server) {
+  const SolveServer::Stats st = server.stats();
+  const PlanCache::Stats cs = server.plan_cache_stats();
+  const SpeAllocator::Stats as = server.allocator_stats();
+  const util::ThreadPool::Telemetry pt = server.pool_telemetry();
+  os << "{\n  \"schema\": \"" << kMetricsSchema << "\",\n  \"server\": {\n"
+     << "    \"stats\": {\"submitted\": " << st.submitted
+     << ", \"completed\": " << st.completed << ", \"failed\": " << st.failed
+     << ", \"rejected\": " << st.rejected
+     << ", \"cancelled\": " << st.cancelled << "},\n"
+     << "    \"plan_cache\": {\"hits\": " << cs.hits
+     << ", \"misses\": " << cs.misses << ", \"evictions\": " << cs.evictions
+     << ", \"entries\": " << cs.entries << "},\n"
+     << "    \"spe_allocator\": {\"claims\": " << as.claims
+     << ", \"expands\": " << as.expands << ", \"shrinks\": " << as.shrinks
+     << ", \"waited_claims\": " << as.waited_claims
+     << ", \"peak_tenants\": " << as.peak_tenants << "},\n"
+     << "    \"host_pool\": {\"forks\": " << pt.forks
+     << ", \"items\": " << pt.items
+     << ", \"peak_fork_queue\": " << pt.peak_fork_queue
+     << ", \"utilization\": " << util::cformat("%.6f", server.pool_utilization())
+     << "},\n"
+     << "    \"flight_recorder\": {\"capacity\": "
+     << server.flight_recorder().capacity()
+     << ", \"dropped\": " << server.flight_recorder().dropped() << "},\n"
+     << "    \"families\": ";
+  write_snapshot_json(os, server.metrics_snapshot(), 4);
+  os << "\n  }\n}\n";
 }
 
 }  // namespace cellsweep::core

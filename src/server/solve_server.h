@@ -26,8 +26,10 @@
 // independent of tenancy (pinned by tests).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <optional>
@@ -37,6 +39,9 @@
 #include <vector>
 
 #include "core/config.h"
+#include "core/flight_recorder.h"
+#include "core/job_trace.h"
+#include "core/metrics_registry.h"
 #include "core/report.h"
 #include "core/spe_allocator.h"
 #include "server/plan_cache.h"
@@ -63,6 +68,7 @@ class AdmissionError : public std::runtime_error {
     kLsBudget,    ///< simulated-LS footprint exceeds the server budget
     kGridBudget,  ///< grid cells exceed the server budget
     kQueueFull,   ///< queue_limit pending jobs already
+    kShutdown,    ///< stop() was called; the server takes no new work
   };
 
   AdmissionError(Reason reason, const std::string& what)
@@ -94,6 +100,18 @@ struct ServerConfig {
   int host_threads = 1;
   /// Fewest SPEs a tenant may be squeezed to under pressure.
   int min_spes = 1;
+  /// Fault plan applied to every job's simulated machine (SPE deaths,
+  /// DMA flakiness -- see sim::parse_fault_spec). Default: no faults.
+  sim::FaultSpec faults;
+  /// Plan-cache entry bound (FIFO eviction when full); 0 = unbounded.
+  std::size_t plan_cache_capacity = 0;
+  /// Flight-recorder ring size (events kept for post-mortem dumps).
+  std::size_t flight_recorder_capacity = FlightRecorder::kDefaultCapacity;
+  /// When non-empty, notable events (job failure, queue-full storm,
+  /// fault failover) dump the flight-recorder window to
+  /// "<path>-<wall_ms>-<seq>.json". Empty: no files are written (the
+  /// ring still records and is readable in-process).
+  std::string flight_recorder_path;
 };
 
 struct JobRequest {
@@ -121,6 +139,10 @@ struct JobResult {
   double residual = 0;
   /// This job reused a cached plan (quadrature + kernel calibration).
   bool plan_cache_hit = false;
+  /// Host-time lifecycle stamps (admission -> queue -> plan -> claim
+  /// wait -> run -> report); partial (complete == false) for jobs
+  /// cancelled by stop().
+  JobTrace trace;
 };
 
 class SolveServer {
@@ -130,6 +152,7 @@ class SolveServer {
     std::uint64_t completed = 0;  ///< finished ok
     std::uint64_t failed = 0;     ///< finished with an error
     std::uint64_t rejected = 0;   ///< refused at admission
+    std::uint64_t cancelled = 0;  ///< queued but cancelled by stop()
   };
 
   explicit SolveServer(const ServerConfig& cfg = {});
@@ -152,10 +175,40 @@ class SolveServer {
   /// results in submission order.
   std::vector<JobResult> drain() EXCLUDES(mu_);
 
+  /// Early shutdown: stops accepting work (submit() then rejects with
+  /// kShutdown), cancels every still-queued job -- each is published
+  /// as a failed JobResult carrying its partial lifecycle trace
+  /// (complete == false) and counted in Stats::cancelled -- lets
+  /// in-flight jobs finish, and joins the workers. Idempotent; the
+  /// destructor afterwards is a no-op. Without stop(), destruction
+  /// keeps the original drain semantics (queued jobs still run).
+  void stop() EXCLUDES(mu_);
+
   Stats stats() const EXCLUDES(mu_);
   PlanCache::Stats plan_cache_stats() const { return cache_.stats(); }
   SpeAllocator::Stats allocator_stats() const { return alloc_.stats(); }
+  util::ThreadPool::Telemetry pool_telemetry() const {
+    return pool_.telemetry();
+  }
+  double pool_utilization() const { return pool_.utilization(); }
   const ServerConfig& config() const noexcept { return cfg_; }
+
+  /// The server's host clock (t=0 at construction): the time base of
+  /// every JobTrace stamp, metrics series sample and flight-recorder
+  /// event.
+  const HostClock& clock() const noexcept { return clock_; }
+
+  /// Deterministic combined metrics snapshot: the live registry
+  /// (lifecycle counters, per-tenant latency histograms, queue-depth
+  /// series) plus families derived from the allocator, plan-cache and
+  /// host-pool stats at call time. Families sorted by name.
+  MetricsRegistry::Snapshot metrics_snapshot() const EXCLUDES(mu_);
+
+  /// Every finished (or cancelled) job with its lifecycle trace, in
+  /// submission order -- the input to write_job_trace_events().
+  std::vector<TracedJob> traced_jobs() const EXCLUDES(mu_);
+
+  const FlightRecorder& flight_recorder() const noexcept { return recorder_; }
 
  private:
   struct Job {
@@ -164,13 +217,20 @@ class SolveServer {
     // Parsed at admission; exactly one is set.
     std::optional<sweep::Deck> deck;
     std::shared_ptr<const stencil::StencilSpec> spec;
+    JobTrace trace;
   };
 
   /// Parse + lint + budget checks; fills job.deck / job.spec. Throws
   /// AdmissionError. Runs entirely outside mu_: admission work never
   /// blocks the queue.
   void admit(Job& job) const EXCLUDES(mu_);
-  void worker_loop() EXCLUDES(mu_);
+  void worker_loop(int tenant) EXCLUDES(mu_);
+  /// Joins the tenant workers exactly once (stop() and the destructor
+  /// both funnel here).
+  void join_workers() EXCLUDES(mu_);
+  /// Writes the flight-recorder window to the configured dump path
+  /// (no-op when flight_recorder_path is empty) and counts the dump.
+  void dump_flight(const char* trigger) EXCLUDES(mu_);
   /// Runs one job to completion. mu_ is never held here: a solve may
   /// take seconds and claims SPEs / the host pool on its own locks.
   JobResult run_job(Job& job) EXCLUDES(mu_);
@@ -182,10 +242,18 @@ class SolveServer {
       std::uint64_t key, bool& hit);
 
   ServerConfig cfg_;
-  CellSweepConfig base_;  ///< from_stage(cfg_.stage)
+  CellSweepConfig base_;  ///< from_stage(cfg_.stage), + cfg_.faults
   util::ThreadPool pool_;
   SpeAllocator alloc_;
   PlanCache cache_;
+
+  // Telemetry: all observation-only (nothing below feeds a scheduling
+  // or admission decision), all on internal locks ranked above mu_, so
+  // recording is legal from any server code path.
+  HostClock clock_;
+  MetricsRegistry metrics_;
+  FlightRecorder recorder_;
+  std::atomic<int> dump_seq_{0};  ///< flight-dump file suffix
 
   /// Guards the job queue, the result map and the server stats -- the
   /// only state tenant workers and clients share directly. Leaf lock:
@@ -198,9 +266,17 @@ class SolveServer {
   std::map<int, JobResult> done_ GUARDED_BY(mu_);
   int next_id_ GUARDED_BY(mu_) = 1;
   bool stopping_ GUARDED_BY(mu_) = false;
+  bool joined_ GUARDED_BY(mu_) = false;  ///< workers already joined
   Stats stats_ GUARDED_BY(mu_);
 
   std::vector<std::thread> workers_;
 };
+
+/// Writes the serve-mode metrics document: {"schema":
+/// "cellsweep-metrics-v4", "server": {"stats": ..., "plan_cache": ...,
+/// "spe_allocator": ..., "host_pool": ..., "flight_recorder": ...,
+/// "families": [...]}} -- the server-side sibling of
+/// write_metrics_json's solo-run object (whose "server" key is null).
+void write_server_metrics_json(std::ostream& os, const SolveServer& server);
 
 }  // namespace cellsweep::core

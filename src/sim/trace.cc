@@ -60,6 +60,14 @@ void ChromeTraceWriter::span(int track, const char* name,
                           end >= start ? end - start : 0, 0.0});
 }
 
+void ChromeTraceWriter::span_copy(int track, const std::string& name,
+                                  const char* category, Tick start,
+                                  Tick end) {
+  confined_.check("ChromeTraceWriter::span_copy");
+  owned_names_.push_back(name);
+  span(track, owned_names_.back().c_str(), category, start, end);
+}
+
 void ChromeTraceWriter::instant(int track, const char* name,
                                 const char* category, Tick at) {
   confined_.check("ChromeTraceWriter::instant");

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -72,6 +73,13 @@ class ChromeTraceWriter : public TraceSink {
                Tick at) override;
   void counter(int track, const char* name, Tick at, double value) override;
 
+  /// span() for dynamically built names (job labels in the server's
+  /// host-time lifecycle tracks): the writer copies @p name into an
+  /// internal pool, so callers need not keep storage alive. @p category
+  /// must still be a literal.
+  void span_copy(int track, const std::string& name, const char* category,
+                 Tick start, Tick end);
+
   /// Serializes everything as a JSON object {"traceEvents": [...]}
   /// loadable by chrome://tracing and Perfetto.
   void write(std::ostream& os) const;
@@ -94,6 +102,9 @@ class ChromeTraceWriter : public TraceSink {
   util::ThreadConfined confined_;
   std::vector<std::string> tracks_;
   std::vector<Event> events_;
+  /// Storage for span_copy() names; deque: growth never moves the
+  /// strings the queued events point into.
+  std::deque<std::string> owned_names_;
 };
 
 /// Escapes a string for embedding in a JSON string literal.

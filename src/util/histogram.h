@@ -1,0 +1,167 @@
+// Fixed log-spaced latency histogram for host-side telemetry.
+//
+// The server telemetry layer (DESIGN.md section 2i) wants per-tenant
+// latency percentiles that are cheap to record from many threads,
+// mergeable across workers without loss, and deterministic: the same
+// multiset of samples must produce the same bins, counts and
+// percentiles no matter how the samples were partitioned across
+// accumulators (the histogram analogue of the fixed-order fold the
+// parallel sweep uses). Log-spaced bins give constant relative error
+// across the microsecond-to-hours range one bin layout has to cover --
+// queue waits and service times span six orders of magnitude between a
+// tiny8 smoke deck and a paper-size backlog.
+//
+// Bin layout: `bins_per_decade` bins per power of ten between `lo` and
+// `hi`, plus an underflow bin (< lo) and an overflow bin (>= hi). Bin
+// edges are precomputed once in the constructor, so add() is a binary
+// search over immutable doubles and two identically-shaped histograms
+// always agree bin for bin. merge() is exact integer addition of
+// counts, hence associative and commutative; the tracked min/max/sum
+// keep exact extrema and a deterministic total for any fixed merge
+// order.
+//
+// Value-semantic and unsynchronized: share one instance across threads
+// only under an external lock (core::MetricsRegistry does), or give
+// each worker its own and merge.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace cellsweep::util {
+
+class Histogram {
+ public:
+  /// Default layout for host latencies in seconds: 1 us .. 10 ks at 5
+  /// bins per decade (50 bins + under/overflow), ~58% bin width -- well
+  /// inside the useful accuracy for p50/p95/p99 reporting.
+  Histogram() : Histogram(1e-6, 1e4, 5) {}
+
+  /// @p bins_per_decade log-spaced bins per decade spanning [@p lo,
+  /// @p hi). Requires 0 < lo < hi and bins_per_decade >= 1; hi/lo is
+  /// rounded up to whole decades.
+  Histogram(double lo, double hi, int bins_per_decade) {
+    if (!(lo > 0.0) || !(hi > lo) || bins_per_decade < 1)
+      throw std::invalid_argument(
+          "Histogram: need 0 < lo < hi and bins_per_decade >= 1");
+    const int decades =
+        static_cast<int>(std::ceil(std::log10(hi / lo) - 1e-12));
+    const int bins = decades * bins_per_decade;
+    edges_.reserve(static_cast<std::size_t>(bins) + 1);
+    // Every edge is computed directly from (lo, i) -- never by repeated
+    // multiplication -- so two histograms with the same layout have
+    // bit-identical edges regardless of construction history.
+    for (int i = 0; i <= bins; ++i)
+      edges_.push_back(lo * std::pow(10.0, static_cast<double>(i) /
+                                               bins_per_decade));
+    counts_.assign(edges_.size() + 1, 0);  // + underflow and overflow
+  }
+
+  /// Records @p v. Non-finite samples count toward the overflow bin
+  /// (they are real observations -- a lost sample would make merged and
+  /// serial accounting disagree) but never touch min/max/sum.
+  void add(double v) noexcept {
+    ++total_;
+    if (!std::isfinite(v)) {
+      ++counts_.back();
+      return;
+    }
+    sum_ += v;
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+    counts_[bin_index(v)] += 1;
+  }
+
+  /// Exact element-wise addition of @p o. Shapes must match (same
+  /// edges); associative and commutative on the counts.
+  void merge(const Histogram& o) {
+    if (o.edges_ != edges_)
+      throw std::invalid_argument("Histogram::merge: bin layouts differ");
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += o.counts_[i];
+    total_ += o.total_;
+    sum_ += o.sum_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+
+  std::uint64_t count() const noexcept { return total_; }
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept {
+    return total_ ? sum_ / static_cast<double>(total_)
+                  : std::numeric_limits<double>::quiet_NaN();
+  }
+  /// Empty-accumulator contract as util::RunningStats: NaN, detectable
+  /// with std::isnan, serialized as JSON null.
+  double min() const noexcept {
+    return total_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  double max() const noexcept {
+    return total_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
+
+  /// The value at quantile @p p in [0, 1]: the upper edge of the bin
+  /// holding the ceil(p * count)-th smallest sample, clamped to the
+  /// exact observed extrema (so percentile(1.0) == max() and a
+  /// single-sample histogram reports that sample for every p). NaN when
+  /// empty.
+  double percentile(double p) const noexcept {
+    if (total_ == 0) return std::numeric_limits<double>::quiet_NaN();
+    const double clamped = std::min(std::max(p, 0.0), 1.0);
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(clamped * static_cast<double>(total_)));
+    rank = std::max<std::uint64_t>(rank, 1);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      seen += counts_[i];
+      if (seen >= rank)
+        return std::min(std::max(upper_edge(i), min_), max_);
+    }
+    return max_;  // unreachable: the loop covers every sample
+  }
+
+  /// Bins including underflow ([0]) and overflow ([bin_count()-1]).
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
+  /// Lower edge of bin @p i (-inf for the underflow bin).
+  double bin_lower(std::size_t i) const {
+    if (i == 0) return -std::numeric_limits<double>::infinity();
+    return edges_.at(i - 1);
+  }
+  /// Upper edge of bin @p i (+inf for the overflow bin).
+  double bin_upper(std::size_t i) const {
+    if (i + 1 >= counts_.size()) return std::numeric_limits<double>::infinity();
+    return edges_.at(i);
+  }
+  const std::vector<double>& edges() const noexcept { return edges_; }
+  bool same_layout(const Histogram& o) const noexcept {
+    return edges_ == o.edges_;
+  }
+
+ private:
+  std::size_t bin_index(double v) const noexcept {
+    // counts_[0] is underflow, counts_[1 + k] covers
+    // [edges_[k], edges_[k+1]), counts_.back() is overflow (>= last
+    // edge).
+    const auto it = std::upper_bound(edges_.begin(), edges_.end(), v);
+    return static_cast<std::size_t>(it - edges_.begin());
+  }
+  /// Finite representative for percentile(): the clamp against the
+  /// observed extrema keeps the under/overflow bins honest.
+  double upper_edge(std::size_t i) const noexcept {
+    if (i + 1 >= counts_.size()) return max_;
+    return edges_[i];
+  }
+
+  std::vector<double> edges_;          ///< ascending finite bin edges
+  std::vector<std::uint64_t> counts_;  ///< edges_.size() + 1 bins
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace cellsweep::util

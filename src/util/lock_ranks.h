@@ -54,4 +54,15 @@ inline constexpr int kMsgReduce = 52;
 /// msg::World::degrade_mu_ -- per-rank degraded-send delays.
 inline constexpr int kMsgDegrade = 53;
 
+/// core::MetricsRegistry::mu_ -- the telemetry family map. Ranked
+/// after every server/allocator lock so any component may record a
+/// sample while holding its own state lock; in practice the server
+/// records outside its locks (leaf usage).
+inline constexpr int kMetricsRegistry = 60;
+
+/// core::FlightRecorder::mu_ -- the bounded lifecycle-event ring.
+/// Same placement rationale as kMetricsRegistry; never held while
+/// acquiring anything else.
+inline constexpr int kFlightRecorder = 61;
+
 }  // namespace cellsweep::util::lockrank

@@ -1,6 +1,18 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
+#include <chrono>
+
 namespace cellsweep::util {
+
+namespace {
+std::uint64_t ns_since(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+}  // namespace
 
 ThreadPool::ThreadPool(int threads) : size_(threads < 1 ? 1 : threads) {
   workers_.reserve(size_ - 1);
@@ -25,12 +37,17 @@ void ThreadPool::run_slice(int worker, int n,
       static_cast<int>(static_cast<std::int64_t>(worker) * n / size_);
   const int end =
       static_cast<int>(static_cast<std::int64_t>(worker + 1) * n / size_);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::exception_ptr err;
   try {
     for (int i = begin; i < end; ++i) fn(i, worker);
   } catch (...) {
-    MutexLock lock(mu_);
-    if (!error_) error_ = std::current_exception();
+    err = std::current_exception();
   }
+  const std::uint64_t busy = ns_since(t0);
+  MutexLock lock(mu_);
+  telemetry_.busy_ns += busy;
+  if (err && !error_) error_ = err;
 }
 
 void ThreadPool::worker_loop(int worker) {
@@ -61,9 +78,26 @@ void ThreadPool::worker_loop(int worker) {
 void ThreadPool::parallel_for(int n,
                               const std::function<void(int, int)>& fn) {
   if (n <= 0) return;
+  const auto fork_start = std::chrono::steady_clock::now();
   if (size_ == 1) {
     for (int i = 0; i < n; ++i) fn(i, 0);
+    const std::uint64_t ns = ns_since(fork_start);
+    MutexLock lock(mu_);
+    ++telemetry_.forks;
+    telemetry_.items += static_cast<std::uint64_t>(n);
+    telemetry_.busy_ns += ns;
+    telemetry_.fork_wall_ns += ns;
+    telemetry_.peak_fork_queue = std::max(telemetry_.peak_fork_queue, 1);
     return;
+  }
+
+  {
+    // Fork-queue depth before taking fork_mu_ (mu_ and fork_mu_ are
+    // never held together here, so the rank order stays fork -> state).
+    MutexLock lock(mu_);
+    ++fork_queue_;
+    telemetry_.peak_fork_queue =
+        std::max(telemetry_.peak_fork_queue, fork_queue_);
   }
 
   // One fork point at a time: concurrent callers (several solve-server
@@ -95,8 +129,25 @@ void ThreadPool::parallel_for(int n,
     // belt and braces; the regression tests pin the reuse contract).
     err = error_;
     error_ = nullptr;
+    --fork_queue_;
+    ++telemetry_.forks;
+    telemetry_.items += static_cast<std::uint64_t>(n);
+    telemetry_.fork_wall_ns += ns_since(fork_start);
   }
   if (err) std::rethrow_exception(err);
+}
+
+ThreadPool::Telemetry ThreadPool::telemetry() const {
+  MutexLock lock(mu_);
+  return telemetry_;
+}
+
+double ThreadPool::utilization() const {
+  MutexLock lock(mu_);
+  if (telemetry_.fork_wall_ns == 0) return 0.0;
+  return static_cast<double>(telemetry_.busy_ns) /
+         (static_cast<double>(telemetry_.fork_wall_ns) *
+          static_cast<double>(size_));
 }
 
 }  // namespace cellsweep::util

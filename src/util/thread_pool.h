@@ -49,6 +49,26 @@ class ThreadPool {
   /// Workers available, including the calling thread.
   int size() const noexcept { return size_; }
 
+  /// Host-side usage counters (server telemetry; observation only --
+  /// nothing in the pool reads them back).
+  struct Telemetry {
+    std::uint64_t forks = 0;         ///< parallel_for calls dispatched
+    std::uint64_t items = 0;         ///< total indices across all forks
+    std::uint64_t busy_ns = 0;       ///< host ns inside slices, all workers
+    std::uint64_t fork_wall_ns = 0;  ///< host ns inside fork/join sections
+    /// Most parallel_for callers simultaneously queued or running --
+    /// the fork-queue depth high-water (tenants contending for the
+    /// shared host pool).
+    int peak_fork_queue = 0;
+  };
+
+  Telemetry telemetry() const EXCLUDES(mu_);
+
+  /// busy_ns / (fork_wall_ns * size): the fraction of the pool's
+  /// theoretical capacity spent in user slices while forks were live.
+  /// 0 before the first fork.
+  double utilization() const EXCLUDES(mu_);
+
   /// Invokes fn(index, worker) for every index in [0, n), blocking
   /// until all calls have returned. Worker w executes the contiguous
   /// slice [w*n/size, (w+1)*n/size); worker 0 is the calling thread.
@@ -75,7 +95,7 @@ class ThreadPool {
   /// Serializes whole fork/join sections; mu_ alone only protects the
   /// shared fields *within* one section.
   Mutex fork_mu_{lockrank::kThreadPoolFork, "ThreadPool::fork_mu_"};
-  Mutex mu_{lockrank::kThreadPoolState, "ThreadPool::mu_"};
+  mutable Mutex mu_{lockrank::kThreadPoolState, "ThreadPool::mu_"};
   CondVar start_cv_;  ///< workers wait on mu_ for a new generation
   CondVar done_cv_;   ///< the forking thread waits on mu_ for pending_==0
   /// Bumped per parallel_for; wakes workers.
@@ -86,6 +106,9 @@ class ThreadPool {
   const std::function<void(int, int)>* fn_ GUARDED_BY(mu_) = nullptr;
   std::exception_ptr error_ GUARDED_BY(mu_);
   bool stop_ GUARDED_BY(mu_) = false;
+  /// parallel_for callers currently queued on fork_mu_ or forking.
+  int fork_queue_ GUARDED_BY(mu_) = 0;
+  Telemetry telemetry_ GUARDED_BY(mu_);
 };
 
 }  // namespace cellsweep::util

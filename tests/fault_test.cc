@@ -198,7 +198,7 @@ TEST(FaultRun, DisabledPlanIsByteIdenticalToNoPlan) {
 TEST(FaultRun, MetricsReportFaultsNullWhenDisabled) {
   const std::string json = metrics_of(run_with(""));
   EXPECT_NE(json.find("\"faults\": null"), std::string::npos);
-  EXPECT_NE(json.find("\"schema\": \"cellsweep-metrics-v3\""),
+  EXPECT_NE(json.find("\"schema\": \"cellsweep-metrics-v4\""),
             std::string::npos);
 }
 

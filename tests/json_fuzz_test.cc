@@ -67,7 +67,7 @@ void mutate(std::string& text, util::SplitMix64& rng) {
 /// (metrics JSON, BENCH_*.json): nested objects, arrays of numbers,
 /// escaped strings, null, bools, exponents and negative values.
 const char* const kJsonCorpus[] = {
-    R"({"schema":"cellsweep-metrics-v3","seconds":1.25e-3,"faults":null})",
+    R"({"schema":"cellsweep-metrics-v4","seconds":1.25e-3,"faults":null})",
     R"({"counters":{"mfc/retries":0,"spe0":{"busy_s":0.125,"idle_s":1}}})",
     R"([1,-2,3.5,4e8,0.0625,[true,false,null],"text with \"quotes\""])",
     R"({"runs":[{"name":"healthy","ok":true},{"name":"spe7_down","ok":true}]})",

@@ -77,7 +77,7 @@ TEST(Json, RejectsMalformedInput) {
 /// (raw JSON fragments, so tests can inject null).
 std::string bench_doc(const std::string& seconds,
                       const std::string& grind = "1.0",
-                      const std::string& schema = "cellsweep-bench-v1",
+                      const std::string& schema = "cellsweep-bench-v2",
                       const std::string& cube = "20") {
   return std::string("{\"schema\": \"") + schema +
          "\", \"scenario\": \"fig5\", \"fingerprint\": {\"cube\": " + cube +
@@ -146,14 +146,14 @@ TEST(PerfDiff, SchemaMismatchIsHardError) {
 
 TEST(PerfDiff, FingerprintMismatchIsHardError) {
   const PerfDiffResult r = diff(
-      bench_doc("1.0"), bench_doc("1.0", "1.0", "cellsweep-bench-v1", "50"));
+      bench_doc("1.0"), bench_doc("1.0", "1.0", "cellsweep-bench-v2", "50"));
   EXPECT_FALSE(r.errors.empty());
   EXPECT_FALSE(r.rows.empty());  // comparison still ran (one pass)
 
   PerfDiffOptions opt;
   opt.check_fingerprint = false;
   const PerfDiffResult relaxed = diff(
-      bench_doc("1.0"), bench_doc("1.0", "1.0", "cellsweep-bench-v1", "50"),
+      bench_doc("1.0"), bench_doc("1.0", "1.0", "cellsweep-bench-v2", "50"),
       opt);
   EXPECT_TRUE(relaxed.ok());
 }
@@ -173,7 +173,7 @@ TEST(PerfDiff, ReportsAllGateFailuresAndRegressionsTogether) {
   // metric: every gate failure is collected and the rows still show
   // the regression.
   const std::string cur =
-      "{\"schema\": \"cellsweep-bench-v2\", \"scenario\": \"other\", "
+      "{\"schema\": \"cellsweep-bench-v1\", \"scenario\": \"other\", "
       "\"fingerprint\": {\"cube\": 50, \"iterations\": 12}, \"runs\": ["
       "{\"name\": \"stage\", \"metrics\": {\"seconds\": 9.0, "
       "\"grind_seconds\": 1.0}}]}";
@@ -204,7 +204,7 @@ TEST(PerfDiff, RunMissingFromCurrentIsError) {
   // Dropping a baseline run from the bench must not silently pass: a
   // deleted benchmark hides exactly the regression it used to catch.
   const std::string cur =
-      "{\"schema\": \"cellsweep-bench-v1\", \"scenario\": \"fig5\", "
+      "{\"schema\": \"cellsweep-bench-v2\", \"scenario\": \"fig5\", "
       "\"fingerprint\": {\"cube\": 20, \"iterations\": 12}, \"runs\": []}";
   const PerfDiffResult r = diff(cur, bench_doc("1.0"));
   EXPECT_FALSE(r.errors.empty());
@@ -214,7 +214,7 @@ TEST(PerfDiff, RunMissingFromCurrentIsError) {
 TEST(PerfDiff, ExtraRunInCurrentIsIgnored) {
   // New benches may land before their baseline is regenerated.
   const std::string cur =
-      "{\"schema\": \"cellsweep-bench-v1\", \"scenario\": \"fig5\", "
+      "{\"schema\": \"cellsweep-bench-v2\", \"scenario\": \"fig5\", "
       "\"fingerprint\": {\"cube\": 20, \"iterations\": 12}, \"runs\": ["
       "{\"name\": \"stage\", \"metrics\": {\"seconds\": 1.0, "
       "\"grind_seconds\": 1.0}}, "

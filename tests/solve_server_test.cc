@@ -9,6 +9,7 @@
 //   * admission is typed and airtight: unparsable, lint-rejected and
 //     over-budget jobs throw AdmissionError with the right reason and
 //     never reach a worker.
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,7 @@
 
 #include "server/plan_cache.h"
 #include "server/solve_server.h"
+#include "sim/fault.h"
 
 namespace cellsweep::core {
 namespace {
@@ -160,7 +162,20 @@ TEST(SolveServer, PlanCacheHitIsByteIdentical) {
 
   const PlanCache::Stats pc = server.plan_cache_stats();
   EXPECT_EQ(pc.entries, 2u);
-  EXPECT_GE(pc.hits, 2u);
+  EXPECT_EQ(pc.hits, 2u);    // one warm resubmit per workload kind
+  EXPECT_EQ(pc.misses, 2u);  // one cold build per workload kind
+  EXPECT_EQ(pc.evictions, 0u);
+
+  // The hit/miss story also surfaces through the metrics snapshot.
+  const MetricsRegistry::Snapshot snap = server.metrics_snapshot();
+  const MetricsRegistry::Family* hits =
+      snap.find("cellsweep_plan_cache_hits_total");
+  ASSERT_NE(hits, nullptr);
+  EXPECT_DOUBLE_EQ(hits->entries[0].value, 2.0);
+  const MetricsRegistry::Family* misses =
+      snap.find("cellsweep_plan_cache_misses_total");
+  ASSERT_NE(misses, nullptr);
+  EXPECT_DOUBLE_EQ(misses->entries[0].value, 2.0);
 }
 
 TEST(SolveServer, AdmissionRejectsUnparsableInput) {
@@ -227,6 +242,185 @@ TEST(SolveServer, WaitRejectsUnknownIds) {
   SolveServer server(ServerConfig{});
   EXPECT_THROW(server.wait(0), std::invalid_argument);
   EXPECT_THROW(server.wait(42), std::invalid_argument);
+}
+
+TEST(SolveServer, LifecycleTraceIsCompleteAndOrdered) {
+  ServerConfig cfg;
+  cfg.tenants = 2;
+  SolveServer server(cfg);
+  for (int i = 0; i < 2; ++i) {
+    server.submit(sweep_req("sweep-" + std::to_string(i)));
+    server.submit(stencil_req("stencil-" + std::to_string(i)));
+  }
+  const std::vector<JobResult> results = server.drain();
+  ASSERT_EQ(results.size(), 4u);
+  for (const JobResult& r : results) {
+    ASSERT_TRUE(r.ok) << r.name;
+    const JobTrace& t = r.trace;
+    EXPECT_TRUE(t.complete) << r.name;
+    EXPECT_GE(t.tenant, 0);
+    EXPECT_LT(t.tenant, cfg.tenants);
+    // Every phase reached, in lifecycle order on one monotonic clock.
+    ASSERT_TRUE(JobTrace::reached(t.admit_start_s)) << r.name;
+    EXPECT_LE(t.admit_start_s, t.admit_end_s);
+    EXPECT_LE(t.admit_end_s, t.enqueue_s);
+    EXPECT_LE(t.enqueue_s, t.dequeue_s);
+    EXPECT_LE(t.dequeue_s, t.plan_start_s);
+    EXPECT_LE(t.plan_start_s, t.plan_end_s);
+    EXPECT_LE(t.plan_end_s, t.run_start_s);
+    EXPECT_LE(t.run_start_s, t.run_end_s);
+    EXPECT_LE(t.run_end_s, t.report_s);
+    EXPECT_GE(t.queue_wait_s(), 0.0);
+    EXPECT_GE(t.service_s(), 0.0);
+    EXPECT_GE(t.claim_wait_s, 0.0);
+    EXPECT_LE(t.claim_wait_s, t.service_s());
+  }
+  // traced_jobs() mirrors the results in submission order.
+  const std::vector<TracedJob> traced = server.traced_jobs();
+  ASSERT_EQ(traced.size(), 4u);
+  for (std::size_t i = 0; i < traced.size(); ++i) {
+    EXPECT_EQ(traced[i].id, results[i].id);
+    EXPECT_EQ(traced[i].name, results[i].name);
+  }
+}
+
+TEST(SolveServer, MetricsSnapshotCountsTheWorkload) {
+  ServerConfig cfg;
+  cfg.tenants = 2;
+  SolveServer server(cfg);
+  for (int i = 0; i < 3; ++i)
+    server.submit(sweep_req("job-" + std::to_string(i)));
+  server.drain();
+  const MetricsRegistry::Snapshot snap = server.metrics_snapshot();
+
+  const MetricsRegistry::Family* admitted =
+      snap.find("cellsweep_jobs_admitted_total");
+  ASSERT_NE(admitted, nullptr);
+  EXPECT_EQ(admitted->type, MetricType::kCounter);
+  ASSERT_EQ(admitted->entries.size(), 1u);
+  EXPECT_DOUBLE_EQ(admitted->entries[0].value, 3.0);
+
+  // Per-tenant service histograms: total observations == jobs run.
+  const MetricsRegistry::Family* service =
+      snap.find("cellsweep_service_seconds");
+  ASSERT_NE(service, nullptr);
+  EXPECT_EQ(service->type, MetricType::kHistogram);
+  std::uint64_t observed = 0;
+  for (const MetricsRegistry::Entry& e : service->entries)
+    observed += e.hist.count();
+  EXPECT_EQ(observed, 3u);
+
+  // Derived families from the shared subsystems are merged in.
+  EXPECT_NE(snap.find("cellsweep_plan_cache_hits_total"), nullptr);
+  EXPECT_NE(snap.find("cellsweep_spe_claims_total"), nullptr);
+  EXPECT_NE(snap.find("cellsweep_pool_utilization"), nullptr);
+
+  // Families arrive sorted by name (the byte-stability contract).
+  for (std::size_t i = 1; i < snap.families.size(); ++i)
+    EXPECT_LT(snap.families[i - 1].name, snap.families[i].name);
+
+  // The queue-depth series sampled real admissions.
+  const MetricsRegistry::Family* depth =
+      snap.find("cellsweep_queue_depth_series");
+  ASSERT_NE(depth, nullptr);
+  ASSERT_EQ(depth->entries.size(), 1u);
+  EXPECT_GE(depth->entries[0].samples.size(), 3u);
+}
+
+TEST(SolveServer, StopMidQueueReportsPartialSpans) {
+  ServerConfig cfg;
+  cfg.tenants = 1;
+  SolveServer server(cfg);
+  std::vector<int> ids;
+  for (int i = 0; i < 6; ++i)
+    ids.push_back(server.submit(sweep_req("q-" + std::to_string(i))));
+  server.stop();
+
+  // Shutdown is sticky: new work bounces with the typed reason.
+  EXPECT_EQ(reason_of(server, sweep_req("late")),
+            AdmissionError::Reason::kShutdown);
+
+  const std::vector<JobResult> results = server.drain();
+  ASSERT_EQ(results.size(), ids.size());
+  const SolveServer::Stats st = server.stats();
+  EXPECT_EQ(st.submitted, ids.size());
+  EXPECT_GE(st.cancelled, 1u);  // the burst outran the single tenant
+  EXPECT_EQ(st.completed + st.failed, ids.size());
+
+  std::uint64_t cancelled_seen = 0;
+  for (const JobResult& r : results) {
+    if (r.ok) {
+      EXPECT_TRUE(r.trace.complete) << r.name;
+      continue;
+    }
+    ++cancelled_seen;
+    EXPECT_NE(r.error.find("cancelled"), std::string::npos) << r.error;
+    // The partial trace keeps the admission-side stamps and nothing
+    // past the queue.
+    const JobTrace& t = r.trace;
+    EXPECT_FALSE(t.complete);
+    EXPECT_TRUE(JobTrace::reached(t.admit_start_s));
+    EXPECT_TRUE(JobTrace::reached(t.enqueue_s));
+    EXPECT_FALSE(JobTrace::reached(t.run_start_s));
+    EXPECT_FALSE(JobTrace::reached(t.report_s)) << r.name;
+  }
+  EXPECT_EQ(cancelled_seen, st.cancelled);
+  // stop() is idempotent and the destructor after it is a no-op.
+  server.stop();
+}
+
+TEST(SolveServer, FlightRecorderDumpsOnFailover) {
+  const std::string dir = ::testing::TempDir() + "cellsweep-flightrec";
+  std::filesystem::create_directories(dir);
+  ServerConfig cfg;
+  cfg.tenants = 1;
+  cfg.faults = sim::parse_fault_spec("seed=42,spe=7:down");
+  cfg.flight_recorder_path = dir + "/flightrec";
+  SolveServer server(cfg);
+  JobRequest req = sweep_req("faulted");
+  req.mode = RunMode::kTraceDriven;  // fault plan drives the machine
+  const JobResult r = server.wait(server.submit(req));
+  ASSERT_TRUE(r.ok) << r.error;  // failover degrades, not fails
+  EXPECT_TRUE(r.report.faults.enabled);
+  EXPECT_GE(r.report.faults.spes_disabled, 1);
+
+  std::size_t dumps = 0;
+  for (const auto& ent : std::filesystem::directory_iterator(dir))
+    if (ent.path().filename().string().rfind("flightrec-", 0) == 0) ++dumps;
+  EXPECT_GE(dumps, 1u);
+
+  // The in-process ring saw the whole lifecycle including the
+  // failover marker.
+  bool saw_failover = false;
+  for (const FlightRecorder::Event& e : server.flight_recorder().events())
+    if (e.kind == "failover") saw_failover = true;
+  EXPECT_TRUE(saw_failover);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PlanCache, BoundedCacheEvictsFifo) {
+  PlanCache cache(2);
+  const OptimizationStage s = OptimizationStage::kSpeLsPoke;
+  const std::uint64_t k1 = PlanCache::fingerprint("sweep", s, "one");
+  const std::uint64_t k2 = PlanCache::fingerprint("sweep", s, "two");
+  const std::uint64_t k3 = PlanCache::fingerprint("sweep", s, "three");
+  auto plan = std::make_shared<const CachedPlan>();
+  cache.insert(k1, plan);
+  cache.insert(k2, plan);
+  EXPECT_NE(cache.find(k1), nullptr);  // k1 still resident
+  cache.insert(k3, plan);              // evicts k1 (oldest inserted)
+  PlanCache::Stats st = cache.stats();
+  EXPECT_EQ(st.entries, 2u);
+  EXPECT_EQ(st.evictions, 1u);
+  EXPECT_EQ(cache.find(k1), nullptr);
+  EXPECT_NE(cache.find(k2), nullptr);
+  EXPECT_NE(cache.find(k3), nullptr);
+  // Re-inserting an evicted key is a fresh insertion, not a race loss.
+  cache.insert(k1, plan);
+  st = cache.stats();
+  EXPECT_EQ(st.entries, 2u);
+  EXPECT_EQ(st.evictions, 2u);
+  EXPECT_EQ(cache.find(k2), nullptr);  // k2 was the oldest this time
 }
 
 TEST(PlanCacheFingerprint, SeparatesKindStageAndContent) {

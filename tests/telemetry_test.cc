@@ -1,0 +1,286 @@
+// Unit tests for the server telemetry primitives: util::Histogram
+// (binning, merge algebra, percentile determinism),
+// core::MetricsRegistry (snapshot stability, type discipline,
+// Prometheus shape) and core::FlightRecorder (ring wraparound, dump
+// JSON). The end-to-end wiring through SolveServer is covered by
+// solve_server_test.
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/flight_recorder.h"
+#include "core/metrics_registry.h"
+#include "util/histogram.h"
+
+namespace {
+
+using cellsweep::core::FlightRecorder;
+using cellsweep::core::MetricsRegistry;
+using cellsweep::core::MetricType;
+using cellsweep::util::Histogram;
+
+// ------------------------------------------------------------------
+// Histogram
+// ------------------------------------------------------------------
+
+TEST(Histogram, EmptyReportsNaN) {
+  const Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_TRUE(std::isnan(h.min()));
+  EXPECT_TRUE(std::isnan(h.max()));
+  EXPECT_TRUE(std::isnan(h.mean()));
+  EXPECT_TRUE(std::isnan(h.percentile(0.5)));
+}
+
+TEST(Histogram, BinEdgesAreHalfOpen) {
+  // 1 bin per decade over [1, 100): edges {1, 10, 100}, bins
+  // underflow | [1,10) | [10,100) | overflow.
+  Histogram h(1.0, 100.0, 1);
+  ASSERT_EQ(h.bin_count(), 4u);
+  h.add(0.5);    // underflow
+  h.add(1.0);    // first finite bin includes its lower edge
+  h.add(9.999);  // still the first bin
+  h.add(10.0);   // exactly on the edge: belongs to the *next* bin
+  h.add(100.0);  // on the last edge: overflow
+  h.add(250.0);  // overflow
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(1), 2u);
+  EXPECT_EQ(h.bin(2), 1u);
+  EXPECT_EQ(h.bin(3), 2u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_TRUE(std::isinf(h.bin_upper(3)));
+  EXPECT_TRUE(std::isinf(h.bin_lower(0)));
+}
+
+TEST(Histogram, PercentileIsUpperEdgeClampedToExtrema) {
+  Histogram h(1.0, 100.0, 1);
+  h.add(2.0);
+  h.add(3.0);
+  h.add(50.0);
+  h.add(60.0);
+  // p50 -> rank 2 -> bin [1,10) -> upper edge 10, inside [min, max].
+  EXPECT_DOUBLE_EQ(h.percentile(0.50), 10.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 60.0);  // exact max
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 10.0);  // rank clamps to 1
+  // Single sample: every percentile is that sample.
+  Histogram one;
+  one.add(0.125);
+  EXPECT_DOUBLE_EQ(one.percentile(0.01), 0.125);
+  EXPECT_DOUBLE_EQ(one.percentile(0.99), 0.125);
+}
+
+TEST(Histogram, MergeMatchesSerialAccumulationExactly) {
+  // Determinism contract: any partition of the samples across
+  // accumulators merges to the same bins, count, sum and extrema as
+  // serial accumulation.
+  const std::vector<double> samples = {1e-7, 3e-4, 0.02, 0.02, 1.5,
+                                       7.0,  42.0, 9e3,  2e5,  0.9};
+  Histogram serial;
+  for (double s : samples) serial.add(s);
+
+  Histogram a, b, c;
+  for (std::size_t i = 0; i < samples.size(); ++i)
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).add(samples[i]);
+  Histogram merged = a;
+  merged.merge(b);
+  merged.merge(c);
+
+  ASSERT_TRUE(merged.same_layout(serial));
+  for (std::size_t i = 0; i < serial.bin_count(); ++i)
+    EXPECT_EQ(merged.bin(i), serial.bin(i)) << "bin " << i;
+  EXPECT_EQ(merged.count(), serial.count());
+  EXPECT_DOUBLE_EQ(merged.min(), serial.min());
+  EXPECT_DOUBLE_EQ(merged.max(), serial.max());
+  EXPECT_DOUBLE_EQ(merged.percentile(0.50), serial.percentile(0.50));
+  EXPECT_DOUBLE_EQ(merged.percentile(0.95), serial.percentile(0.95));
+  EXPECT_DOUBLE_EQ(merged.percentile(0.99), serial.percentile(0.99));
+
+  // Merge order must not matter either (associativity on counts).
+  Histogram other = c;
+  other.merge(a);
+  other.merge(b);
+  for (std::size_t i = 0; i < serial.bin_count(); ++i)
+    EXPECT_EQ(other.bin(i), serial.bin(i));
+}
+
+TEST(Histogram, MergeRejectsMismatchedLayouts) {
+  Histogram a(1.0, 100.0, 1);
+  Histogram b(1.0, 100.0, 2);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(Histogram, NonFiniteSamplesCountButDontPoisonStats) {
+  Histogram h;
+  h.add(0.5);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 0.5);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5);
+  EXPECT_EQ(h.bin(h.bin_count() - 1), 2u);  // both in overflow
+}
+
+// ------------------------------------------------------------------
+// MetricsRegistry
+// ------------------------------------------------------------------
+
+TEST(MetricsRegistry, SnapshotIsSortedAndStable) {
+  MetricsRegistry reg;
+  reg.gauge_set("zeta_depth", "", 3.0);
+  reg.counter_add("alpha_total", "tenant=\"1\"");
+  reg.counter_add("alpha_total", "tenant=\"0\"", 2.0);
+  reg.observe("mid_seconds", "", 0.25);
+
+  const MetricsRegistry::Snapshot s1 = reg.snapshot();
+  ASSERT_EQ(s1.families.size(), 3u);
+  EXPECT_EQ(s1.families[0].name, "alpha_total");
+  EXPECT_EQ(s1.families[1].name, "mid_seconds");
+  EXPECT_EQ(s1.families[2].name, "zeta_depth");
+  // Entries sorted by label within the family.
+  ASSERT_EQ(s1.families[0].entries.size(), 2u);
+  EXPECT_EQ(s1.families[0].entries[0].label, "tenant=\"0\"");
+  EXPECT_DOUBLE_EQ(s1.families[0].entries[0].value, 2.0);
+  EXPECT_EQ(s1.families[0].entries[1].label, "tenant=\"1\"");
+
+  // Two snapshots of unchanged state serialize byte-identically, in
+  // both exposition formats.
+  const MetricsRegistry::Snapshot s2 = reg.snapshot();
+  std::ostringstream p1, p2, j1, j2;
+  write_prometheus(p1, s1);
+  write_prometheus(p2, s2);
+  write_snapshot_json(j1, s1);
+  write_snapshot_json(j2, s2);
+  EXPECT_EQ(p1.str(), p2.str());
+  EXPECT_EQ(j1.str(), j2.str());
+}
+
+TEST(MetricsRegistry, TypeMismatchThrows) {
+  MetricsRegistry reg;
+  reg.counter_add("jobs_total", "");
+  EXPECT_THROW(reg.gauge_set("jobs_total", "", 1.0), std::logic_error);
+  EXPECT_THROW(reg.observe("jobs_total", "", 1.0), std::logic_error);
+  // The original entry is untouched by the failed re-registration.
+  const MetricsRegistry::Snapshot s = reg.snapshot();
+  ASSERT_EQ(s.families.size(), 1u);
+  EXPECT_EQ(s.families[0].type, MetricType::kCounter);
+  EXPECT_DOUBLE_EQ(s.families[0].entries[0].value, 1.0);
+}
+
+TEST(MetricsRegistry, PrometheusHistogramIsCumulativeWithInfBucket) {
+  MetricsRegistry reg;
+  reg.observe("lat_seconds", "tenant=\"0\"", 0.01);
+  reg.observe("lat_seconds", "tenant=\"0\"", 0.02);
+  reg.observe("lat_seconds", "tenant=\"0\"", 5.0);
+  std::ostringstream os;
+  write_prometheus(os, reg.snapshot());
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# TYPE lat_seconds histogram"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{tenant=\"0\",le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_count{tenant=\"0\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_sum{tenant=\"0\"} "), std::string::npos);
+
+  // Bucket lines are cumulative: parse every bucket value in order and
+  // require monotone non-decreasing counts.
+  std::istringstream in(text);
+  std::string line;
+  long long prev = -1;
+  int buckets = 0;
+  while (std::getline(in, line)) {
+    if (line.rfind("lat_seconds_bucket{", 0) != 0) continue;
+    const auto sp = line.rfind(' ');
+    const long long v = std::stoll(line.substr(sp + 1));
+    EXPECT_GE(v, prev) << line;
+    prev = v;
+    ++buckets;
+  }
+  EXPECT_GT(buckets, 2);
+}
+
+TEST(MetricsRegistry, SeriesDecimatesAtCap) {
+  MetricsRegistry reg;
+  const std::size_t cap = MetricsRegistry::kMaxSeriesSamples;
+  for (std::size_t i = 0; i < cap + 10; ++i)
+    reg.series_sample("depth_series", "", static_cast<double>(i),
+                      static_cast<double>(i % 7));
+  const MetricsRegistry::Snapshot s = reg.snapshot();
+  const MetricsRegistry::Family* fam = s.find("depth_series");
+  ASSERT_NE(fam, nullptr);
+  ASSERT_EQ(fam->entries.size(), 1u);
+  // Bounded, and the survivors keep their original (time, value) pairs.
+  EXPECT_LT(fam->entries[0].samples.size(), cap);
+  for (const auto& [t, v] : fam->entries[0].samples)
+    EXPECT_DOUBLE_EQ(v, static_cast<double>(static_cast<long long>(t) % 7));
+}
+
+// ------------------------------------------------------------------
+// FlightRecorder
+// ------------------------------------------------------------------
+
+TEST(FlightRecorder, KeepsEverythingUntilFull) {
+  FlightRecorder rec(8);
+  for (int i = 0; i < 5; ++i)
+    rec.record(0.1 * i, "admit", i, -1, "");
+  const auto evs = rec.events();
+  ASSERT_EQ(evs.size(), 5u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(evs[static_cast<size_t>(i)].job_id, i);
+}
+
+TEST(FlightRecorder, WrapsOldestFirstAndCountsDropped) {
+  FlightRecorder rec(4);
+  for (int i = 0; i < 10; ++i)
+    rec.record(static_cast<double>(i), "e", i, i % 2, "d");
+  const auto evs = rec.events();
+  ASSERT_EQ(evs.size(), 4u);
+  EXPECT_EQ(rec.dropped(), 6u);
+  // The window is the last 4 events, oldest first.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(evs[static_cast<size_t>(i)].job_id, 6 + i);
+    EXPECT_DOUBLE_EQ(evs[static_cast<size_t>(i)].t_s, 6.0 + i);
+  }
+}
+
+TEST(FlightRecorder, ZeroCapacityClampsToOne) {
+  FlightRecorder rec(0);
+  EXPECT_EQ(rec.capacity(), 1u);
+  rec.record(1.0, "a", 1, 0, "");
+  rec.record(2.0, "b", 2, 0, "");
+  const auto evs = rec.events();
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].kind, "b");
+  EXPECT_EQ(rec.dropped(), 1u);
+}
+
+TEST(FlightRecorder, DumpIsValidDeterministicJson) {
+  FlightRecorder rec(3);
+  rec.record(0.5, "admit", 1, -1, "deck=tiny8");
+  rec.record(0.75, "fail", 1, 0, "reason=\"boom\"");
+  std::ostringstream d1, d2;
+  rec.dump(d1);
+  rec.dump(d2);
+  EXPECT_EQ(d1.str(), d2.str());
+  const std::string text = d1.str();
+  EXPECT_NE(text.find("\"schema\": \"cellsweep-flightrec-v1\""),
+            std::string::npos);
+  EXPECT_NE(text.find("\"capacity\": 3"), std::string::npos);
+  EXPECT_NE(text.find("\"dropped\": 0"), std::string::npos);
+  EXPECT_NE(text.find("\"kind\": \"admit\""), std::string::npos);
+  // Quotes inside detail strings must arrive escaped.
+  EXPECT_NE(text.find("reason=\\\"boom\\\""), std::string::npos);
+  // Wrap the ring: the dump must reflect the new window and count.
+  rec.record(1.0, "c", 3, 1, "");
+  rec.record(1.5, "d", 4, 1, "");
+  std::ostringstream d3;
+  rec.dump(d3);
+  EXPECT_NE(d3.str().find("\"dropped\": 1"), std::string::npos);
+  EXPECT_EQ(d3.str().find("\"kind\": \"admit\""), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,239 @@
+#!/usr/bin/env python3
+"""Validator for the serve-mode Prometheus exposition snapshot.
+
+Checks a text-format 0.0.4 exposition file (what `deck_runner serve
+--metrics-out` writes) for the contracts scrapers rely on:
+
+  1. Line grammar: every non-comment line is `name[{labels}] value`
+     with a legal metric name, parseable labels and a float value
+     (NaN / +Inf / -Inf included).
+  2. Metadata: every sample's family has a preceding `# TYPE` line
+     with a legal type (counter | gauge | histogram | summary |
+     untyped), at most one HELP/TYPE per family, and no samples
+     before their family's metadata.
+  3. Counters are finite and non-negative.
+  4. Histograms, per label set (ignoring `le`): `le` upper bounds are
+     strictly increasing, bucket counts are non-decreasing in `le`
+     order, the mandatory `+Inf` bucket exists and equals `_count`,
+     and `_sum` / `_count` are present.
+  5. `--require FAMILY` (repeatable): the family must expose at least
+     one sample -- CI pins the server's core families this way.
+
+Exit status: 0 valid, 1 any violation, 2 usage / unreadable input.
+Used by the `check_exposition` CTest (label `static`) and the CI
+serve-mode smoke step.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+(?P<ts>-?\d+))?$")
+LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def parse_value(text):
+    """Prometheus float syntax: Go strconv plus NaN / +Inf / -Inf."""
+    if text == "NaN":
+        return math.nan
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def parse_labels(body):
+    """`k="v",...` -> dict, or None on malformed bodies."""
+    if body is None or body.strip() == "":
+        return {}
+    out = {}
+    pos = 0
+    while pos < len(body):
+        m = LABEL_PAIR.match(body, pos)
+        if not m:
+            return None
+        if m.group(1) in out:
+            return None  # duplicate label name
+        out[m.group(1)] = m.group(2)
+        pos = m.end()
+        if pos < len(body):
+            if body[pos] != ",":
+                return None
+            pos += 1
+    return out
+
+
+def base_family(name):
+    """Histogram sample names map back to their family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def labelset_key(labels):
+    return tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+
+
+def check(lines, required):
+    errors = []
+    types = {}      # family -> type
+    helps = set()
+    samples = {}    # family -> count of samples seen
+    # histogram family -> labelset -> {"buckets": [(le, v)], "sum": x,
+    # "count": n}
+    hist = {}
+
+    def err(lineno, msg):
+        errors.append("line %d: %s" % (lineno, msg))
+
+    for lineno, raw in enumerate(lines, 1):
+        line = raw.rstrip("\n")
+        if line.strip() == "":
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                continue  # free-form comment, legal
+            fam = parts[2]
+            if not METRIC_NAME.match(fam):
+                err(lineno, "bad family name %r in %s line" % (fam, parts[1]))
+                continue
+            if parts[1] == "HELP":
+                if fam in helps:
+                    err(lineno, "duplicate HELP for family %r" % fam)
+                helps.add(fam)
+            else:
+                mtype = parts[3].strip() if len(parts) > 3 else ""
+                if mtype not in VALID_TYPES:
+                    err(lineno, "family %r has invalid type %r" % (fam, mtype))
+                    continue
+                if fam in types:
+                    err(lineno, "duplicate TYPE for family %r" % fam)
+                if fam in samples:
+                    err(lineno, "TYPE for %r after its samples" % fam)
+                types[fam] = mtype
+            continue
+
+        m = SAMPLE.match(line)
+        if not m:
+            err(lineno, "unparseable sample line %r" % line)
+            continue
+        name = m.group("name")
+        labels = parse_labels(m.group("labels"))
+        if labels is None:
+            err(lineno, "malformed labels on %r" % name)
+            continue
+        value = parse_value(m.group("value"))
+        if value is None:
+            err(lineno, "bad value %r on %r" % (m.group("value"), name))
+            continue
+        fam = base_family(name)
+        if fam not in types and name in types:
+            fam = name  # e.g. a gauge literally named *_count
+        if fam not in types:
+            err(lineno, "sample %r has no preceding # TYPE" % name)
+            continue
+        samples[fam] = samples.get(fam, 0) + 1
+        mtype = types[fam]
+
+        if mtype == "counter":
+            if math.isnan(value) or value < 0 or math.isinf(value):
+                err(lineno, "counter %r value %s not finite and >= 0"
+                    % (name, m.group("value")))
+        if mtype == "histogram":
+            slot = hist.setdefault(fam, {}).setdefault(
+                labelset_key(labels), {"buckets": [], "sum": None,
+                                       "count": None, "line": lineno})
+            if name == fam + "_bucket":
+                if "le" not in labels:
+                    err(lineno, "%s_bucket sample without le label" % fam)
+                else:
+                    le = parse_value(labels["le"])
+                    if le is None:
+                        err(lineno, "unparseable le %r" % labels["le"])
+                    else:
+                        slot["buckets"].append((le, value, lineno))
+            elif name == fam + "_sum":
+                slot["sum"] = value
+            elif name == fam + "_count":
+                slot["count"] = value
+            elif name == fam:
+                err(lineno, "bare sample %r for histogram family" % name)
+
+    for fam, sets in sorted(hist.items()):
+        for key, slot in sorted(sets.items()):
+            where = "histogram %r {%s}" % (
+                fam, ", ".join("%s=%s" % kv for kv in key))
+            buckets = slot["buckets"]
+            if not buckets:
+                errors.append("%s: no _bucket samples" % where)
+                continue
+            les = [b[0] for b in buckets]
+            if any(les[i] >= les[i + 1] for i in range(len(les) - 1)):
+                errors.append("%s: le bounds not strictly increasing" % where)
+            counts = [b[1] for b in buckets]
+            if any(counts[i] > counts[i + 1] for i in range(len(counts) - 1)):
+                errors.append("%s: bucket counts decrease (not cumulative)"
+                              % where)
+            if not math.isinf(les[-1]):
+                errors.append("%s: missing le=\"+Inf\" bucket" % where)
+            if slot["count"] is None:
+                errors.append("%s: missing _count sample" % where)
+            elif math.isinf(les[-1]) and counts[-1] != slot["count"]:
+                errors.append("%s: +Inf bucket %g != _count %g"
+                              % (where, counts[-1], slot["count"]))
+            if slot["sum"] is None:
+                errors.append("%s: missing _sum sample" % where)
+
+    for fam in required:
+        if samples.get(fam, 0) == 0:
+            errors.append("required family %r absent or sample-less" % fam)
+
+    return errors
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Validate a Prometheus text exposition file.")
+    ap.add_argument("path", help="exposition file ('-' for stdin)")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="FAMILY",
+                    help="fail unless FAMILY exposes a sample (repeatable)")
+    args = ap.parse_args()
+
+    try:
+        if args.path == "-":
+            lines = sys.stdin.readlines()
+        else:
+            with open(args.path, "r", encoding="utf-8") as f:
+                lines = f.readlines()
+    except OSError as e:
+        print("check_exposition: %s" % e, file=sys.stderr)
+        return 2
+
+    errors = check(lines, args.require)
+    for e in errors:
+        print("check_exposition: %s" % e, file=sys.stderr)
+    if errors:
+        print("check_exposition: FAIL (%d error%s)"
+              % (len(errors), "" if len(errors) == 1 else "s"),
+              file=sys.stderr)
+        return 1
+    print("check_exposition: ok (%s)" % args.path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
