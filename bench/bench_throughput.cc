@@ -22,9 +22,21 @@
 // Everything is a pure function of the deck, so the emitted
 // BENCH_throughput.json is byte-stable and perf-gated in CI like the
 // fig5 ladder. Host threading never enters the numbers.
+//
+// The closed backlog answers "how fast does a full queue drain" but
+// says nothing about latency under sustained load, so a second,
+// *open-system* model sweeps offered load: a seeded core::ArrivalPlan
+// rate stream (the same generator `deck_runner serve --arrivals` and
+// the soak test replay) feeds the 2-tenant fair-share partition at a
+// ladder of utilizations, and each point reports completion-latency
+// percentiles (sojourn time: arrival -> completion). The resulting
+// latency-vs-load curve -- flat until the knee, then the queueing
+// blow-up past saturation -- lands in BENCH_latency_load.json with the
+// knee pinned as its own metric, perf-gated like everything else.
 #include <algorithm>
 
 #include "bench/bench_common.h"
+#include "core/arrival.h"
 #include "core/spe_allocator.h"
 #include "util/histogram.h"
 #include "workloads/stencil/stencil.h"
@@ -123,6 +135,37 @@ void write_metric(std::ostream& os, const char* key, double v,
      << "\": " << util::cformat("%.17g", v);
 }
 
+/// One point on the latency-vs-load curve.
+struct LoadPoint {
+  double offered_load = 0;   ///< offered rate / capacity (rho)
+  double makespan_s = 0;     ///< first arrival -> last completion
+  util::Histogram latency;   ///< sojourn times (arrival -> completion)
+};
+
+/// Open-system FIFO queue: jobs arrive per @p plan (one seeded rate
+/// stream), alternate between @p svc_a and @p svc_b service times, and
+/// the earliest-free of @p tenants workers takes each in arrival
+/// order -- start = max(arrival, worker free), latency = completion -
+/// arrival. Pure in all inputs, so the curve is byte-stable.
+LoadPoint run_open_queue(const core::ArrivalPlan& plan, int tenants,
+                         double svc_a, double svc_b) {
+  LoadPoint out;
+  std::vector<double> free_at(static_cast<std::size_t>(tenants), 0.0);
+  std::uint64_t k = 0;
+  for (const core::Arrival& a : plan.schedule()) {
+    std::size_t w = 0;
+    for (std::size_t i = 1; i < free_at.size(); ++i)
+      if (free_at[i] < free_at[w]) w = i;
+    const double start = std::max(free_at[w], a.at_s);
+    const double done = start + (k % 2 == 0 ? svc_a : svc_b);
+    free_at[w] = done;
+    out.latency.add(done - a.at_s);
+    out.makespan_s = std::max(out.makespan_s, done);
+    ++k;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -206,6 +249,95 @@ int main(int argc, char** argv) {
             << bench::fmt("%.2f", sweep_half / sweep_full)
             << "x per-job slowdown for " << bench::fmt("%.2f", speedup)
             << "x throughput.\n";
+
+  // ------------------------------------------------------------------
+  // Open-system latency vs offered load (the tentpole curve): a seeded
+  // ArrivalPlan rate stream into the 2-tenant fair-share partition at a
+  // utilization ladder. Capacity is the partition's saturation rate for
+  // the alternating mix; the job count stays inside util::Histogram's
+  // exact-percentile window so every quantile is an order statistic.
+  constexpr std::uint64_t kLoadJobs = 48;
+  static_assert(kLoadJobs <= util::Histogram::kExactSampleLimit);
+  const double mean_service_s = (sweep_half + sten_half) / 2.0;
+  const double capacity_jobs_per_s = kTenants / mean_service_s;
+  const double kLoads[] = {0.2, 0.4, 0.6, 0.8, 0.9, 1.0, 1.1};
+
+  std::vector<LoadPoint> curve;
+  for (const double load : kLoads) {
+    core::ArrivalSpec as;
+    as.seed = 2026;  // one seed for the whole curve: reproducible knee
+    core::TenantArrivals ta;
+    ta.tenant = 0;
+    ta.kind = core::ArrivalKind::kRate;
+    ta.rate_per_s = load * capacity_jobs_per_s;
+    ta.count = kLoadJobs;
+    as.tenants.push_back(ta);
+    LoadPoint pt = run_open_queue(core::ArrivalPlan(as), kTenants,
+                                  sweep_half, sten_half);
+    pt.offered_load = load;
+    curve.push_back(std::move(pt));
+  }
+
+  // Knee: the first point whose p95 sojourn exceeds twice the lightest
+  // load's p95 -- where queueing delay stops hiding behind service
+  // time. Past-saturation points guarantee the knee exists.
+  const double p95_floor = curve.front().latency.percentile(0.95);
+  double knee_load = kLoads[sizeof(kLoads) / sizeof(kLoads[0]) - 1];
+  for (const LoadPoint& pt : curve) {
+    if (pt.latency.percentile(0.95) > 2.0 * p95_floor) {
+      knee_load = pt.offered_load;
+      break;
+    }
+  }
+
+  std::cout << "\n";
+  util::TextTable load_table({"offered load", "jobs/s", "p50 [s]", "p95 [s]",
+                              "p99 [s]"});
+  for (const LoadPoint& pt : curve)
+    load_table.add_row(
+        {bench::fmt("%.2f", pt.offered_load),
+         bench::fmt("%.4f", static_cast<double>(kLoadJobs) / pt.makespan_s),
+         bench::fmt("%.4f", pt.latency.percentile(0.50)),
+         bench::fmt("%.4f", pt.latency.percentile(0.95)),
+         bench::fmt("%.4f", pt.latency.percentile(0.99))});
+  load_table.print(std::cout);
+  std::cout << "Capacity " << bench::fmt("%.4f", capacity_jobs_per_s)
+            << " jobs/s at width " << share << "; p95 knee at offered load "
+            << bench::fmt("%.2f", knee_load) << ".\n";
+
+  if (!opt.json_dir.empty()) {
+    const std::string path = opt.json_dir + "/BENCH_latency_load.json";
+    std::ofstream os(path);
+    if (!os) {
+      std::cerr << "bench: cannot write " << path << "\n";
+      return 1;
+    }
+    os << "{\n  \"schema\": \"" << bench::kBenchSchema
+       << "\",\n  \"scenario\": \"latency-load\",\n  \"fingerprint\": {"
+       << "\"cube\": " << cube << ", \"stencil_cube\": " << stencil_cube
+       << ", \"jobs\": " << kLoadJobs << ", \"spes\": " << chip_spes
+       << ", \"tenants\": " << kTenants << ", \"seed\": 2026},\n  \"runs\": [";
+    bool first_pt = true;
+    for (const LoadPoint& pt : curve) {
+      os << (first_pt ? "\n" : ",\n") << "    {\"name\": \"load-"
+         << bench::fmt("%.2f", pt.offered_load) << "\",\n     \"metrics\": {";
+      write_metric(os, "seconds", pt.makespan_s, true);
+      write_metric(os, "jobs_per_s",
+                   static_cast<double>(kLoadJobs) / pt.makespan_s);
+      write_metric(os, "latency_p50_s", pt.latency.percentile(0.50));
+      write_metric(os, "latency_p95_s", pt.latency.percentile(0.95));
+      write_metric(os, "latency_p99_s", pt.latency.percentile(0.99));
+      os << "},\n     \"counters\": null}";
+      first_pt = false;
+    }
+    os << ",\n    {\"name\": \"summary\",\n     \"metrics\": {";
+    write_metric(os, "seconds", curve.back().makespan_s, true);
+    write_metric(os, "capacity_jobs_per_s", capacity_jobs_per_s);
+    write_metric(os, "knee_offered_load", knee_load);
+    os << "},\n     \"counters\": null}\n  ],\n  \"deltas\": []\n}\n";
+    std::cout << "Bench JSON -> " << path << "\n";
+    if (!os.good()) return 1;
+  }
 
   if (!opt.json_dir.empty()) {
     const std::string path =

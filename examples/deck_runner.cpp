@@ -27,10 +27,12 @@
 #include "analysis/diagnostics.h"
 #include "analysis/hazard.h"
 #include "analysis/lint.h"
+#include "core/arrival.h"
 #include "core/job_trace.h"
 #include "core/metrics.h"
 #include "core/metrics_registry.h"
 #include "core/orchestrator.h"
+#include "server/arrival_driver.h"
 #include "server/solve_server.h"
 #include "sim/counters.h"
 #include "sim/trace.h"
@@ -213,6 +215,8 @@ int run_serve(const util::CliParser& cli, core::OptimizationStage stage) {
   core::ServerConfig scfg;
   scfg.stage = stage;
   std::string metrics_out, metrics_path, trace_path, faults_arg;
+  std::string arrivals_arg, weights_arg, quotas_arg;
+  double arrival_time_scale = 0.0;
   long interval_ms = 0;
   try {
     scfg.tenants = static_cast<int>(cli.get_int("tenants"));
@@ -228,6 +232,10 @@ int run_serve(const util::CliParser& cli, core::OptimizationStage stage) {
     metrics_path = cli.get_string("metrics");
     trace_path = cli.get_string("trace");
     faults_arg = cli.get_string("faults");
+    arrivals_arg = cli.get_string("arrivals");
+    arrival_time_scale = cli.get_double("arrival-time-scale");
+    weights_arg = cli.get_string("weights");
+    quotas_arg = cli.get_string("quotas");
   } catch (const util::CliError& e) {
     std::cerr << "deck_runner serve: " << e.what() << "\n";
     return 1;
@@ -237,6 +245,46 @@ int run_serve(const util::CliParser& cli, core::OptimizationStage stage) {
       scfg.faults = sim::parse_fault_spec(faults_arg);
     } catch (const sim::FaultSpecError& e) {
       std::cerr << "deck_runner serve: --faults: " << e.what() << "\n";
+      return 1;
+    }
+  }
+  // --weights / --quotas: comma-separated per-tenant QoS knobs, indexed
+  // by tenant worker id (see ServerConfig).
+  const auto parse_int_list = [](const std::string& flag,
+                                 const std::string& text,
+                                 std::vector<int>& out) {
+    std::size_t from = 0;
+    while (from <= text.size()) {
+      const std::size_t at = text.find(',', from);
+      const std::string tok =
+          text.substr(from, at == std::string::npos ? at : at - from);
+      try {
+        std::size_t used = 0;
+        const int v = std::stoi(tok, &used);
+        if (used != tok.size()) throw std::invalid_argument(tok);
+        out.push_back(v);
+      } catch (const std::exception&) {
+        std::cerr << "deck_runner serve: --" << flag << ": '" << tok
+                  << "' is not an integer\n";
+        return false;
+      }
+      if (at == std::string::npos) break;
+      from = at + 1;
+    }
+    return true;
+  };
+  if (!weights_arg.empty() &&
+      !parse_int_list("weights", weights_arg, scfg.tenant_weights))
+    return 1;
+  if (!quotas_arg.empty() &&
+      !parse_int_list("quotas", quotas_arg, scfg.tenant_quotas))
+    return 1;
+  core::ArrivalPlan arrival_plan;
+  if (!arrivals_arg.empty()) {
+    try {
+      arrival_plan = core::ArrivalPlan(core::parse_arrival_spec(arrivals_arg));
+    } catch (const core::ArrivalSpecError& e) {
+      std::cerr << "deck_runner serve: --arrivals: " << e.what() << "\n";
       return 1;
     }
   }
@@ -268,31 +316,88 @@ int run_serve(const util::CliParser& cli, core::OptimizationStage stage) {
     });
   }
 
+  // Load every input up front; the arrivals replay reuses them in a
+  // cycle, the default path submits each exactly once.
+  struct Input {
+    std::string path;
+    core::JobKind kind = core::JobKind::kSweep;
+    std::string text;
+    bool ok = false;
+  };
+  std::vector<Input> inputs;
   int rejected = 0;
   for (const std::string& path : paths) {
-    core::JobRequest req;
-    req.name = path;
-    req.mode = mode;
-    req.kind = path.size() >= 8 &&
-                       path.compare(path.size() - 8, 8, ".stencil") == 0
-                   ? core::JobKind::kStencil
-                   : core::JobKind::kSweep;
+    Input in;
+    in.path = path;
+    in.kind = path.size() >= 8 &&
+                      path.compare(path.size() - 8, 8, ".stencil") == 0
+                  ? core::JobKind::kStencil
+                  : core::JobKind::kSweep;
     std::ifstream is(path);
-    if (!is) {
+    if (is) {
+      std::ostringstream text;
+      text << is.rdbuf();
+      in.text = text.str();
+      in.ok = true;
+    } else {
       std::cerr << path << ": error[io]: cannot open file\n";
       ++rejected;
-      continue;
     }
-    std::ostringstream text;
-    text << is.rdbuf();
-    req.text = text.str();
-    try {
-      server.submit(req);
-    } catch (const core::AdmissionError& e) {
-      std::cerr << path << ": rejected["
-                << core::admission_reason_name(e.reason()) << "]: "
-                << e.what() << "\n";
-      ++rejected;
+    inputs.push_back(std::move(in));
+  }
+
+  if (arrival_plan.enabled()) {
+    // Open-system mode: replay the seeded arrival schedule, cycling
+    // through the (readable) input files. --arrival-time-scale
+    // stretches the schedule onto the wall clock; 0 replays flat-out
+    // (deterministic submission order either way -- the plan's).
+    std::vector<const Input*> usable;
+    for (const Input& in : inputs)
+      if (in.ok) usable.push_back(&in);
+    if (usable.empty()) {
+      std::cerr << "deck_runner serve: --arrivals needs at least one "
+                   "readable input file\n";
+      return 1;
+    }
+    core::ArrivalDriver driver(
+        server, arrival_plan,
+        [&usable, mode](const core::Arrival& a, std::uint64_t k) {
+          const Input& in = *usable[static_cast<std::size_t>(k) %
+                                    usable.size()];
+          core::JobRequest req;
+          req.kind = in.kind;
+          req.text = in.text;
+          req.mode = mode;
+          req.name = in.path + "#" + std::to_string(k) + "-t" +
+                     std::to_string(a.tenant);
+          return req;
+        },
+        arrival_time_scale);
+    std::cout << "Replaying " << arrival_plan.total()
+              << " arrival(s) over " << usable.size() << " input file(s)\n";
+    driver.start();
+    driver.join();
+    const core::ArrivalDriver::Stats ds = driver.stats();
+    rejected += static_cast<int>(ds.rejected);
+    if (ds.rejected > 0)
+      std::cerr << ds.rejected << " arrival(s) rejected at admission "
+                << "(open-system loss)\n";
+  } else {
+    for (const Input& in : inputs) {
+      if (!in.ok) continue;
+      core::JobRequest req;
+      req.name = in.path;
+      req.mode = mode;
+      req.kind = in.kind;
+      req.text = in.text;
+      try {
+        server.submit(req);
+      } catch (const core::AdmissionError& e) {
+        std::cerr << in.path << ": rejected["
+                  << core::admission_reason_name(e.reason()) << "]: "
+                  << e.what() << "\n";
+        ++rejected;
+      }
     }
   }
 
@@ -463,6 +568,22 @@ int main(int argc, char** argv) {
                "timeout, drop, throttle, retries, spe). The run degrades "
                "gracefully and reports the cost; same seed => identical "
                "schedule");
+  cli.add_flag("arrivals", "",
+               "serve: replay a seeded open-system arrival schedule "
+               "instead of submitting each input once, cycling through "
+               "the input files, e.g. --arrivals=seed=42,tenant=0:rate:"
+               "8:24,tenant=1:burst:6 (kinds: rate | burst | trace; same "
+               "seed => identical schedule)");
+  cli.add_flag("arrival-time-scale", "0",
+               "serve: seconds of wall clock per scheduled second of "
+               "--arrivals (0 = replay flat-out)");
+  cli.add_flag("weights", "",
+               "serve: comma-separated per-tenant QoS weights (fair SPE "
+               "share scales with weight; running lower-weight jobs "
+               "yield at chunk granularity). Empty = all equal");
+  cli.add_flag("quotas", "",
+               "serve: comma-separated per-tenant SPE caps (<= 0 = "
+               "uncapped)");
   if (!cli.parse(argc, argv)) {
     std::cerr << cli.error() << "\n" << cli.usage(argv[0]);
     return 1;

@@ -5,6 +5,7 @@
 // mechanism switches, they are never looked up.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -89,6 +90,18 @@ struct StreamConfig {
   SpeAllocator* spe_allocator = nullptr;
   /// Fewest SPEs this run may be squeezed to under pressure (>= 1).
   int min_spes = 1;
+  /// QoS weight of this run's SPE claim (>= 1; see
+  /// SpeAllocator::claim). Runs of equal weight split the chip evenly;
+  /// a weight-w tenant's fair share scales with w. Affects nothing
+  /// without spe_allocator.
+  int claim_weight = 1;
+  /// Hard cap on the SPEs this run may ever hold (0 = uncapped).
+  int claim_quota = 0;
+  /// Cooperative cancellation flag (non-owning, may be null). Polled
+  /// between waves -- chunk granularity, never mid-wave -- and when it
+  /// reads true run_batch throws core::RunCancelled. Observation only
+  /// until it fires: a never-set flag changes no simulated tick.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Mechanism switches of one configuration.
@@ -156,6 +169,11 @@ struct CellSweepConfig {
   SpeAllocator* spe_allocator = nullptr;
   /// Fewest SPEs this run may be squeezed to under pressure (>= 1).
   int min_spes = 1;
+  /// QoS weight / SPE quota / cooperative cancel flag of this run (see
+  /// the StreamConfig fields of the same names).
+  int claim_weight = 1;
+  int claim_quota = 0;
+  const std::atomic<bool>* cancel = nullptr;
 
   /// Plan-cache hints (non-owning, may be null): pure functions of the
   /// deck that the solve server memoizes across jobs. When set they
@@ -191,6 +209,9 @@ struct CellSweepConfig {
     s.faults = faults;
     s.spe_allocator = spe_allocator;
     s.min_spes = min_spes;
+    s.claim_weight = claim_weight;
+    s.claim_quota = claim_quota;
+    s.cancel = cancel;
     return s;
   }
 };

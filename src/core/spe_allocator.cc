@@ -33,9 +33,18 @@ int SpeAllocator::free_count_locked() const {
   return n;
 }
 
-int SpeAllocator::fair_share_locked() const {
-  const int parties = std::max(1, holders_ + waiters_);
-  return std::max(1, num_spes_ / parties);
+int SpeAllocator::fair_share_locked(int weight) const {
+  // Weighted proportional split. With every party at weight 1 the
+  // total weight *is* the party count, so this is bit-for-bit the old
+  // num_spes / parties equal split -- which is what keeps the pre-QoS
+  // tests and baselines pinned.
+  int total_weight = holder_weight_;
+  for (const int w : waiter_weights_) total_weight += w;
+  total_weight = std::max(1, total_weight);
+  const int w = std::max(1, weight);
+  return std::max(
+      1, static_cast<int>(static_cast<std::int64_t>(num_spes_) * w /
+                          total_weight));
 }
 
 std::vector<int> SpeAllocator::take_worst_fit(int want) {
@@ -72,14 +81,21 @@ std::vector<int> SpeAllocator::take_worst_fit(int want) {
   return got;
 }
 
-SpeAllocator::Claim SpeAllocator::claim(int min_spes, int max_spes) {
-  const int lo = std::clamp(min_spes, 1, num_spes_);
-  const int hi = std::clamp(std::max(max_spes, lo), 1, num_spes_);
+SpeAllocator::Claim SpeAllocator::claim(int min_spes, int max_spes, int weight,
+                                        int quota) {
+  const int w = std::max(1, weight);
+  const int q = quota <= 0 ? num_spes_ : std::clamp(quota, 1, num_spes_);
+  // The quota is a hard ceiling: it caps the maximum outright and pulls
+  // the minimum down with it (a tenant quota'd to 2 SPEs must still be
+  // admissible when it asks for min 4).
+  const int lo = std::min(std::clamp(min_spes, 1, num_spes_), q);
+  const int hi = std::min(std::clamp(std::max(max_spes, lo), 1, num_spes_), q);
 
   MutexLock lock(mu_);
   double waited_s = 0.0;
   if (free_count_locked() < lo) {
     ++waiters_;
+    waiter_weights_.push_back(w);
     ++stats_.waited_claims;
     // Host time blocked, for the claim-wait histogram and the per-job
     // trace. Measured around the wait only; an immediate grant records
@@ -90,19 +106,24 @@ SpeAllocator::Claim SpeAllocator::claim(int min_spes, int max_spes) {
                    std::chrono::steady_clock::now() - blocked_from)
                    .count();
     --waiters_;
+    waiter_weights_.erase(
+        std::find(waiter_weights_.begin(), waiter_weights_.end(), w));
   }
   stats_.claim_wait_s.add(waited_s);
   t_claim_wait_s += waited_s;
 
   // Grant size: everything asked for that is free -- but while others
-  // are still queued behind us, no more than the fair share (never
-  // below the minimum this tenant needs to run at all).
+  // are still queued behind us, no more than the weighted fair share
+  // (never below the minimum this tenant needs to run at all).
   int want = std::min(hi, free_count_locked());
-  if (waiters_ > 0) want = std::max(lo, std::min(want, fair_share_locked()));
+  if (waiters_ > 0) want = std::max(lo, std::min(want, fair_share_locked(w)));
 
   Claim c;
+  c.weight = w;
+  c.quota = quota <= 0 ? 0 : q;
   c.ids = take_worst_fit(want);
   ++holders_;
+  holder_weight_ += w;
   ++stats_.claims;
   stats_.peak_tenants = std::max(stats_.peak_tenants, holders_ + waiters_);
   return c;
@@ -113,7 +134,8 @@ int SpeAllocator::expand(Claim& c, int target_total) {
   // Regrowth is opportunistic: anyone blocked in claim() has first
   // call on free SPEs, so expansion under pressure is denied outright.
   if (waiters_ > 0) return 0;
-  const int want = std::min(target_total, num_spes_) - c.count();
+  const int cap = c.quota > 0 ? std::min(c.quota, num_spes_) : num_spes_;
+  const int want = std::min(target_total, cap) - c.count();
   if (want <= 0) return 0;
   std::vector<int> got = take_worst_fit(std::min(want, free_count_locked()));
   if (got.empty()) return 0;
@@ -131,7 +153,10 @@ bool SpeAllocator::shrink_locked(Claim& c, int target) {
     freed = true;
   }
   if (freed) ++stats_.shrinks;
-  if (c.empty() && freed) --holders_;
+  if (c.empty() && freed) {
+    --holders_;
+    holder_weight_ -= std::max(1, c.weight);
+  }
   return freed;
 }
 
@@ -155,7 +180,7 @@ bool SpeAllocator::shrink_to_fair_share(Claim& c, int need, int min_spes) {
     // miss one that arrived in between.
     if (waiters_ == 0) return false;
     const int target =
-        std::max(min_spes, std::min(need, fair_share_locked()));
+        std::max(min_spes, std::min(need, fair_share_locked(c.weight)));
     if (c.count() <= target) return false;
     freed = shrink_locked(c, target);
   }
@@ -168,9 +193,18 @@ bool SpeAllocator::pressure() const {
   return waiters_ > 0;
 }
 
-int SpeAllocator::fair_share() const {
+bool SpeAllocator::priority_pressure(int weight) const {
   MutexLock lock(mu_);
-  return fair_share_locked();
+  for (const int w : waiter_weights_)
+    if (w > weight) return true;
+  return false;
+}
+
+int SpeAllocator::fair_share() const { return fair_share(1); }
+
+int SpeAllocator::fair_share(int weight) const {
+  MutexLock lock(mu_);
+  return fair_share_locked(weight);
 }
 
 int SpeAllocator::free_count() const {

@@ -7,10 +7,10 @@
 // on the same chip is nearly free. The policy follows NOVA's core
 // allocator (cells claim cores from a worst-fit allocator and yield
 // them under pressure):
-//   * claim(min, max) blocks until at least min SPEs are free, then
-//     takes up to max from the largest contiguous free runs first
-//     (worst-fit: splitting the biggest run keeps the leftover runs as
-//     large as possible for the next tenant);
+//   * claim(min, max, weight, quota) blocks until at least min SPEs
+//     are free, then takes up to max from the largest contiguous free
+//     runs first (worst-fit: splitting the biggest run keeps the
+//     leftover runs as large as possible for the next tenant);
 //   * a holder only shrinks when another tenant is *waiting*
 //     (shrink_to_fair_share() evaluates pressure and yields in one
 //     critical section), down to its fair share -- so a solo tenant
@@ -18,6 +18,18 @@
 //     no-allocator build (pinned by tests and the perf baselines);
 //   * expand() is the opportunistic regrow after pressure passes; it
 //     is denied while anyone waits.
+//
+// QoS (PR 10): the fair share is *weighted* -- a party of weight w gets
+// floor(num_spes * w / total_weight) of the chip (at least 1), where
+// total_weight sums over current holders and waiters. With every
+// weight at its default of 1 this reduces to the original equal split
+// num_spes / parties, integer math included, so all pre-QoS behavior
+// (and every checked-in baseline) is unchanged. A per-claim quota caps
+// how many SPEs the claim may ever hold (grant and expand alike);
+// quota 0 means "no cap". priority_pressure() lets a holder ask "is a
+// strictly higher-weight claim blocked right now?" -- the signal the
+// streaming pipeline polls between waves for chunk-granularity
+// preemption.
 //
 // Host-side synchronization only: claims move between *batches* of a
 // StreamingPipeline run, never mid-wave, and no simulated tick depends
@@ -44,6 +56,13 @@ class SpeAllocator {
   /// the allocator.
   struct Claim {
     std::vector<int> ids;
+    /// QoS weight this claim was granted under (>= 1). Carried on the
+    /// claim so shrink_to_fair_share()/release() settle the weighted
+    /// bookkeeping without the caller re-supplying it.
+    int weight = 1;
+    /// Hard cap on ids.size() (0 = uncapped). Grants and expands never
+    /// exceed it.
+    int quota = 0;
     int count() const noexcept { return static_cast<int>(ids.size()); }
     bool empty() const noexcept { return ids.empty(); }
   };
@@ -65,14 +84,19 @@ class SpeAllocator {
 
   /// Blocks until at least @p min_spes SPEs are free, then claims up to
   /// @p max_spes of them, worst-fit. While other claims are waiting the
-  /// grant is additionally capped at the fair share (never below
-  /// min_spes), so one greedy tenant cannot starve the queue. Both
-  /// arguments are clamped to [1, num_spes], with max >= min.
-  Claim claim(int min_spes, int max_spes) EXCLUDES(mu_);
+  /// grant is additionally capped at the weighted fair share (never
+  /// below min_spes), so one greedy tenant cannot starve the queue.
+  /// @p weight (clamped to >= 1) is the claim's QoS weight; @p quota
+  /// (0 = uncapped, otherwise clamped to [1, num_spes]) is a hard
+  /// ceiling on the grant and on any later expand(). min/max are
+  /// clamped to [1, num_spes] with max >= min, then both to the quota.
+  Claim claim(int min_spes, int max_spes, int weight = 1, int quota = 0)
+      EXCLUDES(mu_);
 
-  /// Non-blocking growth of @p c toward @p target_total SPEs. Denied
-  /// (returns 0) while any claim() is waiting; otherwise grants up to
-  /// the free count, worst-fit. Returns the number of SPEs added.
+  /// Non-blocking growth of @p c toward @p target_total SPEs (capped at
+  /// the claim's quota). Denied (returns 0) while any claim() is
+  /// waiting; otherwise grants up to the free count, worst-fit. Returns
+  /// the number of SPEs added.
   int expand(Claim& c, int target_total) EXCLUDES(mu_);
 
   /// Releases members of @p c (largest indices first) until it holds
@@ -81,11 +105,12 @@ class SpeAllocator {
   void shrink(Claim& c, int target_total) EXCLUDES(mu_);
 
   /// The NOVA yield as one atomic decision: if any claim() is blocked,
-  /// shrinks @p c to max(@p min_spes, min(@p need, fair share)) and
-  /// returns true; returns false (touching nothing) when nobody waits
-  /// or the claim is already at or below the target. Replaces the
-  /// racy pressure()-then-fair_share()-then-shrink() sequence, whose
-  /// predicate could go stale between the three lock acquisitions.
+  /// shrinks @p c to max(@p min_spes, min(@p need, its weighted fair
+  /// share)) and returns true; returns false (touching nothing) when
+  /// nobody waits or the claim is already at or below the target.
+  /// Replaces the racy pressure()-then-fair_share()-then-shrink()
+  /// sequence, whose predicate could go stale between the three lock
+  /// acquisitions.
   bool shrink_to_fair_share(Claim& c, int need, int min_spes) EXCLUDES(mu_);
 
   /// shrink(c, 0): the tenant is done with the chip.
@@ -96,9 +121,18 @@ class SpeAllocator {
   /// Snapshot only -- a decision must use shrink_to_fair_share().
   bool pressure() const EXCLUDES(mu_);
 
-  /// num_spes / (holders + waiters), at least 1: the equal split of the
-  /// chip over everyone who wants a piece right now.
+  /// True while a claim of weight strictly greater than @p weight is
+  /// blocked: the holder should yield *now* (between chunks, not at the
+  /// next batch), via shrink_to_fair_share(). Snapshot only.
+  bool priority_pressure(int weight) const EXCLUDES(mu_);
+
+  /// The weighted share of a party of @p weight: at least 1, otherwise
+  /// num_spes * weight / total weight over everyone who wants a piece
+  /// right now. fair_share() is the weight-1 view; with all parties at
+  /// the default weight it is exactly the old num_spes / parties equal
+  /// split.
   int fair_share() const EXCLUDES(mu_);
+  int fair_share(int weight) const EXCLUDES(mu_);
 
   int num_spes() const noexcept { return num_spes_; }
   int free_count() const EXCLUDES(mu_);
@@ -121,7 +155,7 @@ class SpeAllocator {
   /// returns true when anything was released.
   bool shrink_locked(Claim& c, int target) REQUIRES(mu_);
   int free_count_locked() const REQUIRES(mu_);
-  int fair_share_locked() const REQUIRES(mu_);
+  int fair_share_locked(int weight) const REQUIRES(mu_);
 
   const int num_spes_;
   mutable util::Mutex mu_{util::lockrank::kSpeAllocator, "SpeAllocator::mu_"};
@@ -130,6 +164,10 @@ class SpeAllocator {
   std::vector<char> free_ GUARDED_BY(mu_);
   int holders_ GUARDED_BY(mu_) = 0;  ///< claims currently live
   int waiters_ GUARDED_BY(mu_) = 0;  ///< claim() calls currently blocked
+  int holder_weight_ GUARDED_BY(mu_) = 0;  ///< summed weights of holders
+  /// Weights of the claims currently blocked, one entry per waiter
+  /// (multiset semantics: erase removes one matching entry).
+  std::vector<int> waiter_weights_ GUARDED_BY(mu_);
   Stats stats_ GUARDED_BY(mu_) = {};
 };
 

@@ -86,7 +86,8 @@ StreamingPipeline::StreamingPipeline(const StreamConfig& cfg,
       throw std::invalid_argument(
           "StreamingPipeline: SpeAllocator width != chip.num_spes");
     min_spes_ = std::clamp(cfg_.min_spes, 1, machine_.num_spes());
-    claim_ = cfg_.spe_allocator->claim(min_spes_, machine_.num_spes());
+    claim_ = cfg_.spe_allocator->claim(min_spes_, machine_.num_spes(),
+                                       cfg_.claim_weight, cfg_.claim_quota);
     claimed_.assign(spes_.size(), 0);
     for (const int id : claim_.ids)
       claimed_[static_cast<std::size_t>(id)] = 1;
@@ -380,9 +381,61 @@ void StreamingPipeline::run_batch(const std::vector<StreamChunkSpec>& specs,
   std::size_t live = 0;
   for (std::size_t s = 0; s < alive_.size(); ++s)
     live += static_cast<std::size_t>(alive_[s] != 0 && claimed_[s] != 0);
-  const std::size_t wave =
+  std::size_t wave =
       std::max<std::size_t>(live, 1) * static_cast<std::size_t>(cfg_.buffers);
   for (std::size_t w0 = 0; w0 < chunks.size(); w0 += wave) {
+    // Chunk-granularity QoS, decided strictly between waves (a yielded
+    // or abandoned SPE has no staging buffer in flight there). Both
+    // checks read host-side state only: when neither fires, the batch
+    // arithmetic below is untouched.
+    if (cfg_.cancel && cfg_.cancel->load(std::memory_order_relaxed))
+      throw RunCancelled("run cancelled between waves (chunk " +
+                         std::to_string(w0) + " of " +
+                         std::to_string(chunks.size()) + ")");
+    if (w0 > 0 && cfg_.spe_allocator &&
+        cfg_.spe_allocator->priority_pressure(claim_.weight)) {
+      // A strictly higher-weight claim is blocked: yield *now* rather
+      // than at the next batch boundary. The remaining chunks move to
+      // the surviving claim and the wave narrows with it.
+      const std::size_t rest = chunks.size() - w0;
+      const int need = std::clamp(
+          static_cast<int>(
+              (rest + static_cast<std::size_t>(cfg_.buffers) - 1) /
+              static_cast<std::size_t>(cfg_.buffers)),
+          min_spes_, machine_.num_spes());
+      if (cfg_.spe_allocator->shrink_to_fair_share(claim_, need, min_spes_)) {
+        ++preempt_yields_;
+        claimed_.assign(claimed_.size(), 0);
+        for (const int id : claim_.ids)
+          claimed_[static_cast<std::size_t>(id)] = 1;
+        min_claimed_ = std::min(min_claimed_, claim_.count());
+        // Reassign the not-yet-started chunks: roll their buffer
+        // rotation back, restart the cyclic cursor on our lowest
+        // surviving SPE (deterministic regardless of which ids were
+        // yielded), and re-run the cyclic assignment over the
+        // narrowed claim. Tokens are positional, so they stand.
+        for (std::size_t i = w0; i < chunks.size(); ++i)
+          --spes_[chunks[i].spe].served;
+        rr_spe_ = claim_.ids.front();
+        for (std::size_t i = w0; i < chunks.size(); ++i) {
+          sim::Tick extra = 0;
+          const int s = pick_spe(extra);
+          SpeClock& spe = spes_[s];
+          chunks[i].spe = s;
+          chunks[i].buf = static_cast<int>(spe.served % cfg_.buffers);
+          chunks[i].extra = extra;
+          ++spe.served;
+        }
+        live = 0;
+        for (std::size_t s = 0; s < alive_.size(); ++s)
+          live +=
+              static_cast<std::size_t>(alive_[s] != 0 && claimed_[s] != 0);
+        wave = std::max<std::size_t>(live, 1) *
+               static_cast<std::size_t>(cfg_.buffers);
+        if (sink_)
+          sink_->instant(ppe_track_, "preempt-yield", "sync", next_barrier_);
+      }
+    }
     const std::size_t w1 = std::min(chunks.size(), w0 + wave);
 
     // Phase A. With double buffering the *bulk* working set (no
@@ -718,6 +771,7 @@ RunReport StreamingPipeline::finish() {
     a.set("spes_max", static_cast<double>(max_claimed_));
     a.set("rebalance_shrinks", static_cast<double>(rebalance_shrinks_));
     a.set("rebalance_expands", static_cast<double>(rebalance_expands_));
+    a.set("preempt_yields", static_cast<double>(preempt_yields_));
     cfg_.spe_allocator->release(claim_);
     claimed_.assign(claimed_.size(), 0);
   }

@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -52,6 +53,16 @@ class HazardChecker;
 }
 
 namespace cellsweep::core {
+
+/// Thrown by run_batch when StreamConfig::cancel reads true at a wave
+/// boundary: the run aborts cooperatively between chunks (never
+/// mid-wave -- a yielded staging buffer could still be in flight). The
+/// claim is released by the destructor; the partially advanced report
+/// is abandoned with it.
+class RunCancelled : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// Local-store placement policy of one workload: named resident
 /// regions (constants, tables) allocated once per SPE, then
@@ -138,6 +149,15 @@ class StreamingPipeline {
   /// becomes a hard barrier and the upstream history resets (the sweep
   /// uses it at (octant, angle-block, K-block) boundaries; a free-
   /// running stencil never does after the first batch).
+  ///
+  /// QoS inside the batch: at each wave boundary the pipeline (a)
+  /// throws RunCancelled when StreamConfig::cancel reads true, and (b)
+  /// yields SPEs at chunk granularity when a strictly higher-weight
+  /// claim is blocked (SpeAllocator::priority_pressure) -- the
+  /// not-yet-started chunks are reassigned to the surviving claim and
+  /// the wave narrows. Without a cancel flag or a higher-weight waiter
+  /// both checks are pure observation and the batch is byte-identical
+  /// to the pre-QoS arithmetic.
   void run_batch(const std::vector<StreamChunkSpec>& specs,
                  const DependencyPolicy& deps, bool new_block);
 
@@ -284,6 +304,9 @@ class StreamingPipeline {
   int max_claimed_ = 0;  ///< largest claim the run ever held
   std::uint64_t rebalance_shrinks_ = 0;
   std::uint64_t rebalance_expands_ = 0;
+  /// Chunk-granularity yields to a higher-weight waiter (mid-batch, at
+  /// wave boundaries), as opposed to the batch-boundary rebalances.
+  std::uint64_t preempt_yields_ = 0;
 };
 
 }  // namespace cellsweep::core

@@ -1,0 +1,82 @@
+#include "server/arrival_driver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace cellsweep::core {
+
+using util::MutexLock;
+
+ArrivalDriver::ArrivalDriver(SolveServer& server, ArrivalPlan plan,
+                             MakeRequest make, double time_scale)
+    : server_(server),
+      plan_(std::move(plan)),
+      make_(std::move(make)),
+      time_scale_(std::max(0.0, time_scale)) {}
+
+ArrivalDriver::~ArrivalDriver() {
+  stop();
+  join();
+}
+
+void ArrivalDriver::start() {
+  if (started_) return;
+  started_ = true;
+  thread_ = std::thread([this] { run(); });
+}
+
+void ArrivalDriver::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void ArrivalDriver::run() {
+  const std::vector<Arrival> schedule = plan_.schedule();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t k = 0;
+  for (const Arrival& a : schedule) {
+    if (stop_.load(std::memory_order_relaxed)) break;
+    if (time_scale_ > 0.0) {
+      const auto due =
+          t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(a.at_s * time_scale_));
+      std::this_thread::sleep_until(due);
+    }
+    const double behind_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count() -
+        a.at_s * time_scale_;
+    const JobRequest req = make_(a, k);
+    ++k;
+    int id = 0;
+    bool accepted = false;
+    try {
+      id = server_.submit(req);
+      accepted = true;
+    } catch (const AdmissionError&) {
+      // Open-system semantics: rejected arrivals (queue full, server
+      // stopping) are dropped, never retried -- the loss shows up in
+      // stats and in the server's rejected counters.
+    }
+    MutexLock lock(mu_);
+    if (accepted) {
+      ++stats_.submitted;
+      ids_.push_back(id);
+    } else {
+      ++stats_.rejected;
+    }
+    stats_.max_behind_s = std::max(stats_.max_behind_s, behind_s);
+  }
+}
+
+ArrivalDriver::Stats ArrivalDriver::stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+std::vector<int> ArrivalDriver::ids() const {
+  MutexLock lock(mu_);
+  return ids_;
+}
+
+}  // namespace cellsweep::core

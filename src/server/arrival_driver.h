@@ -1,0 +1,92 @@
+// ArrivalDriver: replays a core::ArrivalPlan against a SolveServer in
+// host time, turning the closed drain-a-backlog server into an open
+// system. One driver thread walks the plan's merged schedule in order,
+// sleeps out each inter-arrival gap, and submits whatever JobRequest
+// the caller's factory builds for that arrival.
+//
+// Determinism: the *schedule* (which job, which tenant, which order)
+// is the plan's -- a pure function of the seed -- and submission
+// happens strictly in schedule order from one thread, so the server's
+// admission order (and hence JobTrace event order) is reproducible
+// across runs and across `--tenants`/`--threads`. Only the host-time
+// stamps vary run to run, exactly like every other host-side clock in
+// the repo. time_scale compresses the schedule (0 = submit as fast as
+// possible, no sleeping) so CI smoke runs need not sit out real gaps.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "core/arrival.h"
+#include "server/solve_server.h"
+#include "util/lock_ranks.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace cellsweep::core {
+
+class ArrivalDriver {
+ public:
+  /// Builds the request for one scheduled arrival; @p k is the global
+  /// 0-based index in schedule order (useful for cycling input files).
+  using MakeRequest = std::function<JobRequest(const Arrival& a,
+                                               std::uint64_t k)>;
+
+  /// Driver progress. rejected counts AdmissionError throws (queue
+  /// full, shutdown, ...) -- an open system drops work instead of
+  /// blocking the arrival process on it.
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t rejected = 0;
+    /// Worst host-seconds the driver ran behind its schedule (0 when
+    /// every submit happened on time). Telemetry only.
+    double max_behind_s = 0.0;
+  };
+
+  /// Does not start the replay; call start(). @p time_scale multiplies
+  /// every scheduled gap (clamped to >= 0; 0 submits back to back).
+  ArrivalDriver(SolveServer& server, ArrivalPlan plan, MakeRequest make,
+                double time_scale = 1.0);
+  /// Stops (if still running) and joins.
+  ~ArrivalDriver();
+
+  ArrivalDriver(const ArrivalDriver&) = delete;
+  ArrivalDriver& operator=(const ArrivalDriver&) = delete;
+
+  /// Launches the replay thread. Call at most once; a disabled plan
+  /// finishes immediately.
+  void start();
+  /// Blocks until the whole schedule has been submitted (or stop()
+  /// interrupted it). Safe without start(); joins the thread.
+  void join();
+  /// Asks the replay to stop after the in-flight submit; join() to
+  /// wait for it.
+  void stop() noexcept { stop_.store(true, std::memory_order_relaxed); }
+
+  Stats stats() const EXCLUDES(mu_);
+  /// Job ids of every accepted submission, in schedule order -- the
+  /// handle tests use to wait on / cancel open-system jobs.
+  std::vector<int> ids() const EXCLUDES(mu_);
+
+ private:
+  void run();
+
+  SolveServer& server_;
+  const ArrivalPlan plan_;
+  const MakeRequest make_;
+  const double time_scale_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+
+  mutable util::Mutex mu_{util::lockrank::kArrivalDriver,
+                          "ArrivalDriver::mu_"};
+  Stats stats_ GUARDED_BY(mu_);
+  std::vector<int> ids_ GUARDED_BY(mu_);
+
+  std::thread thread_;
+};
+
+}  // namespace cellsweep::core

@@ -8,6 +8,7 @@
 #include "analysis/lint.h"
 #include "core/metrics.h"
 #include "core/orchestrator.h"
+#include "core/streaming_pipeline.h"
 #include "core/workload.h"
 #include "sweep/kernel_simd.h"
 #include "sweep/plan.h"
@@ -99,33 +100,100 @@ void SolveServer::stop() {
   }
   cv_queue_.notify_all();
 
-  // Publish every cancelled job as a failed result carrying the partial
-  // lifecycle trace it accumulated (admission + enqueue stamps;
+  // Publish every cancelled job as a cancelled result carrying the
+  // partial lifecycle trace it accumulated (admission + enqueue stamps;
   // complete stays false). drain()/wait() then see them like any other
   // finished job instead of hanging on results that will never come.
-  const double now = clock_.now_s();
-  for (Job& job : cancelled) {
-    recorder_.record(now, "cancel", job.id, -1, "reason=server-stop");
-    metrics_.counter_add("cellsweep_jobs_cancelled_total", "", 1.0,
-                         "Queued jobs cancelled by server stop");
-    JobResult r;
-    r.id = job.id;
-    r.name = job.req.name;
-    r.kind = job.req.kind;
-    r.ok = false;
-    r.error = "cancelled: server stopped before the job ran";
-    r.trace = job.trace;
-    {
-      MutexLock lock(mu_);
-      ++stats_.cancelled;
-      ++stats_.failed;
-      done_.emplace(job.id, std::move(r));
+  // No per-job flight dump here: a stop() storm is routine shutdown,
+  // and the summary "stop" event below tells the story.
+  const std::size_t n = cancelled.size();
+  for (Job& job : cancelled)
+    publish_cancelled(std::move(job),
+                      "cancelled: server stopped before the job ran", "stop",
+                      /*dump=*/false);
+  recorder_.record(clock_.now_s(), "stop", -1, -1,
+                   "cancelled=" + std::to_string(n));
+  join_workers();
+}
+
+bool SolveServer::cancel(int id) {
+  Job queued;
+  bool was_queued = false;
+  {
+    MutexLock lock(mu_);
+    if (id < 1 || id >= next_id_) return false;
+    if (done_.find(id) != done_.end()) return false;  // already finished
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->id != id) continue;
+      queued = std::move(*it);
+      queue_.erase(it);
+      was_queued = true;
+      break;
     }
   }
-  if (!cancelled.empty()) cv_done_.notify_all();
-  recorder_.record(clock_.now_s(), "stop", -1, -1,
-                   "cancelled=" + std::to_string(cancelled.size()));
-  join_workers();
+  if (was_queued) {
+    publish_cancelled(std::move(queued),
+                      "cancelled: job cancelled while queued", "cancel",
+                      /*dump=*/true);
+    return true;
+  }
+  // Not queued and not done: the job is in a worker's hands. Flip its
+  // cooperative flag; the pipeline aborts at the next wave boundary
+  // (or the worker notices before starting the run). The flag may
+  // already be gone if the result was published between our two looks
+  // -- that is the benign cancel-vs-completion race.
+  MutexLock lock(cancel_mu_);
+  auto it = cancel_flags_.find(id);
+  if (it == cancel_flags_.end()) return false;
+  it->second->store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void SolveServer::publish_cancelled(Job&& job, const std::string& why,
+                                    const char* reason, bool dump) {
+  job.trace.report_s = clock_.now_s();
+  recorder_.record(job.trace.report_s, "cancel", job.id, job.trace.tenant,
+                   std::string("reason=") + reason + " name=" +
+                       (job.req.name.empty() ? "?" : job.req.name));
+  metrics_.counter_add("cellsweep_jobs_cancelled_total",
+                       std::string("reason=\"") + reason + "\"", 1.0,
+                       "Jobs cancelled before completing, by reason");
+  // Dump before publishing: a client woken by the cancelled result
+  // must be able to see the post-mortem file already on disk.
+  if (dump) dump_flight(reason);
+  JobResult r;
+  r.id = job.id;
+  r.name = job.req.name;
+  r.kind = job.req.kind;
+  r.ok = false;
+  r.cancelled = true;
+  r.error = why;
+  r.trace = job.trace;
+  {
+    MutexLock lock(mu_);
+    ++stats_.cancelled;
+    done_.emplace(job.id, std::move(r));
+  }
+  unregister_cancel_flag(job.id);
+  cv_done_.notify_all();
+}
+
+int SolveServer::tenant_weight(int tenant) const noexcept {
+  if (tenant < 0 ||
+      tenant >= static_cast<int>(cfg_.tenant_weights.size()))
+    return 1;
+  return std::max(1, cfg_.tenant_weights[static_cast<std::size_t>(tenant)]);
+}
+
+int SolveServer::tenant_quota(int tenant) const noexcept {
+  if (tenant < 0 || tenant >= static_cast<int>(cfg_.tenant_quotas.size()))
+    return 0;
+  return std::max(0, cfg_.tenant_quotas[static_cast<std::size_t>(tenant)]);
+}
+
+void SolveServer::unregister_cancel_flag(int id) {
+  MutexLock lock(cancel_mu_);
+  cancel_flags_.erase(id);
 }
 
 void SolveServer::admit(Job& job) const {
@@ -230,6 +298,16 @@ int SolveServer::submit(const JobRequest& req) {
     id = next_id_++;
     job.id = id;
     if (job.req.name.empty()) job.req.name = "job-" + std::to_string(id);
+    job.cancel_flag = std::make_shared<std::atomic<bool>>(false);
+    {
+      // Registered before the job becomes visible to any worker (the
+      // queue push below happens under this same mu_ hold), so
+      // cancel() can always find a live job's flag and the worker's
+      // unregister after publish always finds the entry. mu_ ->
+      // cancel_mu_ is the one declared nesting of the two locks.
+      MutexLock cancel_lock(cancel_mu_);
+      cancel_flags_.emplace(id, job.cancel_flag);
+    }
     job.trace.enqueue_s = clock_.now_s();
     ++stats_.submitted;
     queue_.push_back(std::move(job));
@@ -288,9 +366,29 @@ void SolveServer::worker_loop(int tenant) {
     recorder_.record(job.trace.dequeue_s, "dequeue", job.id, tenant,
                      "name=" + job.req.name);
 
+    // Cancelled while queued but snatched by cancel()'s second look
+    // (or its deadline expired in the queue): publish without running.
+    if (job.cancel_flag &&
+        job.cancel_flag->load(std::memory_order_relaxed)) {
+      publish_cancelled(std::move(job),
+                        "cancelled: job cancelled while queued", "cancel",
+                        /*dump=*/true);
+      continue;
+    }
+    if (job.req.deadline_ms > 0 &&
+        job.trace.queue_wait_s() * 1000.0 >
+            static_cast<double>(job.req.deadline_ms)) {
+      publish_cancelled(
+          std::move(job),
+          "cancelled: deadline of " + std::to_string(job.req.deadline_ms) +
+              " ms expired while the job was queued",
+          "deadline", /*dump=*/true);
+      continue;
+    }
+
     JobResult res = run_job(job);
     res.trace.report_s = clock_.now_s();
-    res.trace.complete = true;
+    res.trace.complete = !res.cancelled;
 
     // Per-tenant latency distributions: queue wait (enqueue->dequeue)
     // and service time (solver entry->exit). Recorded outside mu_.
@@ -303,20 +401,30 @@ void SolveServer::worker_loop(int tenant) {
     if (JobTrace::reached(svc))
       metrics_.observe("cellsweep_service_seconds", label, svc,
                        "Host seconds a job spent in the solver");
-    metrics_.counter_add(res.ok ? "cellsweep_jobs_completed_total"
-                                : "cellsweep_jobs_failed_total",
-                         label, 1.0,
-                         res.ok ? "Jobs finished ok, by tenant"
-                                : "Jobs finished with an error, by tenant");
+    if (res.cancelled)
+      metrics_.counter_add("cellsweep_jobs_cancelled_total",
+                           "reason=\"cancel\"", 1.0,
+                           "Jobs cancelled before completing, by reason");
+    else
+      metrics_.counter_add(res.ok ? "cellsweep_jobs_completed_total"
+                                  : "cellsweep_jobs_failed_total",
+                           label, 1.0,
+                           res.ok ? "Jobs finished ok, by tenant"
+                                  : "Jobs finished with an error, by tenant");
     if (res.ok && res.plan_cache_hit)
       metrics_.counter_add("cellsweep_plan_cache_job_hits_total", label, 1.0,
                            "Jobs that reused a cached plan, by tenant");
 
     const bool failover = res.ok && saw_failover(res.report);
-    recorder_.record(res.trace.report_s, res.ok ? "complete" : "fail",
+    recorder_.record(res.trace.report_s,
+                     res.cancelled ? "cancel" : res.ok ? "complete" : "fail",
                      job.id, tenant,
-                     res.ok ? "name=" + job.req.name
-                            : "name=" + job.req.name + " error=" + res.error);
+                     res.cancelled
+                         ? "reason=cancel-mid-run name=" + job.req.name
+                         : res.ok
+                               ? "name=" + job.req.name
+                               : "name=" + job.req.name +
+                                     " error=" + res.error);
     if (failover)
       recorder_.record(
           clock_.now_s(), "failover", job.id, tenant,
@@ -328,14 +436,19 @@ void SolveServer::worker_loop(int tenant) {
 
     // Dump before publishing: a client woken by its result must be
     // able to see the post-mortem file already on disk.
-    if (!res.ok) dump_flight("job-failure");
+    if (res.cancelled) dump_flight("cancel");
+    else if (!res.ok) dump_flight("job-failure");
     if (failover) dump_flight("failover");
 
     {
       MutexLock lock(mu_);
-      res.ok ? ++stats_.completed : ++stats_.failed;
+      if (res.cancelled)
+        ++stats_.cancelled;
+      else
+        res.ok ? ++stats_.completed : ++stats_.failed;
       done_.emplace(job.id, std::move(res));
     }
+    unregister_cancel_flag(job.id);
     cv_done_.notify_all();
   }
 }
@@ -344,6 +457,23 @@ JobResult SolveServer::run_job(Job& job) {
   try {
     JobResult r = job.req.kind == JobKind::kSweep ? run_sweep(job)
                                                   : run_stencil(job);
+    r.trace = job.trace;
+    return r;
+  } catch (const RunCancelled& e) {
+    // Cooperative mid-run cancellation: the pipeline unwound at a wave
+    // boundary and released its SPE claim on the way out. The partial
+    // trace keeps every stamp the run reached, run_end_s included.
+    if (JobTrace::reached(job.trace.run_start_s) &&
+        !JobTrace::reached(job.trace.run_end_s))
+      job.trace.run_end_s = clock_.now_s();
+    job.trace.claim_wait_s = SpeAllocator::thread_claim_wait_s();
+    JobResult r;
+    r.id = job.id;
+    r.name = job.req.name;
+    r.kind = job.req.kind;
+    r.ok = false;
+    r.cancelled = true;
+    r.error = std::string("cancelled: ") + e.what();
     r.trace = job.trace;
     return r;
   } catch (const std::exception& e) {
@@ -400,6 +530,9 @@ JobResult SolveServer::run_sweep(Job& job) {
   cfg.sweep.pool = &pool_;
   cfg.spe_allocator = &alloc_;
   cfg.min_spes = cfg_.min_spes;
+  cfg.claim_weight = tenant_weight(job.trace.tenant);
+  cfg.claim_quota = tenant_quota(job.trace.tenant);
+  cfg.cancel = job.cancel_flag.get();
 
   const std::uint64_t key = PlanCache::fingerprint(
       job_kind_name(JobKind::kSweep), cfg_.stage, job.req.text);
@@ -432,6 +565,9 @@ JobResult SolveServer::run_stencil(Job& job) {
   CellSweepConfig cfg = base_;
   cfg.spe_allocator = &alloc_;
   cfg.min_spes = cfg_.min_spes;
+  cfg.claim_weight = tenant_weight(job.trace.tenant);
+  cfg.claim_quota = tenant_quota(job.trace.tenant);
+  cfg.cancel = job.cancel_flag.get();
 
   const std::uint64_t key = PlanCache::fingerprint(
       job_kind_name(JobKind::kStencil), cfg_.stage, job.req.text);

@@ -100,6 +100,17 @@ struct ServerConfig {
   int host_threads = 1;
   /// Fewest SPEs a tenant may be squeezed to under pressure.
   int min_spes = 1;
+  /// Per-tenant QoS weights, indexed by tenant worker id; tenants past
+  /// the end (or with entries < 1) run at the default weight 1. A
+  /// weight-w tenant's SPE fair share under pressure scales with w
+  /// (see SpeAllocator), and a running lower-weight job yields SPEs at
+  /// chunk granularity when a higher-weight claim is blocked. Empty
+  /// (the default) keeps every tenant equal -- byte-identical to the
+  /// pre-QoS build.
+  std::vector<int> tenant_weights;
+  /// Per-tenant hard caps on SPEs held at once, same indexing; entries
+  /// <= 0 (and tenants past the end) are uncapped.
+  std::vector<int> tenant_quotas;
   /// Fault plan applied to every job's simulated machine (SPE deaths,
   /// DMA flakiness -- see sim::parse_fault_spec). Default: no faults.
   sim::FaultSpec faults;
@@ -121,6 +132,12 @@ struct JobRequest {
   /// Deck (sweep) or spec (stencil) source text.
   std::string text;
   RunMode mode = RunMode::kTraceDriven;
+  /// Queue deadline in host milliseconds from admission; 0 = none. A
+  /// job still queued when its deadline passes is cancelled at dequeue
+  /// (published with a partial trace, counted in Stats::cancelled)
+  /// instead of running late. The deadline never interrupts a job that
+  /// started in time -- use cancel() for that.
+  std::int64_t deadline_ms = 0;
 };
 
 struct JobResult {
@@ -139,9 +156,14 @@ struct JobResult {
   double residual = 0;
   /// This job reused a cached plan (quadrature + kernel calibration).
   bool plan_cache_hit = false;
+  /// The job was cancelled (cancel(), deadline expiry, or stop())
+  /// rather than failing on its own; ok is false and `error` starts
+  /// with "cancelled:".
+  bool cancelled = false;
   /// Host-time lifecycle stamps (admission -> queue -> plan -> claim
-  /// wait -> run -> report); partial (complete == false) for jobs
-  /// cancelled by stop().
+  /// wait -> run -> report); partial (complete == false) for cancelled
+  /// jobs -- a mid-run cancellation still stamps run_end_s, so the
+  /// spans it did reach stay well-ordered.
   JobTrace trace;
 };
 
@@ -150,9 +172,14 @@ class SolveServer {
   struct Stats {
     std::uint64_t submitted = 0;  ///< admitted into the queue
     std::uint64_t completed = 0;  ///< finished ok
-    std::uint64_t failed = 0;     ///< finished with an error
+    std::uint64_t failed = 0;     ///< finished with an error (not cancelled)
     std::uint64_t rejected = 0;   ///< refused at admission
-    std::uint64_t cancelled = 0;  ///< queued but cancelled by stop()
+    /// Cancelled before completing: cancel(), deadline expiry or
+    /// stop(). Disjoint from failed -- every admitted job lands in
+    /// exactly one of completed / failed / cancelled, so
+    /// submitted == completed + failed + cancelled once drained (the
+    /// conservation law the soak test pins).
+    std::uint64_t cancelled = 0;
   };
 
   explicit SolveServer(const ServerConfig& cfg = {});
@@ -175,13 +202,25 @@ class SolveServer {
   /// results in submission order.
   std::vector<JobResult> drain() EXCLUDES(mu_);
 
+  /// Cancels job @p id. A still-queued job is removed and published
+  /// immediately (cancelled result, partial trace, flight-recorder
+  /// post-mortem dumped before the result is visible). A running job
+  /// gets its cooperative flag set: the streaming pipeline aborts
+  /// between waves (chunk granularity, never mid-wave), the partial
+  /// result stamps run_end_s, and the same dump-before-publish order
+  /// holds. Returns false when the job already finished (or the id was
+  /// never issued) -- cancel() and completion racing is benign, the
+  /// published result tells which won.
+  bool cancel(int id) EXCLUDES(mu_);
+
   /// Early shutdown: stops accepting work (submit() then rejects with
   /// kShutdown), cancels every still-queued job -- each is published
-  /// as a failed JobResult carrying its partial lifecycle trace
-  /// (complete == false) and counted in Stats::cancelled -- lets
-  /// in-flight jobs finish, and joins the workers. Idempotent; the
-  /// destructor afterwards is a no-op. Without stop(), destruction
-  /// keeps the original drain semantics (queued jobs still run).
+  /// as a cancelled JobResult carrying its partial lifecycle trace
+  /// (complete == false) and counted in Stats::cancelled only (not
+  /// failed) -- lets in-flight jobs finish, and joins the workers.
+  /// Idempotent; the destructor afterwards is a no-op. Without stop(),
+  /// destruction keeps the original drain semantics (queued jobs still
+  /// run).
   void stop() EXCLUDES(mu_);
 
   Stats stats() const EXCLUDES(mu_);
@@ -218,6 +257,10 @@ class SolveServer {
     std::optional<sweep::Deck> deck;
     std::shared_ptr<const stencil::StencilSpec> spec;
     JobTrace trace;
+    /// Cooperative cancellation flag, created at submit() and shared
+    /// with the cancel_flags_ registry so cancel() can reach a job the
+    /// worker already dequeued. The pipeline polls it between waves.
+    std::shared_ptr<std::atomic<bool>> cancel_flag;
   };
 
   /// Parse + lint + budget checks; fills job.deck / job.spec. Throws
@@ -231,6 +274,18 @@ class SolveServer {
   /// Writes the flight-recorder window to the configured dump path
   /// (no-op when flight_recorder_path is empty) and counts the dump.
   void dump_flight(const char* trigger) EXCLUDES(mu_);
+  /// Publishes @p job as a cancelled result (reason-labelled counter,
+  /// "cancel" lifecycle event, optional flight dump -- always *before*
+  /// the result becomes visible) and counts it in Stats::cancelled.
+  void publish_cancelled(Job&& job, const std::string& why,
+                         const char* reason, bool dump) EXCLUDES(mu_);
+  /// Configured QoS weight (>= 1) / SPE quota (0 = uncapped) of a
+  /// tenant worker.
+  int tenant_weight(int tenant) const noexcept;
+  int tenant_quota(int tenant) const noexcept;
+  /// Drops job @p id's entry from the cancel-flag registry (after its
+  /// result is published; cancel() then reports "already finished").
+  void unregister_cancel_flag(int id) EXCLUDES(cancel_mu_);
   /// Runs one job to completion. mu_ is never held here: a solve may
   /// take seconds and claims SPEs / the host pool on its own locks.
   JobResult run_job(Job& job) EXCLUDES(mu_);
@@ -256,9 +311,10 @@ class SolveServer {
   std::atomic<int> dump_seq_{0};  ///< flight-dump file suffix
 
   /// Guards the job queue, the result map and the server stats -- the
-  /// only state tenant workers and clients share directly. Leaf lock:
-  /// nothing else is ever acquired while it is held (jobs run outside
-  /// it), so it cannot participate in a deadlock cycle.
+  /// only state tenant workers and clients share directly. Jobs run
+  /// outside it; the only lock ever acquired while it is held is
+  /// cancel_mu_ (rank-increasing, declared in lock_ranks.h), so it
+  /// cannot participate in a deadlock cycle.
   mutable util::Mutex mu_{util::lockrank::kSolveServer, "SolveServer::mu_"};
   util::CondVar cv_queue_;  ///< workers wait on mu_ for jobs
   util::CondVar cv_done_;   ///< clients wait on mu_ for results
@@ -268,6 +324,15 @@ class SolveServer {
   bool stopping_ GUARDED_BY(mu_) = false;
   bool joined_ GUARDED_BY(mu_) = false;  ///< workers already joined
   Stats stats_ GUARDED_BY(mu_);
+
+  /// Guards the job-id -> cancel-flag registry, so cancel() can find a
+  /// running job's flag without touching the queue lock. Ranked after
+  /// mu_: submit() registers the flag while holding mu_ (the one
+  /// declared nesting); every other path takes the two one at a time.
+  mutable util::Mutex cancel_mu_{util::lockrank::kSolveServerCancel,
+                                 "SolveServer::cancel_mu_"};
+  std::map<int, std::shared_ptr<std::atomic<bool>>> cancel_flags_
+      GUARDED_BY(cancel_mu_);
 
   std::vector<std::thread> workers_;
 };

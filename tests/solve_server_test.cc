@@ -9,7 +9,9 @@
 //   * admission is typed and airtight: unparsable, lint-rejected and
 //     over-budget jobs throw AdmissionError with the right reason and
 //     never reach a worker.
+#include <chrono>
 #include <filesystem>
+#include <thread>
 #include <string>
 #include <vector>
 
@@ -52,6 +54,27 @@ JobRequest stencil_req(const std::string& name) {
   req.name = name;
   req.text = kTinyStencil;
   req.mode = RunMode::kFunctional;
+  return req;
+}
+
+// Large enough that a trace-driven solve occupies its worker for a
+// good fraction of a second -- the cancellation tests need a window in
+// which the job is reliably still queued (behind one of these) or
+// reliably still running.
+const char* const kSlowDeck =
+    "it 24  jt 24  kt 24\n"
+    "dx 0.04  dy 0.04  dz 0.04\n"
+    "mk 4  mmi 3\n"
+    "sn 6  moments 6\n"
+    "iterations 4  fixup_from 1\n"
+    "material benchmark 1.0 0.5 0.2 0.05 source 1.0\n";
+
+JobRequest slow_req(const std::string& name) {
+  JobRequest req;
+  req.kind = JobKind::kSweep;
+  req.name = name;
+  req.text = kSlowDeck;
+  req.mode = RunMode::kTraceDriven;
   return req;
 }
 
@@ -345,24 +368,29 @@ TEST(SolveServer, StopMidQueueReportsPartialSpans) {
   const SolveServer::Stats st = server.stats();
   EXPECT_EQ(st.submitted, ids.size());
   EXPECT_GE(st.cancelled, 1u);  // the burst outran the single tenant
-  EXPECT_EQ(st.completed + st.failed, ids.size());
+  EXPECT_EQ(st.failed, 0u);     // cancelled is its own terminal state
+  // Conservation: every admitted job lands in exactly one bucket.
+  EXPECT_EQ(st.completed + st.failed + st.cancelled, ids.size());
 
   std::uint64_t cancelled_seen = 0;
   for (const JobResult& r : results) {
     if (r.ok) {
       EXPECT_TRUE(r.trace.complete) << r.name;
+      EXPECT_FALSE(r.cancelled) << r.name;
       continue;
     }
     ++cancelled_seen;
-    EXPECT_NE(r.error.find("cancelled"), std::string::npos) << r.error;
-    // The partial trace keeps the admission-side stamps and nothing
-    // past the queue.
+    EXPECT_TRUE(r.cancelled) << r.name;
+    EXPECT_EQ(r.error.rfind("cancelled:", 0), 0u) << r.error;
+    // The partial trace keeps the admission-side stamps, never enters
+    // the run, and still gets a publication stamp.
     const JobTrace& t = r.trace;
     EXPECT_FALSE(t.complete);
     EXPECT_TRUE(JobTrace::reached(t.admit_start_s));
     EXPECT_TRUE(JobTrace::reached(t.enqueue_s));
     EXPECT_FALSE(JobTrace::reached(t.run_start_s));
-    EXPECT_FALSE(JobTrace::reached(t.report_s)) << r.name;
+    EXPECT_TRUE(JobTrace::reached(t.report_s)) << r.name;
+    EXPECT_GE(t.report_s, t.enqueue_s) << r.name;
   }
   EXPECT_EQ(cancelled_seen, st.cancelled);
   // stop() is idempotent and the destructor after it is a no-op.
@@ -396,6 +424,151 @@ TEST(SolveServer, FlightRecorderDumpsOnFailover) {
     if (e.kind == "failover") saw_failover = true;
   EXPECT_TRUE(saw_failover);
   std::filesystem::remove_all(dir);
+}
+
+TEST(SolveServer, CancelQueuedJobPublishesBeforeWaitReturns) {
+  const std::string dir = ::testing::TempDir() + "cellsweep-cancelq";
+  std::filesystem::create_directories(dir);
+  ServerConfig cfg;
+  cfg.tenants = 1;
+  cfg.flight_recorder_path = dir + "/flightrec";
+  SolveServer server(cfg);
+  const int blocker = server.submit(slow_req("blocker"));
+  const int target = server.submit(sweep_req("victim"));
+  // The single worker is (at best) on the blocker; the victim is still
+  // queued, so cancel() must take the immediate-publish path.
+  EXPECT_TRUE(server.cancel(target));
+  const JobResult r = server.wait(target);
+  EXPECT_TRUE(r.cancelled);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error.rfind("cancelled:", 0), 0u) << r.error;
+  EXPECT_FALSE(r.trace.complete);
+  EXPECT_FALSE(JobTrace::reached(r.trace.run_start_s));
+  EXPECT_TRUE(JobTrace::reached(r.trace.report_s));
+
+  // Dump-before-publish: the moment wait() returned the cancelled
+  // result, the post-mortem file was already on disk.
+  std::size_t dumps = 0;
+  for (const auto& ent : std::filesystem::directory_iterator(dir))
+    if (ent.path().filename().string().rfind("flightrec-", 0) == 0) ++dumps;
+  EXPECT_GE(dumps, 1u);
+
+  // Cancelling a finished job reports false, never a double publish.
+  EXPECT_FALSE(server.cancel(target));
+  EXPECT_FALSE(server.cancel(9999));
+  const JobResult rb = server.wait(blocker);
+  EXPECT_TRUE(rb.ok) << rb.error;
+  EXPECT_FALSE(server.cancel(blocker));
+
+  const SolveServer::Stats st = server.stats();
+  EXPECT_EQ(st.submitted, 2u);
+  EXPECT_EQ(st.completed, 1u);
+  EXPECT_EQ(st.cancelled, 1u);
+  EXPECT_EQ(st.failed, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SolveServer, CancelMidRunKeepsStampsMonotone) {
+  ServerConfig cfg;
+  cfg.tenants = 1;
+  SolveServer server(cfg);
+  const int id = server.submit(slow_req("long-haul"));
+  // Wait until the worker has actually dequeued the job, then cancel:
+  // the cooperative flag aborts the pipeline at a wave boundary.
+  bool dequeued = false;
+  for (int spin = 0; spin < 10000 && !dequeued; ++spin) {
+    for (const FlightRecorder::Event& e : server.flight_recorder().events())
+      if (e.kind == "dequeue" && e.job_id == id) dequeued = true;
+    if (!dequeued) std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  ASSERT_TRUE(dequeued);
+  EXPECT_TRUE(server.cancel(id));
+  const JobResult r = server.wait(id);
+  ASSERT_TRUE(r.cancelled) << "job finished before the cancel landed; "
+                              "kSlowDeck needs to be slower";
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("cancelled"), std::string::npos) << r.error;
+  EXPECT_FALSE(r.trace.complete);
+
+  // Every stamp the run reached is present and monotone: admission ->
+  // enqueue -> dequeue -> plan -> run_start -> run_end -> report.
+  const JobTrace& t = r.trace;
+  EXPECT_TRUE(JobTrace::reached(t.admit_start_s));
+  EXPECT_TRUE(JobTrace::reached(t.run_start_s));
+  EXPECT_TRUE(JobTrace::reached(t.run_end_s));  // stamped at abort
+  EXPECT_TRUE(JobTrace::reached(t.report_s));
+  EXPECT_LE(t.admit_start_s, t.admit_end_s);
+  EXPECT_LE(t.admit_end_s, t.enqueue_s);
+  EXPECT_LE(t.enqueue_s, t.dequeue_s);
+  EXPECT_LE(t.dequeue_s, t.run_start_s);
+  EXPECT_LE(t.run_start_s, t.run_end_s);
+  EXPECT_LE(t.run_end_s, t.report_s);
+
+  // The recorder saw the cancel after the dequeue (lifecycle order).
+  std::size_t i_dequeue = 0, i_cancel = 0;
+  const auto events = server.flight_recorder().events();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].job_id != id) continue;
+    if (events[i].kind == "dequeue") i_dequeue = i;
+    if (events[i].kind == "cancel") i_cancel = i;
+  }
+  EXPECT_GT(i_cancel, i_dequeue);
+
+  const SolveServer::Stats st = server.stats();
+  EXPECT_EQ(st.cancelled, 1u);
+  EXPECT_EQ(st.completed + st.failed + st.cancelled, 1u);
+}
+
+TEST(SolveServer, QueueDeadlineExpiryCancelsInsteadOfRunningLate) {
+  ServerConfig cfg;
+  cfg.tenants = 1;
+  SolveServer server(cfg);
+  server.submit(slow_req("blocker"));
+  JobRequest doomed = sweep_req("doomed");
+  doomed.deadline_ms = 1;  // expires while the blocker holds the worker
+  const int id_doomed = server.submit(doomed);
+  JobRequest relaxed = sweep_req("relaxed");
+  relaxed.deadline_ms = 600000;
+  const int id_relaxed = server.submit(relaxed);
+
+  const JobResult rd = server.wait(id_doomed);
+  EXPECT_TRUE(rd.cancelled);
+  EXPECT_NE(rd.error.find("deadline"), std::string::npos) << rd.error;
+  EXPECT_FALSE(JobTrace::reached(rd.trace.run_start_s));
+  EXPECT_FALSE(rd.trace.complete);
+
+  // A deadline with slack never fires; the job runs normally.
+  const JobResult rr = server.wait(id_relaxed);
+  EXPECT_TRUE(rr.ok) << rr.error;
+  EXPECT_FALSE(rr.cancelled);
+  EXPECT_TRUE(rr.trace.complete);
+
+  // The cancelled metric carries the typed reason.
+  const MetricsRegistry::Snapshot snap = server.metrics_snapshot();
+  const MetricsRegistry::Family* fam =
+      snap.find("cellsweep_jobs_cancelled_total");
+  ASSERT_NE(fam, nullptr);
+  bool saw_deadline = false;
+  for (const MetricsRegistry::Entry& e : fam->entries)
+    if (e.label == "reason=\"deadline\"") saw_deadline = true;
+  EXPECT_TRUE(saw_deadline);
+}
+
+TEST(SolveServer, TenantWeightsAndQuotasReachTheAllocator) {
+  // A quota'd tenant can never hold more SPEs than its cap: with one
+  // tenant quota'd to 2 on an 8-SPE chip, a solo run still succeeds
+  // (physics identical) while the allocator never grants past 2.
+  ServerConfig cfg;
+  cfg.tenants = 1;
+  cfg.tenant_weights = {3};
+  cfg.tenant_quotas = {2};
+  SolveServer server(cfg);
+  const JobResult r = server.wait(server.submit(sweep_req("capped")));
+  EXPECT_TRUE(r.ok) << r.error;
+  // The run degraded to 2 SPEs (quota), visible in the report.
+  ASSERT_TRUE(r.report.solve.has_value());
+  EXPECT_GT(r.report.seconds, 0.0);
+  EXPECT_LE(server.allocator_stats().peak_tenants, 1);
 }
 
 TEST(PlanCache, BoundedCacheEvictsFifo) {

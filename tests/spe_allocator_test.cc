@@ -230,5 +230,109 @@ TEST(SpeAllocator, ShrinkToFairShareRespectsNeedAndFloor) {
   alloc.release(c);
 }
 
+TEST(SpeAllocatorQos, QuotaCapsGrantExpandAndMinimum) {
+  SpeAllocator alloc(8);
+  // The quota is a hard ceiling on the grant...
+  SpeAllocator::Claim a = alloc.claim(1, 8, /*weight=*/1, /*quota=*/3);
+  EXPECT_EQ(a.count(), 3);
+  EXPECT_EQ(a.quota, 3);
+  // ... and on every later expand, even with the chip free.
+  EXPECT_EQ(alloc.expand(a, 8), 0);
+  EXPECT_EQ(a.count(), 3);
+  // A minimum above the quota is pulled down to it, not deadlocked on.
+  SpeAllocator::Claim b = alloc.claim(4, 8, /*weight=*/1, /*quota=*/2);
+  EXPECT_EQ(b.count(), 2);
+  alloc.release(a);
+  alloc.release(b);
+  // Weight alone never caps a solo tenant: the whole chip, as always.
+  SpeAllocator::Claim c = alloc.claim(1, 8, /*weight=*/5);
+  EXPECT_EQ(c.count(), 8);
+  alloc.release(c);
+}
+
+TEST(SpeAllocatorQos, WeightedSharesPartitionTheChipUnderFullPressure) {
+  // Weights {2,1,1} on an 8-SPE chip must settle at {4,2,2}: the
+  // weighted shares sum to the whole chip under full pressure.
+  SpeAllocator alloc(8);
+  SpeAllocator::Claim a = alloc.claim(8, 8, /*weight=*/2);
+  SpeAllocator::Claim b, c;
+  std::thread tb([&] { b = alloc.claim(1, 8, /*weight=*/1); });
+  std::thread tc([&] { c = alloc.claim(1, 8, /*weight=*/1); });
+  wait_until([&] { return alloc.stats().waited_claims == 2u; });
+  // Everyone visible: total weight 4, so the weight-2 holder's share
+  // is 8 * 2/4 = 4 and each weight-1 party's is 8 * 1/4 = 2.
+  EXPECT_EQ(alloc.fair_share(2), 4);
+  EXPECT_EQ(alloc.fair_share(1), 2);
+  EXPECT_TRUE(alloc.shrink_to_fair_share(a, /*need=*/8, /*min_spes=*/1));
+  EXPECT_EQ(a.count(), 4);
+  tb.join();
+  tc.join();
+  std::vector<int> counts{b.count(), c.count()};
+  std::sort(counts.begin(), counts.end());
+  EXPECT_EQ(counts, (std::vector<int>{2, 2}));
+  EXPECT_EQ(alloc.free_count(), 0);
+  alloc.release(a);
+  alloc.release(b);
+  alloc.release(c);
+}
+
+TEST(SpeAllocatorQos, PriorityPressureSignalsStrictlyHigherWeightOnly) {
+  SpeAllocator alloc(8);
+  SpeAllocator::Claim a = alloc.claim(8, 8, /*weight=*/1);
+  SpeAllocator::Claim b;
+  std::thread t([&] { b = alloc.claim(1, 8, /*weight=*/3); });
+  wait_until([&] { return alloc.pressure(); });
+  // A weight-3 claim is blocked: weight-1 and weight-2 holders must
+  // yield now; a weight-3 (equal) or heavier holder need not.
+  EXPECT_TRUE(alloc.priority_pressure(1));
+  EXPECT_TRUE(alloc.priority_pressure(2));
+  EXPECT_FALSE(alloc.priority_pressure(3));
+  EXPECT_FALSE(alloc.priority_pressure(4));
+  // The weighted yield in one critical section: the weight-1 holder's
+  // share against the weight-3 waiter is 8 * 1/4 = 2.
+  EXPECT_TRUE(alloc.shrink_to_fair_share(a, /*need=*/8, /*min_spes=*/1));
+  EXPECT_EQ(a.count(), 2);
+  t.join();
+  // The lone waiter takes everything yielded once nobody else queues.
+  EXPECT_EQ(b.count(), 6);
+  EXPECT_FALSE(alloc.priority_pressure(1));  // nobody blocked anymore
+  alloc.release(a);
+  alloc.release(b);
+}
+
+TEST(SpeAllocatorQos, EveryWaiterIsServedUnderRepeatedYields) {
+  // Bounded wait: with the holder yielding at its "batch boundaries",
+  // every queued claim -- whatever its weight -- is eventually granted;
+  // nobody starves behind heavier tenants.
+  SpeAllocator alloc(8);
+  SpeAllocator::Claim a = alloc.claim(8, 8, /*weight=*/4);
+  std::atomic<int> granted{0};
+  std::vector<std::thread> claimants;
+  for (int w = 1; w <= 3; ++w) {
+    claimants.emplace_back([&alloc, &granted, w] {
+      SpeAllocator::Claim c = alloc.claim(1, 2, /*weight=*/w);
+      EXPECT_GE(c.count(), 1);
+      EXPECT_LE(c.count(), 2);
+      granted.fetch_add(1);
+      alloc.release(c);
+    });
+  }
+  // The holder's yield loop: shrink toward the (shifting) fair share
+  // whenever pressure shows, regrow opportunistically when it clears.
+  wait_until([&] {
+    alloc.shrink_to_fair_share(a, /*need=*/8, /*min_spes=*/1);
+    if (!alloc.pressure()) alloc.expand(a, 8);
+    return granted.load() == 3;
+  });
+  for (std::thread& t : claimants) t.join();
+  // At least one claimant must have queued behind the full holder; the
+  // exact count is racy -- a claimant arriving in the window between a
+  // peer's release and the holder's regrow is granted without waiting.
+  EXPECT_GE(alloc.stats().waited_claims, 1u);
+  EXPECT_LE(alloc.stats().waited_claims, 3u);
+  alloc.release(a);
+  EXPECT_EQ(alloc.free_count(), 8);
+}
+
 }  // namespace
 }  // namespace cellsweep::core

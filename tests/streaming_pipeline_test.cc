@@ -3,6 +3,8 @@
 // invariant of the streaming discipline (counter partition, hazard
 // cleanliness, observability purity) is checked independently of any
 // real workload's arithmetic.
+#include <atomic>
+#include <chrono>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -12,6 +14,7 @@
 #include "analysis/diagnostics.h"
 #include "analysis/hazard.h"
 #include "cellsim/local_store.h"
+#include "core/spe_allocator.h"
 #include "core/streaming_pipeline.h"
 #include "sim/trace.h"
 
@@ -255,6 +258,89 @@ TEST(StreamingPipeline, TwoPipelinesShareOneChipUnderPressure) {
   }
   EXPECT_EQ(alloc.free_count(), alloc.num_spes());
   EXPECT_GE(alloc.stats().claims, 2u);
+}
+
+TEST(StreamingPipeline, CancelFlagAbortsBetweenWavesAndReleasesTheChip) {
+  core::SpeAllocator alloc(core::StreamConfig{}.chip.num_spes);
+  core::StreamConfig cfg;
+  cfg.spe_allocator = &alloc;
+  std::atomic<bool> cancel{false};
+  cfg.cancel = &cancel;
+
+  // An armed-but-never-set flag changes nothing observable.
+  const core::RunReport bare = run_identity(core::StreamConfig{});
+  const core::RunReport flagged = run_identity(cfg);
+  EXPECT_EQ(flagged.seconds, bare.seconds);
+  EXPECT_EQ(flagged.counters.value("run_ticks"),
+            bare.counters.value("run_ticks"));
+
+  // A set flag aborts at the first wave boundary; the claim must still
+  // be released on the unwind path (no SPE leaks past the exception).
+  cancel.store(true);
+  core::LsPlacement placement;
+  placement.resident.emplace_back("identity-constants", 2048);
+  placement.buffer_bytes = tiny_plan().ls_buffer_bytes;
+  {
+    core::StreamingPipeline pipeline(cfg, placement);
+    const std::vector<core::StreamChunkSpec> batch = identity_batch(24);
+    EXPECT_THROW(pipeline.run_batch(batch, chain_deps, true),
+                 core::RunCancelled);
+  }
+  EXPECT_EQ(alloc.free_count(), alloc.num_spes());
+}
+
+TEST(StreamingPipeline, HigherWeightWaiterPreemptsBetweenChunks) {
+  // A weight-1 run holds the chip; a weight-3 claim arrives while a
+  // batch is in flight (a claim queued *before* the batch would be
+  // served by the batch-boundary rebalance instead). The pipeline must
+  // yield within the batch -- chunk granularity, not the next batch
+  // boundary -- finish all its work on the narrowed claim, and count
+  // the preemption.
+  core::SpeAllocator alloc(core::StreamConfig{}.chip.num_spes);
+  core::StreamConfig cfg;
+  cfg.spe_allocator = &alloc;
+  cfg.claim_weight = 1;
+
+  core::LsPlacement placement;
+  placement.resident.emplace_back("identity-constants", 2048);
+  placement.buffer_bytes = tiny_plan().ls_buffer_bytes;
+  core::StreamingPipeline pipeline(cfg, placement);  // claims all 8
+
+  core::SpeAllocator::Claim heavy;
+  std::atomic<bool> granted{false};
+  std::thread claimant;
+  std::uint64_t chunks_seen = 0;
+  // The hook runs host-side between simulated chunks: launch the heavy
+  // claim a few chunks into the first wave, then hold the pipeline
+  // thread (pure host time, no simulated tick) until the claimant is
+  // visibly queued -- so the next inter-wave check reliably sees it.
+  pipeline.set_chunk_hook([&](const core::StreamChunkSpec&, sim::Tick,
+                              sim::Tick) {
+    if (++chunks_seen != 4) return;
+    claimant = std::thread([&] {
+      heavy = alloc.claim(1, 4, /*weight=*/3);
+      granted.store(true);
+    });
+    for (int spin = 0; spin < 10000 && !alloc.pressure(); ++spin)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  const std::vector<core::StreamChunkSpec> batch = identity_batch(24);
+  for (int b = 0; b < 4; ++b) pipeline.run_batch(batch, chain_deps, b == 0);
+  const core::RunReport r = pipeline.finish();
+  claimant.join();
+  EXPECT_TRUE(granted.load());
+  alloc.release(heavy);
+
+  // All work completed despite the mid-batch squeeze...
+  EXPECT_EQ(r.chunks, 4u * 24u);
+  EXPECT_EQ(r.flops, 4u * 24u * 1000u);
+  // ... and the preemption is visible in the allocator subtree: the
+  // run shrank below the full chip at least once, between chunks.
+  const sim::CounterSet* a = r.counters.find_child("allocator");
+  ASSERT_NE(a, nullptr);
+  EXPECT_GE(a->value("preempt_yields"), 1.0);
+  EXPECT_LT(a->value("spes_min"), core::StreamConfig{}.chip.num_spes);
+  EXPECT_EQ(alloc.free_count(), alloc.num_spes());
 }
 
 TEST(StreamingPipeline, OverfullPlacementThrows) {

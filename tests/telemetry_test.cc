@@ -56,21 +56,60 @@ TEST(Histogram, BinEdgesAreHalfOpen) {
   EXPECT_TRUE(std::isinf(h.bin_lower(0)));
 }
 
-TEST(Histogram, PercentileIsUpperEdgeClampedToExtrema) {
+TEST(Histogram, SmallSamplePercentileIsExactOrderStatistic) {
   Histogram h(1.0, 100.0, 1);
   h.add(2.0);
   h.add(3.0);
   h.add(50.0);
   h.add(60.0);
-  // p50 -> rank 2 -> bin [1,10) -> upper edge 10, inside [min, max].
-  EXPECT_DOUBLE_EQ(h.percentile(0.50), 10.0);
-  EXPECT_DOUBLE_EQ(h.percentile(1.0), 60.0);  // exact max
-  EXPECT_DOUBLE_EQ(h.percentile(0.0), 10.0);  // rank clamps to 1
+  // count <= kExactSampleLimit: percentile() reads the raw order
+  // statistic, not the upper bin edge (which would be 10.0 for p50).
+  ASSERT_TRUE(h.exact());
+  EXPECT_DOUBLE_EQ(h.percentile(0.50), 3.0);   // rank 2 of {2,3,50,60}
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 60.0);   // exact max
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 2.0);    // rank clamps to 1 -> min
+  EXPECT_DOUBLE_EQ(h.percentile(0.75), 50.0);  // rank 3
   // Single sample: every percentile is that sample.
   Histogram one;
   one.add(0.125);
   EXPECT_DOUBLE_EQ(one.percentile(0.01), 0.125);
   EXPECT_DOUBLE_EQ(one.percentile(0.99), 0.125);
+}
+
+TEST(Histogram, PercentileFallsBackToBinEdgesPastExactLimit) {
+  // Quantization regression pin: the exact window is exactly
+  // kExactSampleLimit samples wide. One sample past it, percentile()
+  // reverts to the clamped-upper-bin-edge estimate.
+  Histogram h(1.0, 100.0, 1);
+  for (std::uint64_t i = 0; i < Histogram::kExactSampleLimit; ++i)
+    h.add(i % 2 == 0 ? 2.0 : 50.0);  // 32 below 10, 32 in [10,100)
+  ASSERT_TRUE(h.exact());
+  EXPECT_DOUBLE_EQ(h.percentile(0.50), 2.0);  // rank 32 -> exact
+  h.add(3.0);  // 65th sample retires the raw buffer
+  EXPECT_FALSE(h.exact());
+  EXPECT_EQ(h.count(), Histogram::kExactSampleLimit + 1);
+  // p50 -> rank 33 -> bin [1,10) -> upper edge 10, inside [min, max].
+  EXPECT_DOUBLE_EQ(h.percentile(0.50), 10.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 50.0);  // still clamps to max
+}
+
+TEST(Histogram, NonFiniteSampleRetiresExactMode) {
+  // NaN has no rank; the histogram keeps counting it (overflow bin)
+  // but stops claiming exact order statistics.
+  Histogram h;
+  h.add(0.5);
+  ASSERT_TRUE(h.exact());
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_FALSE(h.exact());
+  EXPECT_EQ(h.count(), 2u);
+  // Merging an exact histogram into a retired one stays retired.
+  Histogram fine;
+  fine.add(0.25);
+  h.merge(fine);
+  EXPECT_FALSE(h.exact());
+  Histogram both = fine;
+  both.merge(h);
+  EXPECT_FALSE(both.exact());
 }
 
 TEST(Histogram, MergeMatchesSerialAccumulationExactly) {
